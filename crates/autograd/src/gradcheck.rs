@@ -1,0 +1,133 @@
+//! Finite-difference gradient verification.
+//!
+//! Used by this crate's tests (and downstream model tests) to confirm that
+//! every backward rule matches a central-difference estimate of the true
+//! derivative.
+
+use fis_linalg::Matrix;
+
+/// Result of a gradient check for one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric entries.
+    pub max_abs_err: f64,
+    /// Largest relative difference `|a - n| / max(1, |a|, |n|)`.
+    pub max_rel_err: f64,
+}
+
+impl GradCheckReport {
+    /// Whether both error measures fall under `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Checks the analytic gradient of a scalar function of several matrix
+/// parameters against central finite differences.
+///
+/// `f` receives the current parameter values and must return
+/// `(loss, gradients)` with one gradient per parameter, in order. The
+/// function is re-evaluated `2 * Σ len(param)` times with perturbed inputs,
+/// so keep parameters small in tests.
+///
+/// Returns one report per parameter.
+///
+/// # Panics
+///
+/// Panics if `f` returns a gradient count or shape that does not match
+/// `params`.
+pub fn check_gradients(
+    params: &[Matrix],
+    eps: f64,
+    f: impl Fn(&[Matrix]) -> (f64, Vec<Matrix>),
+) -> Vec<GradCheckReport> {
+    let (_, analytic) = f(params);
+    assert_eq!(
+        analytic.len(),
+        params.len(),
+        "gradient count does not match parameter count"
+    );
+    let mut reports = Vec::with_capacity(params.len());
+    for (pi, param) in params.iter().enumerate() {
+        assert_eq!(
+            analytic[pi].shape(),
+            param.shape(),
+            "gradient {pi} shape mismatch"
+        );
+        let mut max_abs = 0.0f64;
+        let mut max_rel = 0.0f64;
+        for idx in 0..param.len() {
+            let mut plus = params.to_vec();
+            let mut minus = params.to_vec();
+            plus[pi].as_mut_slice()[idx] += eps;
+            minus[pi].as_mut_slice()[idx] -= eps;
+            let (lp, _) = f(&plus);
+            let (lm, _) = f(&minus);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[pi].as_slice()[idx];
+            let abs = (a - numeric).abs();
+            let rel = abs / a.abs().max(numeric.abs()).max(1.0);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+        }
+        reports.push(GradCheckReport {
+            max_abs_err: max_abs,
+            max_rel_err: max_rel,
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    #[test]
+    fn catches_wrong_gradient() {
+        let params = vec![Matrix::from_rows(&[&[2.0]])];
+        let reports = check_gradients(&params, 1e-5, |p| {
+            let loss = p[0][(0, 0)] * p[0][(0, 0)];
+            // Deliberately wrong gradient (should be 2x).
+            (loss, vec![Matrix::from_rows(&[&[1.0]])])
+        });
+        assert!(!reports[0].passes(1e-4));
+    }
+
+    #[test]
+    fn passes_correct_gradient() {
+        let params = vec![Matrix::from_rows(&[&[2.0]])];
+        let reports = check_gradients(&params, 1e-5, |p| {
+            let x = p[0][(0, 0)];
+            (x * x, vec![Matrix::from_rows(&[&[2.0 * x]])])
+        });
+        assert!(reports[0].passes(1e-6));
+    }
+
+    #[test]
+    fn verifies_tape_two_layer_network() {
+        // loss = mean( σ(x W1) W2 ) with all parameters checked.
+        let x0 = Matrix::from_rows(&[&[0.3, -0.5], &[0.1, 0.8]]);
+        let w1 = Matrix::from_rows(&[&[0.2, -0.1, 0.4], &[0.7, 0.3, -0.6]]);
+        let w2 = Matrix::from_rows(&[&[0.5], &[-0.2], &[0.9]]);
+        let params = vec![x0, w1, w2];
+        let reports = check_gradients(&params, 1e-6, |p| {
+            let mut t = Tape::new();
+            let x = t.leaf(p[0].clone());
+            let a = t.leaf(p[1].clone());
+            let b = t.leaf(p[2].clone());
+            let h = t.matmul(x, a);
+            let h = t.sigmoid(h);
+            let y = t.matmul(h, b);
+            let loss = t.mean_all(y);
+            t.backward(loss);
+            (
+                t.scalar(loss),
+                vec![t.grad(x).clone(), t.grad(a).clone(), t.grad(b).clone()],
+            )
+        });
+        for (i, r) in reports.iter().enumerate() {
+            assert!(r.passes(1e-6), "param {i}: {r:?}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Tape-based reverse-mode automatic differentiation over dense matrices.
+//!
+//! This crate is the training substrate for every learned model in the
+//! FIS-ONE reproduction: the RF-GNN encoder (`fis-gnn`) and the SDCN / DAEGC
+//! baselines (`fis-baselines`). It provides:
+//!
+//! - [`Tape`]: a single-use computation graph. Operations push nodes and
+//!   return [`Var`] handles; [`Tape::backward`] runs reverse-mode
+//!   accumulation from a scalar loss.
+//! - [`optim`]: SGD (with momentum) and Adam optimizers keyed by parameter
+//!   name.
+//! - [`gradcheck`]: central finite-difference gradient verification used by
+//!   both unit and property tests.
+//!
+//! The op set is deliberately tailored to the models in the paper: dense
+//! matmul, elementwise nonlinearities, row gathering/scattering for
+//! minibatch GNN aggregation, row-wise dot products for the skip-gram loss,
+//! ℓ2 row normalization (RF-GNN normalizes each hop's representation), and a
+//! DEC-style clustering-loss op for the deep-clustering baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use fis_autograd::Tape;
+//! use fis_linalg::Matrix;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+//! let w = tape.leaf(Matrix::from_rows(&[&[0.5], &[-0.5]]));
+//! let y = tape.matmul(x, w);
+//! let loss = tape.sum_all(y);
+//! tape.backward(loss);
+//! // dloss/dw = x^T
+//! assert_eq!(tape.grad(w).row(0), &[1.0]);
+//! assert_eq!(tape.grad(w).row(1), &[2.0]);
+//! ```
+
+pub mod gradcheck;
+pub mod optim;
+pub mod tape;
+
+pub use optim::{Adam, Sgd};
+pub use tape::{Tape, Var};

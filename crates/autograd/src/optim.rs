@@ -1,0 +1,256 @@
+//! First-order optimizers keyed by parameter name.
+//!
+//! Parameters live outside the tape (plain [`Matrix`] values owned by the
+//! model). Each training step builds a fresh [`crate::Tape`], reads the
+//! gradients, and hands `(param, grad)` pairs to an optimizer.
+
+use std::collections::HashMap;
+
+use fis_linalg::Matrix;
+
+/// Plain stochastic gradient descent with optional momentum.
+///
+/// # Example
+///
+/// ```
+/// use fis_autograd::Sgd;
+/// use fis_linalg::Matrix;
+///
+/// let mut opt = Sgd::new(0.1).with_momentum(0.9);
+/// let mut w = Matrix::filled(1, 1, 1.0);
+/// let g = Matrix::filled(1, 1, 1.0);
+/// opt.step("w", &mut w, &g);
+/// assert!((w[(0, 0)] - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: HashMap<String, Matrix>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr` and no momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Enables classical momentum with coefficient `m` in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside `[0, 1)`.
+    pub fn with_momentum(mut self, m: f64) -> Self {
+        assert!((0.0..1.0).contains(&m), "momentum must be in [0, 1)");
+        self.momentum = m;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Sets the learning rate (e.g. for decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update to `param` given `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` and `grad` shapes differ.
+    pub fn step(&mut self, key: &str, param: &mut Matrix, grad: &Matrix) {
+        assert_eq!(param.shape(), grad.shape(), "sgd shape mismatch for {key}");
+        if self.momentum == 0.0 {
+            param.axpy(-self.lr, grad);
+            return;
+        }
+        let vel = self
+            .velocity
+            .entry(key.to_owned())
+            .or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+        for (v, g) in vel.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *v = self.momentum * *v + g;
+        }
+        param.axpy(-self.lr, vel);
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+///
+/// State (first/second moment estimates and step counters) is tracked per
+/// parameter key, so a single `Adam` instance can drive a whole model.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: HashMap<String, Matrix>,
+    v: HashMap<String, Matrix>,
+    t: HashMap<String, u64>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional defaults
+    /// `beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: HashMap::new(),
+            v: HashMap::new(),
+            t: HashMap::new(),
+        }
+    }
+
+    /// Overrides the exponential decay rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either beta is outside `[0, 1)`.
+    pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Self {
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0, 1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0, 1)");
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Sets the learning rate.
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one Adam update to `param` given `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` and `grad` shapes differ.
+    pub fn step(&mut self, key: &str, param: &mut Matrix, grad: &Matrix) {
+        assert_eq!(param.shape(), grad.shape(), "adam shape mismatch for {key}");
+        let (rows, cols) = param.shape();
+        let m = self
+            .m
+            .entry(key.to_owned())
+            .or_insert_with(|| Matrix::zeros(rows, cols));
+        let v = self
+            .v
+            .entry(key.to_owned())
+            .or_insert_with(|| Matrix::zeros(rows, cols));
+        let t = self.t.entry(key.to_owned()).or_insert(0);
+        *t += 1;
+        let b1t = 1.0 - self.beta1.powi(*t as i32);
+        let b2t = 1.0 - self.beta2.powi(*t as i32);
+        for ((p, g), (mi, vi)) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let m_hat = *mi / b1t;
+            let v_hat = *vi / b2t;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(w) = (w - 3)^2 should converge to w = 3.
+    fn quadratic_grad(w: &Matrix) -> Matrix {
+        w.map(|x| 2.0 * (x - 3.0))
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let mut w = Matrix::filled(1, 1, 0.0);
+        for _ in 0..100 {
+            let g = quadratic_grad(&w);
+            opt.step("w", &mut w, &g);
+        }
+        assert!((w[(0, 0)] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        let mut w = Matrix::filled(1, 1, 0.0);
+        for _ in 0..200 {
+            let g = quadratic_grad(&w);
+            opt.step("w", &mut w, &g);
+        }
+        assert!((w[(0, 0)] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        let mut w = Matrix::filled(1, 1, -5.0);
+        for _ in 0..300 {
+            let g = quadratic_grad(&w);
+            opt.step("w", &mut w, &g);
+        }
+        assert!((w[(0, 0)] - 3.0).abs() < 1e-3, "w={}", w[(0, 0)]);
+    }
+
+    #[test]
+    fn adam_handles_multiple_params_independently() {
+        let mut opt = Adam::new(0.1);
+        let mut a = Matrix::filled(1, 1, 0.0);
+        let mut b = Matrix::filled(2, 2, 0.0);
+        for _ in 0..200 {
+            let ga = quadratic_grad(&a);
+            let gb = quadratic_grad(&b);
+            opt.step("a", &mut a, &ga);
+            opt.step("b", &mut b, &gb);
+        }
+        assert!((a[(0, 0)] - 3.0).abs() < 1e-2);
+        assert!((b[(1, 1)] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_nonpositive_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_shape_mismatch() {
+        let mut opt = Adam::new(0.1);
+        let mut w = Matrix::zeros(1, 2);
+        let g = Matrix::zeros(2, 1);
+        opt.step("w", &mut w, &g);
+    }
+}

@@ -1,0 +1,756 @@
+//! The computation tape: forward ops and reverse-mode accumulation.
+
+use std::rc::Rc;
+
+use fis_linalg::func;
+use fis_linalg::Matrix;
+
+/// Handle to a value stored on a [`Tape`].
+///
+/// `Var`s are cheap indices; they are only meaningful for the tape that
+/// produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// Operation recorded by a tape node, referencing parent nodes by index.
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f64),
+    AddRowBroadcast(Var, Var),
+    HCat(Var, Var),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Ln(Var),
+    Square(Var),
+    L2NormRows(Var),
+    GatherRows(Var, Rc<Vec<usize>>),
+    /// Per-output-row weighted sum of input rows:
+    /// `out[i] = Σ_j w_ij * input[idx_ij]`.
+    Aggregate(Var, Rc<Vec<Vec<(usize, f64)>>>),
+    RowwiseDot(Var, Var),
+    NegLogSigmoid(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    /// DEC-style clustering KL loss between the Student-t soft assignment of
+    /// embeddings `z` to centroids `mu` and a fixed target distribution `p`.
+    DecLoss(Var, Var, Rc<Matrix>),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Matrix,
+    grad: Matrix,
+    op: Op,
+    /// Cached auxiliary forward result needed by some backward rules
+    /// (e.g. the soft-assignment matrix Q for [`Op::DecLoss`]).
+    aux: Option<Matrix>,
+}
+
+/// A single-use reverse-mode computation graph.
+///
+/// Typical lifecycle per training step: create a tape, insert parameters
+/// with [`Tape::leaf`], build the loss, call [`Tape::backward`], read
+/// parameter gradients with [`Tape::grad`], then drop the tape.
+///
+/// # Example
+///
+/// ```
+/// use fis_autograd::Tape;
+/// use fis_linalg::Matrix;
+///
+/// let mut t = Tape::new();
+/// let x = t.leaf(Matrix::filled(1, 3, 2.0));
+/// let y = t.square(x);
+/// let s = t.sum_all(y);
+/// t.backward(s);
+/// assert_eq!(t.grad(x).row(0), &[4.0, 4.0, 4.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        let (r, c) = value.shape();
+        self.nodes.push(Node {
+            value,
+            grad: Matrix::zeros(r, c),
+            op,
+            aux: None,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn push_with_aux(&mut self, value: Matrix, op: Op, aux: Matrix) -> Var {
+        let v = self.push(value, op);
+        self.nodes[v.0].aux = Some(aux);
+        v
+    }
+
+    /// Current forward value of a variable.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of the last [`Tape::backward`] loss w.r.t. `v`.
+    ///
+    /// All-zero until `backward` has been called.
+    pub fn grad(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].grad
+    }
+
+    /// Inserts an input/parameter matrix as a leaf node.
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Element-wise sum of two same-shape matrices.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value + &self.nodes[b.0].value;
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Element-wise difference `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value - &self.nodes[b.0].value;
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Multiplication by a constant scalar.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let v = self.nodes[a.0].value.scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Adds a `1 x d` bias row to every row of an `n x d` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x d`.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[bias.0].value;
+        assert_eq!(bv.rows(), 1, "bias must have exactly one row");
+        assert_eq!(av.cols(), bv.cols(), "bias width mismatch");
+        let mut out = av.clone();
+        for r in 0..out.rows() {
+            fis_linalg::vec_ops::axpy(out.row_mut(r), 1.0, bv.row(0));
+        }
+        self.push(out, Op::AddRowBroadcast(a, bias))
+    }
+
+    /// Horizontal concatenation `[a | b]` (same row count).
+    pub fn hcat(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hcat(&self.nodes[b.0].value);
+        self.push(v, Op::HCat(a, b))
+    }
+
+    /// Element-wise rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(func::relu);
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(func::sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Element-wise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Element-wise natural logarithm.
+    ///
+    /// Inputs are clamped to `>= 1e-300` to keep the forward value finite;
+    /// callers should still ensure logical positivity.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(1e-300).ln());
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x * x);
+        self.push(v, Op::Square(a))
+    }
+
+    /// Normalizes each row to unit ℓ2 norm (rows with norm < 1e-12 pass
+    /// through unchanged). This is RF-GNN's per-hop normalization
+    /// `r_i := r_i / ||r_i||_2`.
+    pub fn l2_normalize_rows(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.l2_normalize_rows();
+        self.push(v, Op::L2NormRows(a))
+    }
+
+    /// Gathers rows `indices` of `a` (repeats allowed) into a new matrix.
+    pub fn gather_rows(&mut self, a: Var, indices: Rc<Vec<usize>>) -> Var {
+        let v = self.nodes[a.0].value.gather_rows(&indices);
+        self.push(v, Op::GatherRows(a, indices))
+    }
+
+    /// Weighted neighborhood aggregation: output row `i` is
+    /// `Σ_j w_ij * a[idx_ij]`. This is RF-GNN's `AGGREGATE_w` with the RSS
+    /// attention weights baked into `groups`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced row index is out of bounds.
+    pub fn aggregate(&mut self, a: Var, groups: Rc<Vec<Vec<(usize, f64)>>>) -> Var {
+        let av = &self.nodes[a.0].value;
+        let d = av.cols();
+        let mut out = Matrix::zeros(groups.len(), d);
+        for (i, group) in groups.iter().enumerate() {
+            for &(idx, w) in group {
+                assert!(idx < av.rows(), "aggregate index {idx} out of bounds");
+                fis_linalg::vec_ops::axpy(out.row_mut(i), w, av.row(idx));
+            }
+        }
+        self.push(out, Op::Aggregate(a, groups))
+    }
+
+    /// Row-wise dot products of two `n x d` matrices, producing `n x 1`.
+    ///
+    /// Used for the skip-gram scores `r_i · r_j` of the unsupervised loss.
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.shape(), bv.shape(), "rowwise_dot shape mismatch");
+        let v = Matrix::from_fn(av.rows(), 1, |r, _| {
+            fis_linalg::vec_ops::dot(av.row(r), bv.row(r))
+        });
+        self.push(v, Op::RowwiseDot(a, b))
+    }
+
+    /// Element-wise `-log σ(x)`, the building block of the negative-sampling
+    /// loss `L_G` (§III-B). Computed as `softplus(-x)` for stability.
+    pub fn neg_log_sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| func::softplus(-x));
+        self.push(v, Op::NegLogSigmoid(a))
+    }
+
+    /// Sum of all elements, producing a `1 x 1` matrix.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Matrix::from_rows(&[&[self.nodes[a.0].value.sum()]]);
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean of all elements, producing a `1 x 1` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is empty.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        assert!(!self.nodes[a.0].value.is_empty(), "mean_all of empty matrix");
+        let v = Matrix::from_rows(&[&[self.nodes[a.0].value.mean()]]);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Scalar value of a `1 x 1` variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not `1 x 1`.
+    pub fn scalar(&self, v: Var) -> f64 {
+        let m = &self.nodes[v.0].value;
+        assert_eq!(m.shape(), (1, 1), "scalar() needs a 1x1 value");
+        m[(0, 0)]
+    }
+
+    /// DEC-style clustering loss `KL(P || Q)` where
+    /// `q_ij ∝ (1 + ||z_i - mu_j||²)^{-1}` is the Student-t soft assignment
+    /// of embedding rows `z` to centroid rows `mu`, and `p` is the fixed
+    /// target distribution. Returns a `1 x 1` loss.
+    ///
+    /// Gradients flow to both `z` and `mu` using the closed form from the
+    /// DEC paper. This powers the self-supervised clustering modules of the
+    /// SDCN and DAEGC baselines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent or `p` rows are not distributions.
+    pub fn dec_loss(&mut self, z: Var, mu: Var, p: Rc<Matrix>) -> Var {
+        let zv = &self.nodes[z.0].value;
+        let muv = &self.nodes[mu.0].value;
+        let (n, d) = zv.shape();
+        let k = muv.rows();
+        assert_eq!(muv.cols(), d, "centroid dimension mismatch");
+        assert_eq!(p.shape(), (n, k), "target distribution shape mismatch");
+
+        let q = student_t_assignment(zv, muv);
+        let mut loss = 0.0;
+        for i in 0..n {
+            for j in 0..k {
+                let pij = p[(i, j)];
+                if pij > 0.0 {
+                    loss += pij * (pij.max(1e-300).ln() - q[(i, j)].max(1e-300).ln());
+                }
+            }
+        }
+        let value = Matrix::from_rows(&[&[loss]]);
+        self.push_with_aux(value, Op::DecLoss(z, mu, p), q)
+    }
+
+    /// Runs reverse-mode accumulation from scalar node `loss`.
+    ///
+    /// Gradients of all nodes are reset first, so a tape can be re-run
+    /// against a different loss node if desired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `1 x 1` value.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar (1x1) loss"
+        );
+        for node in &mut self.nodes {
+            let (r, c) = node.value.shape();
+            node.grad = Matrix::zeros(r, c);
+        }
+        self.nodes[loss.0].grad = Matrix::from_rows(&[&[1.0]]);
+
+        for i in (0..=loss.0).rev() {
+            let op = self.nodes[i].op.clone();
+            let grad = self.nodes[i].grad.clone();
+            if grad.as_slice().iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let da = grad.matmul_t(&self.nodes[b.0].value);
+                    let db = self.nodes[a.0].value.t_matmul(&grad);
+                    self.nodes[a.0].grad += &da;
+                    self.nodes[b.0].grad += &db;
+                }
+                Op::Add(a, b) => {
+                    self.nodes[a.0].grad += &grad;
+                    self.nodes[b.0].grad += &grad;
+                }
+                Op::Sub(a, b) => {
+                    self.nodes[a.0].grad += &grad;
+                    self.nodes[b.0].grad.axpy(-1.0, &grad);
+                }
+                Op::Mul(a, b) => {
+                    let da = grad.hadamard(&self.nodes[b.0].value);
+                    let db = grad.hadamard(&self.nodes[a.0].value);
+                    self.nodes[a.0].grad += &da;
+                    self.nodes[b.0].grad += &db;
+                }
+                Op::Scale(a, s) => {
+                    self.nodes[a.0].grad.axpy(s, &grad);
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    self.nodes[a.0].grad += &grad;
+                    let cols = grad.cols();
+                    let mut db = Matrix::zeros(1, cols);
+                    for r in 0..grad.rows() {
+                        fis_linalg::vec_ops::axpy(db.row_mut(0), 1.0, grad.row(r));
+                    }
+                    self.nodes[bias.0].grad += &db;
+                }
+                Op::HCat(a, b) => {
+                    let ca = self.nodes[a.0].value.cols();
+                    let rows = grad.rows();
+                    let cb = grad.cols() - ca;
+                    let mut da = Matrix::zeros(rows, ca);
+                    let mut db = Matrix::zeros(rows, cb);
+                    for r in 0..rows {
+                        da.row_mut(r).copy_from_slice(&grad.row(r)[..ca]);
+                        db.row_mut(r).copy_from_slice(&grad.row(r)[ca..]);
+                    }
+                    self.nodes[a.0].grad += &da;
+                    self.nodes[b.0].grad += &db;
+                }
+                Op::Relu(a) => {
+                    let mask = self.nodes[a.0].value.map(func::relu_grad);
+                    let da = grad.hadamard(&mask);
+                    self.nodes[a.0].grad += &da;
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let dy = y.map(|s| s * (1.0 - s));
+                    let da = grad.hadamard(&dy);
+                    self.nodes[a.0].grad += &da;
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let dy = y.map(|t| 1.0 - t * t);
+                    let da = grad.hadamard(&dy);
+                    self.nodes[a.0].grad += &da;
+                }
+                Op::Ln(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let dx = x.map(|v| 1.0 / v.max(1e-300));
+                    let da = grad.hadamard(&dx);
+                    self.nodes[a.0].grad += &da;
+                }
+                Op::Square(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let da = grad.hadamard(&x.scale(2.0));
+                    self.nodes[a.0].grad += &da;
+                }
+                Op::L2NormRows(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let y = &self.nodes[i].value;
+                    let mut da = Matrix::zeros(x.rows(), x.cols());
+                    for r in 0..x.rows() {
+                        let norm = fis_linalg::vec_ops::norm(x.row(r));
+                        if norm > 1e-12 {
+                            let g = grad.row(r);
+                            let yr = y.row(r);
+                            let gy = fis_linalg::vec_ops::dot(g, yr);
+                            for c in 0..x.cols() {
+                                da[(r, c)] = (g[c] - yr[c] * gy) / norm;
+                            }
+                        } else {
+                            // Pass-through rows were copied unchanged.
+                            da.row_mut(r).copy_from_slice(grad.row(r));
+                        }
+                    }
+                    self.nodes[a.0].grad += &da;
+                }
+                Op::GatherRows(a, indices) => {
+                    let cols = grad.cols();
+                    let mut da = Matrix::zeros(self.nodes[a.0].value.rows(), cols);
+                    for (r, &idx) in indices.iter().enumerate() {
+                        fis_linalg::vec_ops::axpy(da.row_mut(idx), 1.0, grad.row(r));
+                    }
+                    self.nodes[a.0].grad += &da;
+                }
+                Op::Aggregate(a, groups) => {
+                    let cols = grad.cols();
+                    let mut da = Matrix::zeros(self.nodes[a.0].value.rows(), cols);
+                    for (r, group) in groups.iter().enumerate() {
+                        for &(idx, w) in group {
+                            fis_linalg::vec_ops::axpy(da.row_mut(idx), w, grad.row(r));
+                        }
+                    }
+                    self.nodes[a.0].grad += &da;
+                }
+                Op::RowwiseDot(a, b) => {
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    let mut da = Matrix::zeros(av.rows(), av.cols());
+                    let mut db = Matrix::zeros(av.rows(), av.cols());
+                    for r in 0..av.rows() {
+                        let g = grad[(r, 0)];
+                        fis_linalg::vec_ops::axpy(da.row_mut(r), g, bv.row(r));
+                        fis_linalg::vec_ops::axpy(db.row_mut(r), g, av.row(r));
+                    }
+                    self.nodes[a.0].grad += &da;
+                    self.nodes[b.0].grad += &db;
+                }
+                Op::NegLogSigmoid(a) => {
+                    // d/dx softplus(-x) = -σ(-x) = σ(x) - 1
+                    let dx = self.nodes[a.0].value.map(|x| func::sigmoid(x) - 1.0);
+                    let da = grad.hadamard(&dx);
+                    self.nodes[a.0].grad += &da;
+                }
+                Op::SumAll(a) => {
+                    let g = grad[(0, 0)];
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    self.nodes[a.0].grad += &Matrix::filled(r, c, g);
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let g = grad[(0, 0)] / (r * c) as f64;
+                    self.nodes[a.0].grad += &Matrix::filled(r, c, g);
+                }
+                Op::DecLoss(z, mu, p) => {
+                    let g = grad[(0, 0)];
+                    let q = self.nodes[i].aux.as_ref().expect("DecLoss aux missing").clone();
+                    let zv = self.nodes[z.0].value.clone();
+                    let muv = self.nodes[mu.0].value.clone();
+                    let (n, d) = zv.shape();
+                    let k = muv.rows();
+                    let mut dz = Matrix::zeros(n, d);
+                    let mut dmu = Matrix::zeros(k, d);
+                    // dL/dz_i = 2 Σ_j (1+||z_i-mu_j||²)^{-1} (p_ij - q_ij)(z_i - mu_j)
+                    // (KL(P||Q) gradient; dmu is the negative scatter.)
+                    for ii in 0..n {
+                        for j in 0..k {
+                            let diff: Vec<f64> = (0..d)
+                                .map(|c| zv[(ii, c)] - muv[(j, c)])
+                                .collect();
+                            let dist_sq: f64 = diff.iter().map(|x| x * x).sum();
+                            let coef =
+                                2.0 * (p[(ii, j)] - q[(ii, j)]) / (1.0 + dist_sq) * g;
+                            for c in 0..d {
+                                dz[(ii, c)] += coef * diff[c];
+                                dmu[(j, c)] -= coef * diff[c];
+                            }
+                        }
+                    }
+                    self.nodes[z.0].grad += &dz;
+                    self.nodes[mu.0].grad += &dmu;
+                }
+            }
+        }
+    }
+}
+
+/// Student-t (df = 1) soft assignment of rows of `z` to centroid rows `mu`:
+/// `q_ij ∝ (1 + ||z_i - mu_j||²)^{-1}`, rows normalized to sum to one.
+///
+/// Shared by [`Tape::dec_loss`] and the baselines' target-distribution
+/// refresh step.
+pub fn student_t_assignment(z: &Matrix, mu: &Matrix) -> Matrix {
+    let n = z.rows();
+    let k = mu.rows();
+    let mut q = Matrix::zeros(n, k);
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..k {
+            let dist_sq = fis_linalg::vec_ops::euclidean_sq(z.row(i), mu.row(j));
+            let val = 1.0 / (1.0 + dist_sq);
+            q[(i, j)] = val;
+            row_sum += val;
+        }
+        for j in 0..k {
+            q[(i, j)] /= row_sum;
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_value_round_trip() {
+        let mut t = Tape::new();
+        let m = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let v = t.leaf(m.clone());
+        assert_eq!(t.value(v), &m);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn matmul_gradients_match_formula() {
+        // loss = sum(A B); dA = 1 * B^T, dB = A^T * 1
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = t.leaf(Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let c = t.matmul(a, b);
+        let loss = t.sum_all(c);
+        t.backward(loss);
+        assert_eq!(t.grad(a), &Matrix::from_rows(&[&[11.0, 15.0], &[11.0, 15.0]]));
+        assert_eq!(t.grad(b), &Matrix::from_rows(&[&[4.0, 4.0], &[6.0, 6.0]]));
+    }
+
+    #[test]
+    fn chain_through_sigmoid() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[0.0]]));
+        let y = t.sigmoid(x);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        // σ'(0) = 0.25
+        assert!((t.grad(x)[(0, 0)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_reuse_accumulates() {
+        // loss = sum(x*x + x) ; dx = 2x + 1
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[3.0]]));
+        let sq = t.mul(x, x);
+        let s = t.add(sq, x);
+        let loss = t.sum_all(s);
+        t.backward(loss);
+        assert!((t.grad(x)[(0, 0)] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gather_rows_scatters_gradient() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]));
+        let g = t.gather_rows(x, Rc::new(vec![0, 0, 2]));
+        let loss = t.sum_all(g);
+        t.backward(loss);
+        assert_eq!(
+            t.grad(x),
+            &Matrix::from_rows(&[&[2.0, 2.0], &[0.0, 0.0], &[1.0, 1.0]])
+        );
+    }
+
+    #[test]
+    fn aggregate_forward_and_backward() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let groups = Rc::new(vec![vec![(0, 0.25), (1, 0.75)]]);
+        let agg = t.aggregate(x, groups);
+        assert_eq!(t.value(agg), &Matrix::from_rows(&[&[0.25, 0.75]]));
+        let loss = t.sum_all(agg);
+        t.backward(loss);
+        assert_eq!(
+            t.grad(x),
+            &Matrix::from_rows(&[&[0.25, 0.25], &[0.75, 0.75]])
+        );
+    }
+
+    #[test]
+    fn rowwise_dot_gradients() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = t.leaf(Matrix::from_rows(&[&[3.0, 4.0]]));
+        let d = t.rowwise_dot(a, b);
+        assert_eq!(t.value(d)[(0, 0)], 11.0);
+        let loss = t.sum_all(d);
+        t.backward(loss);
+        assert_eq!(t.grad(a), &Matrix::from_rows(&[&[3.0, 4.0]]));
+        assert_eq!(t.grad(b), &Matrix::from_rows(&[&[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn neg_log_sigmoid_is_softplus_neg() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[0.0]]));
+        let y = t.neg_log_sigmoid(x);
+        assert!((t.value(y)[(0, 0)] - std::f64::consts::LN_2).abs() < 1e-12);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        assert!((t.grad(x)[(0, 0)] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_normalize_grad_orthogonal_to_output() {
+        // For unit-output y, the Jacobian projects out the y direction, so
+        // grad(x) · y == 0 when upstream grad is arbitrary.
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[3.0, 4.0]]));
+        let y = t.l2_normalize_rows(x);
+        // loss = first component of y
+        let pick = t.leaf(Matrix::from_rows(&[&[1.0], &[0.0]]));
+        let first = t.matmul(y, pick);
+        let loss = t.sum_all(first);
+        t.backward(loss);
+        let yv = t.value(y).row(0).to_vec();
+        let gx = t.grad(x).row(0).to_vec();
+        let dot = fis_linalg::vec_ops::dot(&yv, &gx);
+        assert!(dot.abs() < 1e-12, "dot={dot}");
+    }
+
+    #[test]
+    fn hcat_splits_gradient() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_rows(&[&[1.0]]));
+        let b = t.leaf(Matrix::from_rows(&[&[2.0, 3.0]]));
+        let h = t.hcat(a, b);
+        let w = t.leaf(Matrix::from_rows(&[&[1.0], &[10.0], &[100.0]]));
+        let y = t.matmul(h, w);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        assert_eq!(t.grad(a)[(0, 0)], 1.0);
+        assert_eq!(t.grad(b), &Matrix::from_rows(&[&[10.0, 100.0]]));
+    }
+
+    #[test]
+    fn add_row_broadcast_backward_sums_rows() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(3, 2));
+        let b = t.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let y = t.add_row_broadcast(x, b);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        assert_eq!(t.grad(b), &Matrix::from_rows(&[&[3.0, 3.0]]));
+    }
+
+    #[test]
+    fn mean_all_divides_gradient() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::filled(2, 2, 1.0));
+        let m = t.mean_all(x);
+        t.backward(m);
+        assert_eq!(t.grad(x), &Matrix::filled(2, 2, 0.25));
+    }
+
+    #[test]
+    fn student_t_rows_are_distributions() {
+        let z = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[5.0, 5.0]]);
+        let mu = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 5.0]]);
+        let q = student_t_assignment(&z, &mu);
+        for r in 0..3 {
+            let s: f64 = q.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        // Nearest centroid gets the larger share.
+        assert!(q[(0, 0)] > q[(0, 1)]);
+        assert!(q[(2, 1)] > q[(2, 0)]);
+    }
+
+    #[test]
+    fn dec_loss_zero_when_q_equals_p() {
+        let mut t = Tape::new();
+        let z = t.leaf(Matrix::from_rows(&[&[0.0, 0.0], &[4.0, 4.0]]));
+        let mu = t.leaf(Matrix::from_rows(&[&[0.0, 0.0], &[4.0, 4.0]]));
+        let q = student_t_assignment(t.value(z), t.value(mu));
+        let loss = t.dec_loss(z, mu, Rc::new(q));
+        assert!(t.scalar(loss).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar (1x1) loss")]
+    fn backward_rejects_non_scalar() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(2, 2));
+        t.backward(x);
+    }
+
+    #[test]
+    fn backward_twice_resets_grads() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[2.0]]));
+        let y = t.square(x);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        t.backward(loss);
+        assert!((t.grad(x)[(0, 0)] - 4.0).abs() < 1e-12);
+    }
+}

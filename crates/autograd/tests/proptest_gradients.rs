@@ -1,0 +1,180 @@
+//! Property-based finite-difference verification of every tape operation.
+
+use std::rc::Rc;
+
+use fis_autograd::gradcheck::check_gradients;
+use fis_autograd::tape::student_t_assignment;
+use fis_autograd::Tape;
+use fis_linalg::Matrix;
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0..2.0f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Runs a gradient check for a loss expressed over two leaf matrices.
+fn check2(a: &Matrix, b: &Matrix, build: impl Fn(&mut Tape, fis_autograd::Var, fis_autograd::Var) -> fis_autograd::Var) -> bool {
+    let params = vec![a.clone(), b.clone()];
+    let reports = check_gradients(&params, 1e-6, |p| {
+        let mut t = Tape::new();
+        let x = t.leaf(p[0].clone());
+        let y = t.leaf(p[1].clone());
+        let out = build(&mut t, x, y);
+        let loss = t.mean_all(out);
+        t.backward(loss);
+        (t.scalar(loss), vec![t.grad(x).clone(), t.grad(y).clone()])
+    });
+    reports.iter().all(|r| r.passes(1e-5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_grad(a in mat(2, 3), b in mat(3, 2)) {
+        let ok = check2(&a, &b, |t, x, y| t.matmul(x, y));
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn add_sub_mul_grads(a in mat(2, 2), b in mat(2, 2)) {
+        let ok = check2(&a, &b, |t, x, y| t.add(x, y));
+        prop_assert!(ok);
+        let ok = check2(&a, &b, |t, x, y| t.sub(x, y));
+        prop_assert!(ok);
+        let ok = check2(&a, &b, |t, x, y| t.mul(x, y));
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn hcat_grad(a in mat(2, 2), b in mat(2, 3)) {
+        let ok = check2(&a, &b, |t, x, y| {
+            let h = t.hcat(x, y);
+            t.square(h)
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn sigmoid_tanh_relu_grads(a in mat(2, 3), b in mat(2, 3)) {
+        let ok = check2(&a, &b, |t, x, y| {
+            let s = t.sigmoid(x);
+            let u = t.tanh(y);
+            t.mul(s, u)
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn rowwise_dot_grad(a in mat(3, 4), b in mat(3, 4)) {
+        let ok = check2(&a, &b, |t, x, y| t.rowwise_dot(x, y));
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn neg_log_sigmoid_grad(a in mat(2, 2), b in mat(2, 2)) {
+        let ok = check2(&a, &b, |t, x, y| {
+            let d = t.rowwise_dot(x, y);
+            t.neg_log_sigmoid(d)
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn add_row_broadcast_grad(a in mat(3, 2), b in mat(1, 2)) {
+        let ok = check2(&a, &b, |t, x, y| t.add_row_broadcast(x, y));
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn scale_and_square_grad(a in mat(2, 2), b in mat(2, 2)) {
+        let ok = check2(&a, &b, |t, x, y| {
+            let s = t.scale(x, 2.5);
+            let q = t.square(y);
+            t.add(s, q)
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn aggregate_grad(a in mat(4, 3), b in mat(2, 3)) {
+        let groups = Rc::new(vec![
+            vec![(0usize, 0.3), (1, 0.7)],
+            vec![(2usize, 0.5), (3, 0.25), (0, 0.25)],
+        ]);
+        let ok = check2(&a, &b, move |t, x, y| {
+            let agg = t.aggregate(x, Rc::clone(&groups));
+            t.mul(agg, y)
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn gather_rows_grad(a in mat(4, 2), b in mat(3, 2)) {
+        let idx = Rc::new(vec![0usize, 2, 2]);
+        let ok = check2(&a, &b, move |t, x, y| {
+            let g = t.gather_rows(x, Rc::clone(&idx));
+            t.mul(g, y)
+        });
+        prop_assert!(ok);
+    }
+}
+
+// ℓ2 normalization has a kink at the zero vector, so keep inputs away from it.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn l2_normalize_grad(v in proptest::collection::vec(0.5..2.0f64, 6)) {
+        let a = Matrix::from_vec(2, 3, v);
+        let b = Matrix::filled(2, 3, 0.7);
+        let ok = check2(&a, &b, |t, x, y| {
+            let n = t.l2_normalize_rows(x);
+            t.mul(n, y)
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn dec_loss_grad(zv in proptest::collection::vec(-1.5..1.5f64, 6),
+                     mv in proptest::collection::vec(-1.5..1.5f64, 4)) {
+        let z0 = Matrix::from_vec(3, 2, zv);
+        let mu0 = Matrix::from_vec(2, 2, mv);
+        // Target distribution: sharpened soft assignment at the initial point,
+        // held fixed during the check (as in DEC training).
+        let q = student_t_assignment(&z0, &mu0);
+        let p = Rc::new(sharpen(&q));
+        let params = vec![z0, mu0];
+        let reports = check_gradients(&params, 1e-6, |pr| {
+            let mut t = Tape::new();
+            let z = t.leaf(pr[0].clone());
+            let mu = t.leaf(pr[1].clone());
+            let loss = t.dec_loss(z, mu, Rc::clone(&p));
+            t.backward(loss);
+            (t.scalar(loss), vec![t.grad(z).clone(), t.grad(mu).clone()])
+        });
+        for r in &reports {
+            prop_assert!(r.passes(1e-4), "{r:?}");
+        }
+    }
+}
+
+/// DEC target distribution: `p_ij ∝ q_ij² / Σ_i q_ij`, rows renormalized.
+fn sharpen(q: &Matrix) -> Matrix {
+    let (n, k) = q.shape();
+    let col_sums: Vec<f64> = (0..k).map(|j| (0..n).map(|i| q[(i, j)]).sum()).collect();
+    let mut p = Matrix::zeros(n, k);
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..k {
+            let v = q[(i, j)] * q[(i, j)] / col_sums[j].max(1e-12);
+            p[(i, j)] = v;
+            row_sum += v;
+        }
+        for j in 0..k {
+            p[(i, j)] /= row_sum.max(1e-12);
+        }
+    }
+    p
+}

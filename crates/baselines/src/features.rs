@@ -1,0 +1,209 @@
+//! Shared feature construction for the baselines.
+//!
+//! The matrix-based baselines (MDS, SDCN) consume the dense representation
+//! of Figure 3: one row per sample over the superset of MACs, missing
+//! entries filled with −120 dBm. The graph-based ones additionally use a
+//! sample–sample affinity graph projected from the bipartite graph.
+
+use std::collections::HashMap;
+
+use fis_linalg::Matrix;
+use fis_types::{MacAddr, SignalSample};
+
+/// RSS value used for missing entries (dBm), per §V-A.
+pub const MISSING_DBM: f64 = -120.0;
+
+/// Builds the dense `n x m` matrix of Figure 3: rows are samples, columns
+/// the union of observed MACs, entries raw dBm with missing readings at
+/// −120 dBm. Returns the matrix and the column MAC order.
+pub fn dense_matrix(samples: &[SignalSample]) -> (Matrix, Vec<MacAddr>) {
+    let mut mac_index: HashMap<MacAddr, usize> = HashMap::new();
+    let mut macs: Vec<MacAddr> = Vec::new();
+    for s in samples {
+        for (mac, _) in s.iter() {
+            mac_index.entry(mac).or_insert_with(|| {
+                macs.push(mac);
+                macs.len() - 1
+            });
+        }
+    }
+    let mut x = Matrix::filled(samples.len(), macs.len().max(1), MISSING_DBM);
+    for (i, s) in samples.iter().enumerate() {
+        for (mac, rssi) in s.iter() {
+            x[(i, mac_index[&mac])] = rssi.dbm();
+        }
+    }
+    (x, macs)
+}
+
+/// Normalizes the dense matrix to `[0, 1]`: `(rss + 120) / 120`. Missing
+/// entries become exactly 0, heard APs land in `(0, 1]` — the natural
+/// input scaling for the autoencoder baselines.
+pub fn normalized_features(samples: &[SignalSample]) -> Matrix {
+    let (x, _) = dense_matrix(samples);
+    x.map(|v| (v - MISSING_DBM) / -MISSING_DBM)
+}
+
+/// Sample–sample affinity: `w_ij = Σ_k min(f(rss_ik), f(rss_jk))` over
+/// shared MACs (one-mode projection of the bipartite graph), sparsified to
+/// the `knn` strongest neighbors per sample. Returned as symmetric
+/// adjacency lists.
+pub fn knn_projection(samples: &[SignalSample], knn: usize) -> Vec<Vec<(usize, f64)>> {
+    let n = samples.len();
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    // Invert: mac -> [(sample, weight)]
+    let mut by_mac: HashMap<MacAddr, Vec<(usize, f64)>> = HashMap::new();
+    for (i, s) in samples.iter().enumerate() {
+        for (mac, rssi) in s.iter() {
+            by_mac.entry(mac).or_default().push((i, rssi.edge_weight()));
+        }
+    }
+    let mut weights: Vec<HashMap<usize, f64>> = vec![HashMap::new(); n];
+    for members in by_mac.values() {
+        for (a, &(i, wi)) in members.iter().enumerate() {
+            for &(j, wj) in &members[a + 1..] {
+                let w = wi.min(wj);
+                *weights[i].entry(j).or_insert(0.0) += w;
+                *weights[j].entry(i).or_insert(0.0) += w;
+            }
+        }
+    }
+    for (i, row) in weights.into_iter().enumerate() {
+        let mut pairs: Vec<(usize, f64)> = row.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        pairs.truncate(knn);
+        adj[i] = pairs;
+    }
+    // Symmetrize: keep an edge if either endpoint selected it.
+    let mut sym: Vec<HashMap<usize, f64>> = vec![HashMap::new(); n];
+    for (i, row) in adj.iter().enumerate() {
+        for &(j, w) in row {
+            sym[i].entry(j).or_insert(w);
+            sym[j].entry(i).or_insert(w);
+        }
+    }
+    sym.into_iter()
+        .map(|row| {
+            let mut pairs: Vec<(usize, f64)> = row.into_iter().collect();
+            pairs.sort_by_key(|&(j, _)| j);
+            pairs
+        })
+        .collect()
+}
+
+/// Symmetric normalization `D^{-1/2} (A + I) D^{-1/2}` of an adjacency
+/// list, returned dense — the GCN propagation operator used by SDCN.
+pub fn normalized_adjacency(adj: &[Vec<(usize, f64)>]) -> Matrix {
+    let n = adj.len();
+    let mut a = Matrix::zeros(n, n);
+    for (i, row) in adj.iter().enumerate() {
+        a[(i, i)] = 1.0; // self loop
+        for &(j, w) in row {
+            a[(i, j)] = w.max(a[(i, j)]);
+        }
+    }
+    // Symmetrize defensively.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let m = a[(i, j)].max(a[(j, i)]);
+            a[(i, j)] = m;
+            a[(j, i)] = m;
+        }
+    }
+    let deg: Vec<f64> = (0..n).map(|i| (0..n).map(|j| a[(i, j)]).sum()).collect();
+    Matrix::from_fn(n, n, |i, j| {
+        a[(i, j)] / (deg[i].sqrt() * deg[j].sqrt()).max(1e-12)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_types::Rssi;
+
+    fn sample(id: u32, readings: &[(u64, f64)]) -> SignalSample {
+        SignalSample::builder(id)
+            .readings(
+                readings
+                    .iter()
+                    .map(|&(m, r)| (MacAddr::from_u64(m), Rssi::new(r).unwrap())),
+            )
+            .build()
+    }
+
+    #[test]
+    fn dense_matrix_fills_missing() {
+        let samples = vec![
+            sample(0, &[(1, -60.0)]),
+            sample(1, &[(2, -50.0)]),
+        ];
+        let (x, macs) = dense_matrix(&samples);
+        assert_eq!(x.shape(), (2, 2));
+        assert_eq!(macs.len(), 2);
+        // Sample 0 misses mac 2.
+        let mac2_col = macs.iter().position(|&m| m == MacAddr::from_u64(2)).unwrap();
+        assert_eq!(x[(0, mac2_col)], MISSING_DBM);
+        assert_eq!(x[(1, mac2_col)], -50.0);
+    }
+
+    #[test]
+    fn normalized_features_in_unit_interval() {
+        let samples = vec![sample(0, &[(1, -60.0), (2, 0.0)]), sample(1, &[(1, -119.0)])];
+        let f = normalized_features(&samples);
+        assert!(f.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((f[(0, 0)] - 0.5).abs() < 1e-12); // -60 -> 0.5
+    }
+
+    #[test]
+    fn knn_projection_connects_shared_mac_samples() {
+        let samples = vec![
+            sample(0, &[(1, -50.0)]),
+            sample(1, &[(1, -55.0)]),
+            sample(2, &[(9, -40.0)]),
+        ];
+        let adj = knn_projection(&samples, 5);
+        assert!(adj[0].iter().any(|&(j, _)| j == 1));
+        assert!(adj[1].iter().any(|&(j, _)| j == 0));
+        assert!(adj[2].is_empty());
+    }
+
+    #[test]
+    fn knn_truncates_to_strongest() {
+        // Sample 0 hears MAC 1 weakly; samples 1..=5 share a strong MAC 2
+        // among themselves, so none of them selects sample 0 and no
+        // backedge is re-added by symmetrization. Sample 0 keeps only its
+        // own knn = 2 strongest picks.
+        let mut samples = vec![sample(0, &[(1, -80.0)])];
+        for i in 1..=5u32 {
+            samples.push(sample(i, &[(1, -80.0), (2, -30.0)]));
+        }
+        let adj = knn_projection(&samples, 2);
+        assert_eq!(adj[0].len(), 2, "kept {:?}", adj[0]);
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_bounded() {
+        let samples = vec![
+            sample(0, &[(1, -50.0)]),
+            sample(1, &[(1, -55.0)]),
+            sample(2, &[(1, -60.0)]),
+        ];
+        let adj = knn_projection(&samples, 3);
+        let a = normalized_adjacency(&adj);
+        assert!(a.is_finite());
+        assert_eq!(a.shape(), (3, 3));
+        for i in 0..3 {
+            assert!(a[(i, i)] > 0.0, "self loop survives normalization");
+        }
+    }
+
+    #[test]
+    fn empty_scan_handled() {
+        let samples = vec![SignalSample::builder(0).build()];
+        let (x, macs) = dense_matrix(&samples);
+        assert_eq!(macs.len(), 0);
+        assert_eq!(x.shape(), (1, 1)); // padded to one column
+        let adj = knn_projection(&samples, 3);
+        assert!(adj[0].is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Baseline clustering algorithms from the FIS-ONE evaluation (§V-A).
+//!
+//! The paper compares against four clustering schemes, adapted to floor
+//! identification by feeding their cluster output into FIS-ONE's own
+//! indexing stage:
+//!
+//! - [`Sdcn`]: Structural Deep Clustering Network (Bo et al., WWW'20) —
+//!   an autoencoder over the dense RSS matrix combined with
+//!   graph-structure smoothing and DEC-style self-supervised clustering.
+//! - [`Daegc`]: Deep Attentional Embedded Graph Clustering (Wang et al.,
+//!   IJCAI'19) — a graph autoencoder whose embeddings are refined by a
+//!   KL self-training clustering loss.
+//! - [`Metis`]: multilevel graph partitioning (Karypis & Kumar, SISC'98) —
+//!   heavy-edge-matching coarsening, greedy initial partition, and
+//!   Kernighan–Lin style refinement, applied to the bipartite graph.
+//! - [`Mds`]: classical multidimensional scaling over `1 − cosine`
+//!   distances of the dense matrix representation (missing entries filled
+//!   with −120 dBm, Figure 3), followed by hierarchical clustering.
+//!
+//! These are from-scratch re-implementations that preserve each method's
+//! *objective structure* (what makes it win or lose on this task) at
+//! model sizes suited to per-building corpora; see `DESIGN.md` §4.
+//!
+//! All baselines implement [`BaselineClusterer`], so the experiment
+//! harness can sweep them uniformly.
+
+pub mod daegc;
+pub mod features;
+pub mod mds;
+pub mod metis;
+pub mod sdcn;
+
+use fis_types::SignalSample;
+
+pub use daegc::Daegc;
+pub use mds::Mds;
+pub use metis::Metis;
+pub use sdcn::Sdcn;
+
+/// A clustering baseline: samples in, compact cluster labels out.
+pub trait BaselineClusterer {
+    /// Short display name ("SDCN", "MDS", ...).
+    fn name(&self) -> &'static str;
+
+    /// Clusters `samples` into exactly `k` clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the algorithm cannot produce `k` non-empty
+    /// clusters for the given input.
+    fn cluster(&self, samples: &[SignalSample], k: usize) -> Result<Vec<usize>, String>;
+}
+
+/// All four baselines with the given embedding dimension and seed
+/// (convenience for experiment sweeps). METIS has no embedding dimension —
+/// the paper plots it for consistency anyway (§V-D note).
+pub fn all_baselines(dim: usize, seed: u64) -> Vec<Box<dyn BaselineClusterer>> {
+    vec![
+        Box::new(Sdcn::new(dim).seed(seed)),
+        Box::new(Daegc::new(dim).seed(seed)),
+        Box::new(Metis::new().seed(seed)),
+        Box::new(Mds::new(dim)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_baselines_distinct_names() {
+        let names: Vec<&str> = all_baselines(8, 0).iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["SDCN", "DAEGC", "METIS", "MDS"]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Classical multidimensional scaling + hierarchical clustering (§V-A).
+//!
+//! The paper's MDS baseline embeds the dense matrix representation using
+//! pairwise `1 − cosine` distances and clusters the embedding
+//! hierarchically. Classical MDS: double-center the squared distance
+//! matrix, `B = −½ J D² J`, and embed with the top-`d` eigenpairs.
+//! The top eigenpairs are extracted by subspace (orthogonal) iteration,
+//! which is `O(n²·d·iters)` instead of the full Jacobi `O(n³)`.
+
+use fis_linalg::{vec_ops, Matrix, SplitMix64};
+use fis_types::SignalSample;
+
+use crate::features::dense_matrix;
+use crate::BaselineClusterer;
+
+/// The MDS baseline.
+#[derive(Debug, Clone)]
+pub struct Mds {
+    dim: usize,
+    subspace_iters: usize,
+}
+
+impl Mds {
+    /// Creates the baseline with target embedding dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self {
+            dim,
+            subspace_iters: 60,
+        }
+    }
+
+    /// Embeds samples into `dim` dimensions with classical MDS.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty input.
+    pub fn embed(&self, samples: &[SignalSample]) -> Result<Matrix, String> {
+        if samples.is_empty() {
+            return Err("cannot embed zero samples".to_owned());
+        }
+        let n = samples.len();
+        let (x, _) = dense_matrix(samples);
+        // Pairwise squared 1 - cosine distances.
+        let mut d2 = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = vec_ops::cosine_distance(x.row(i), x.row(j));
+                d2[(i, j)] = d * d;
+                d2[(j, i)] = d * d;
+            }
+        }
+        // Double centering: B = -1/2 J D2 J with J = I - 11^T/n.
+        let row_means: Vec<f64> = (0..n).map(|i| vec_ops::mean(d2.row(i))).collect();
+        let grand = vec_ops::mean(&row_means);
+        let b = Matrix::from_fn(n, n, |i, j| {
+            -0.5 * (d2[(i, j)] - row_means[i] - row_means[j] + grand)
+        });
+        let dim = self.dim.min(n);
+        let (vectors, values) = top_eigenpairs(&b, dim, self.subspace_iters);
+        // Coordinates: v_k * sqrt(max(lambda_k, 0)).
+        let mut out = Matrix::zeros(n, self.dim);
+        for k in 0..dim {
+            let scale = values[k].max(0.0).sqrt();
+            for i in 0..n {
+                out[(i, k)] = vectors[(i, k)] * scale;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl BaselineClusterer for Mds {
+    fn name(&self) -> &'static str {
+        "MDS"
+    }
+
+    fn cluster(&self, samples: &[SignalSample], k: usize) -> Result<Vec<usize>, String> {
+        let emb = self.embed(samples)?;
+        let points: Vec<Vec<f64>> = (0..emb.rows()).map(|r| emb.row(r).to_vec()).collect();
+        fis_cluster::average_linkage(&points, k)
+    }
+}
+
+/// Top-`d` eigenpairs of a symmetric matrix by subspace iteration with
+/// Gram–Schmidt re-orthogonalization. Returns `(vectors, values)` with
+/// vectors as columns, sorted by descending Rayleigh quotient.
+fn top_eigenpairs(b: &Matrix, d: usize, iters: usize) -> (Matrix, Vec<f64>) {
+    let n = b.rows();
+    let mut rng = SplitMix64::new(0x5EED);
+    let mut q = Matrix::from_fn(n, d, |_, _| rng.uniform(-1.0, 1.0));
+    orthonormalize(&mut q);
+    for _ in 0..iters {
+        let z = b.matmul(&q);
+        q = z;
+        orthonormalize(&mut q);
+    }
+    // Rayleigh quotients as eigenvalue estimates.
+    let bq = b.matmul(&q);
+    let mut pairs: Vec<(f64, usize)> = (0..d)
+        .map(|k| {
+            let col_q = q.col(k);
+            let col_bq = bq.col(k);
+            (vec_ops::dot(&col_q, &col_bq), k)
+        })
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    let vectors = Matrix::from_fn(n, d, |i, c| q[(i, pairs[c].1)]);
+    let values = pairs.iter().map(|&(v, _)| v).collect();
+    (vectors, values)
+}
+
+/// In-place modified Gram–Schmidt on the columns.
+fn orthonormalize(q: &mut Matrix) {
+    let (n, d) = q.shape();
+    for k in 0..d {
+        for prev in 0..k {
+            let mut proj = 0.0;
+            for i in 0..n {
+                proj += q[(i, k)] * q[(i, prev)];
+            }
+            for i in 0..n {
+                q[(i, k)] -= proj * q[(i, prev)];
+            }
+        }
+        let norm: f64 = (0..n).map(|i| q[(i, k)] * q[(i, k)]).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for i in 0..n {
+                q[(i, k)] /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_linalg::symmetric_eigen;
+    use fis_types::{MacAddr, Rssi};
+
+    fn sample(id: u32, readings: &[(u64, f64)]) -> SignalSample {
+        SignalSample::builder(id)
+            .readings(
+                readings
+                    .iter()
+                    .map(|&(m, r)| (MacAddr::from_u64(m), Rssi::new(r).unwrap())),
+            )
+            .build()
+    }
+
+    #[test]
+    fn subspace_iteration_matches_jacobi() {
+        let raw = Matrix::from_fn(8, 8, |i, j| ((i * 3 + j * 7) % 11) as f64);
+        let sym = Matrix::from_fn(8, 8, |i, j| 0.5 * (raw[(i, j)] + raw[(j, i)]));
+        let exact = symmetric_eigen(&sym, 1e-12, 100);
+        let (_, values) = top_eigenpairs(&sym, 3, 200);
+        for k in 0..3 {
+            assert!(
+                (values[k] - exact.values[k]).abs() < 1e-6,
+                "k={k}: {} vs {}",
+                values[k],
+                exact.values[k]
+            );
+        }
+    }
+
+    #[test]
+    fn mds_separates_two_signal_groups() {
+        // Group A hears MACs 1-3, group B hears MACs 10-12.
+        let mut samples = Vec::new();
+        for i in 0..6u32 {
+            let base: u64 = if i < 3 { 1 } else { 10 };
+            samples.push(sample(
+                i,
+                &[(base, -50.0), (base + 1, -60.0), (base + 2, -70.0)],
+            ));
+        }
+        let labels = Mds::new(4).cluster(&samples, 2).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Mds::new(4).embed(&[]).is_err());
+    }
+
+    #[test]
+    fn dim_larger_than_n_is_padded() {
+        let samples = vec![sample(0, &[(1, -50.0)]), sample(1, &[(2, -50.0)])];
+        let emb = Mds::new(8).embed(&samples).unwrap();
+        assert_eq!(emb.shape(), (2, 8));
+        assert!(emb.is_finite());
+    }
+}

@@ -1,0 +1,440 @@
+//! METIS-style multilevel graph partitioning (§V-A baseline).
+//!
+//! A from-scratch re-implementation of the multilevel k-way scheme of
+//! Karypis & Kumar: (1) *coarsen* by heavy-edge matching until the graph
+//! is small, (2) compute an *initial partition* by greedy region growing,
+//! (3) *uncoarsen*, refining at each level with Kernighan–Lin style
+//! boundary moves that reduce edge cut subject to a balance constraint.
+//!
+//! The partition runs on the bipartite MAC×sample graph (as in the paper);
+//! the cluster of each signal sample is the partition its node lands in.
+
+use fis_graph::BipartiteGraph;
+use fis_types::SignalSample;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::BaselineClusterer;
+
+/// The METIS baseline.
+#[derive(Debug, Clone)]
+pub struct Metis {
+    seed: u64,
+    /// Coarsening stops below this node count.
+    coarsen_target: usize,
+    /// Maximum allowed imbalance factor (max part weight / ideal weight).
+    balance: f64,
+    refine_passes: usize,
+}
+
+impl Default for Metis {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metis {
+    /// Creates the baseline with conventional parameters.
+    pub fn new() -> Self {
+        Self {
+            seed: 0,
+            coarsen_target: 64,
+            balance: 1.5,
+            refine_passes: 8,
+        }
+    }
+
+    /// Sets the RNG seed (matching order, tie-breaking).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A weighted graph level in the multilevel hierarchy.
+struct Level {
+    adj: Vec<Vec<(usize, f64)>>,
+    node_weight: Vec<f64>,
+    /// Map of this level's nodes to the coarser level's nodes.
+    coarse_of: Option<Vec<usize>>,
+}
+
+impl BaselineClusterer for Metis {
+    fn name(&self) -> &'static str {
+        "METIS"
+    }
+
+    fn cluster(&self, samples: &[SignalSample], k: usize) -> Result<Vec<usize>, String> {
+        if k == 0 {
+            return Err("k must be at least 1".to_owned());
+        }
+        if samples.len() < k {
+            return Err(format!("{} samples cannot form {k} parts", samples.len()));
+        }
+        let graph = BipartiteGraph::from_samples(samples).map_err(|e| e.to_string())?;
+        let n = graph.n_nodes();
+        let base = Level {
+            adj: (0..n).map(|u| graph.neighbors(u).to_vec()).collect(),
+            node_weight: vec![1.0; n],
+            coarse_of: None,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        // 1. Coarsening.
+        let mut levels = vec![base];
+        while levels.last().expect("non-empty").adj.len() > self.coarsen_target.max(4 * k) {
+            let coarse = coarsen(levels.last_mut().expect("non-empty"), &mut rng);
+            let shrunk = coarse.adj.len()
+                < levels.last().expect("non-empty").adj.len() * 95 / 100;
+            levels.push(coarse);
+            if !shrunk {
+                break;
+            }
+        }
+
+        // 2. Initial partition on the coarsest level: several region-grow
+        // restarts with farthest-point seeding, keeping the lowest cut.
+        let coarsest = levels.last().expect("non-empty");
+        let mut part = Vec::new();
+        let mut best_cut = f64::INFINITY;
+        for _ in 0..4 {
+            let mut cand = region_grow(coarsest, k, &mut rng);
+            refine(coarsest, &mut cand, k, self.balance, self.refine_passes);
+            let cut = edge_cut(coarsest, &cand);
+            if cut < best_cut {
+                best_cut = cut;
+                part = cand;
+            }
+        }
+
+        // 3. Uncoarsen with refinement.
+        for li in (0..levels.len() - 1).rev() {
+            let finer = &levels[li];
+            let map = finer.coarse_of.as_ref().expect("interior level has map");
+            let mut fine_part = vec![0usize; finer.adj.len()];
+            for (v, &c) in map.iter().enumerate() {
+                fine_part[v] = part[c];
+            }
+            part = fine_part;
+            refine(finer, &mut part, k, self.balance, self.refine_passes);
+        }
+
+        // Sample nodes are 0..samples.len() in the unified index space.
+        let assignment: Vec<usize> = part[..samples.len()].to_vec();
+        Ok(fis_cluster::relabel_compact(&ensure_k_parts(
+            assignment, k, samples,
+        )))
+    }
+}
+
+/// Heavy-edge matching coarsening: visit nodes in random order, match each
+/// unmatched node with its heaviest unmatched neighbor, and contract pairs.
+fn coarsen(level: &mut Level, rng: &mut ChaCha8Rng) -> Level {
+    let n = level.adj.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut matched = vec![usize::MAX; n];
+    let mut next_coarse = 0usize;
+    let mut coarse_of = vec![usize::MAX; n];
+    for &u in &order {
+        if coarse_of[u] != usize::MAX {
+            continue;
+        }
+        // Heaviest unmatched neighbor.
+        let mate = level.adj[u]
+            .iter()
+            .filter(|&&(v, _)| coarse_of[v] == usize::MAX && v != u)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights"))
+            .map(|&(v, _)| v);
+        coarse_of[u] = next_coarse;
+        if let Some(v) = mate {
+            coarse_of[v] = next_coarse;
+            matched[u] = v;
+        }
+        next_coarse += 1;
+    }
+    // Build the coarse graph.
+    let mut adj_maps: Vec<std::collections::HashMap<usize, f64>> =
+        vec![std::collections::HashMap::new(); next_coarse];
+    let mut node_weight = vec![0.0; next_coarse];
+    for u in 0..n {
+        let cu = coarse_of[u];
+        node_weight[cu] += level.node_weight[u];
+        for &(v, w) in &level.adj[u] {
+            let cv = coarse_of[v];
+            if cu != cv {
+                *adj_maps[cu].entry(cv).or_insert(0.0) += w;
+            }
+        }
+    }
+    let adj = adj_maps
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(usize, f64)> = m.into_iter().collect();
+            v.sort_by_key(|&(j, _)| j);
+            v
+        })
+        .collect();
+    level.coarse_of = Some(coarse_of);
+    Level {
+        adj,
+        node_weight,
+        coarse_of: None,
+    }
+}
+
+/// Total weight of edges crossing the partition.
+fn edge_cut(level: &Level, part: &[usize]) -> f64 {
+    let mut cut = 0.0;
+    for (u, row) in level.adj.iter().enumerate() {
+        for &(v, w) in row {
+            if part[u] != part[v] {
+                cut += w;
+            }
+        }
+    }
+    cut / 2.0
+}
+
+/// Farthest-point seeding: first seed random, each further seed maximizes
+/// its BFS distance to the existing seeds (unreachable nodes count as
+/// infinitely far, so disconnected components are seeded first).
+fn farthest_point_seeds(level: &Level, k: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    let n = level.adj.len();
+    let mut seeds = vec![rng.gen_range(0..n)];
+    while seeds.len() < k.min(n) {
+        // Multi-source BFS from all current seeds.
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in &seeds {
+            dist[s] = 0;
+            queue.push_back(s);
+        }
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &level.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        let next = (0..n)
+            .filter(|v| !seeds.contains(v))
+            .max_by_key(|&v| dist[v])
+            .expect("k <= n");
+        seeds.push(next);
+    }
+    seeds
+}
+
+/// Greedy region growing from farthest-point seeds: BFS-grow parts one
+/// node at a time, always extending the lightest part; unreached nodes
+/// join the lightest part.
+fn region_grow(level: &Level, k: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    let n = level.adj.len();
+    let k = k.min(n);
+    let mut part = vec![usize::MAX; n];
+    let seeds = farthest_point_seeds(level, k, rng);
+    let mut weight = vec![0.0; k];
+    let mut frontier: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (p, &s) in seeds.iter().take(k).enumerate() {
+        part[s] = p;
+        weight[p] += level.node_weight[s];
+        frontier[p] = level.adj[s].iter().map(|&(v, _)| v).collect();
+    }
+    let mut assigned = k;
+    while assigned < n {
+        // Lightest part with a frontier.
+        let p = (0..k)
+            .filter(|&p| !frontier[p].is_empty())
+            .min_by(|&a, &b| weight[a].partial_cmp(&weight[b]).expect("finite"));
+        let Some(p) = p else { break };
+        let mut grabbed = None;
+        while let Some(v) = frontier[p].pop() {
+            if part[v] == usize::MAX {
+                grabbed = Some(v);
+                break;
+            }
+        }
+        if let Some(v) = grabbed {
+            part[v] = p;
+            weight[p] += level.node_weight[v];
+            assigned += 1;
+            frontier[p].extend(
+                level.adj[v]
+                    .iter()
+                    .filter(|&&(u, _)| part[u] == usize::MAX)
+                    .map(|&(u, _)| u),
+            );
+        }
+    }
+    for v in 0..n {
+        if part[v] == usize::MAX {
+            let p = (0..k)
+                .min_by(|&a, &b| weight[a].partial_cmp(&weight[b]).expect("finite"))
+                .expect("k >= 1");
+            part[v] = p;
+            weight[p] += level.node_weight[v];
+        }
+    }
+    part
+}
+
+/// Kernighan–Lin style refinement: greedily move boundary nodes to the
+/// neighboring part with the largest positive gain, subject to balance.
+fn refine(level: &Level, part: &mut [usize], k: usize, balance: f64, passes: usize) {
+    let n = level.adj.len();
+    let total: f64 = level.node_weight.iter().sum();
+    let max_weight = total / k as f64 * balance;
+    let mut weight = vec![0.0; k];
+    for v in 0..n {
+        weight[part[v]] += level.node_weight[v];
+    }
+    for _ in 0..passes {
+        let mut moved = false;
+        for v in 0..n {
+            let current = part[v];
+            // Connectivity of v to each part.
+            let mut conn = vec![0.0; k];
+            for &(u, w) in &level.adj[v] {
+                conn[part[u]] += w;
+            }
+            let mut best = (current, 0.0f64);
+            for p in 0..k {
+                if p == current {
+                    continue;
+                }
+                let gain = conn[p] - conn[current];
+                if gain > best.1 && weight[p] + level.node_weight[v] <= max_weight {
+                    best = (p, gain);
+                }
+            }
+            if best.0 != current
+                && weight[current] - level.node_weight[v] > 0.0
+            {
+                weight[current] -= level.node_weight[v];
+                weight[best.0] += level.node_weight[v];
+                part[v] = best.0;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// Guarantees exactly `k` non-empty sample parts by splitting the largest
+/// part when some part ended up with no sample nodes.
+fn ensure_k_parts(mut assignment: Vec<usize>, k: usize, samples: &[SignalSample]) -> Vec<usize> {
+    loop {
+        let mut counts = vec![0usize; k];
+        for &p in &assignment {
+            counts[p] += 1;
+        }
+        let Some(empty) = counts.iter().position(|&c| c == 0) else {
+            return assignment;
+        };
+        let largest = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(p, _)| p)
+            .expect("k >= 1");
+        // Move half the largest part's samples (by id order) to the empty one.
+        let members: Vec<usize> = (0..samples.len())
+            .filter(|&i| assignment[i] == largest)
+            .collect();
+        for &i in members.iter().take(members.len() / 2) {
+            assignment[i] = empty;
+        }
+        if members.len() < 2 {
+            return assignment;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_types::{MacAddr, Rssi};
+
+    fn sample(id: u32, macs: &[u64]) -> SignalSample {
+        SignalSample::builder(id)
+            .readings(
+                macs.iter()
+                    .map(|&m| (MacAddr::from_u64(m), Rssi::new(-50.0).unwrap())),
+            )
+            .build()
+    }
+
+    /// Two disconnected communities sharing no MACs.
+    fn two_communities(per_side: u32) -> Vec<SignalSample> {
+        let mut v = Vec::new();
+        for i in 0..per_side {
+            v.push(sample(i, &[1, 2, 3]));
+        }
+        for i in per_side..2 * per_side {
+            v.push(sample(i, &[10, 11, 12]));
+        }
+        v
+    }
+
+    #[test]
+    fn separates_disconnected_communities() {
+        let samples = two_communities(10);
+        let labels = Metis::new().cluster(&samples, 2).unwrap();
+        for i in 0..10 {
+            assert_eq!(labels[i], labels[0]);
+            assert_eq!(labels[10 + i], labels[10]);
+        }
+        assert_ne!(labels[0], labels[10]);
+    }
+
+    #[test]
+    fn produces_k_nonempty_parts() {
+        let samples = two_communities(12);
+        for k in 2..=4 {
+            let labels = Metis::new().seed(3).cluster(&samples, k).unwrap();
+            let mut distinct = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert_eq!(distinct.len(), k, "k={k} labels={labels:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let samples = two_communities(8);
+        let a = Metis::new().seed(5).cluster(&samples, 2).unwrap();
+        let b = Metis::new().seed(5).cluster(&samples, 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let samples = two_communities(3);
+        assert!(Metis::new().cluster(&samples, 0).is_err());
+        assert!(Metis::new().cluster(&samples, 100).is_err());
+    }
+
+    #[test]
+    fn handles_large_enough_graph_to_coarsen() {
+        // 200 samples forces at least one coarsening level. Each sample
+        // hears two overlapping MACs so every community is connected.
+        let mut samples = Vec::new();
+        for i in 0..200u32 {
+            let base = u64::from(i / 100) * 50;
+            samples.push(sample(
+                i,
+                &[base + u64::from(i % 5) + 1, base + u64::from((i + 1) % 5) + 1],
+            ));
+        }
+        let labels = Metis::new().seed(1).cluster(&samples, 2).unwrap();
+        // Communities never share MACs, so the cut should be clean.
+        let first = labels[0];
+        assert!(labels[..100].iter().all(|&l| l == first));
+        assert!(labels[100..].iter().all(|&l| l != first));
+    }
+}

@@ -1,0 +1,18 @@
+//! All-in-one experiment regeneration run as a bench target so
+//! `cargo bench --workspace` reproduces every table and figure of the
+//! paper (reduced scale by default; `FIS_SCALE=full` for paper scale).
+
+fn main() {
+    use fis_bench::experiments as exp;
+    let started = std::time::Instant::now();
+    exp::fig1b();
+    exp::fig7();
+    let rows = exp::build_cache(16);
+    exp::table1(&rows);
+    exp::fig8_fig9(&rows);
+    exp::fig12(&rows);
+    let (dims, max_buildings, repeats) = exp::sweep_sizes();
+    exp::fig10_fig11(&dims, max_buildings);
+    exp::fig14(max_buildings, repeats);
+    println!("\nexperiment suite completed in {:.0?}", started.elapsed());
+}

@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks for every pipeline stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fis_core::indexing::{index_clusters, TspSolver};
+use fis_core::similarity::{adapted_jaccard, plain_jaccard, ClusterMacProfile};
+use fis_gnn::{RfGnn, RfGnnConfig};
+use fis_graph::{cooccurrence_pairs, random_walks, BipartiteGraph, WalkStrategy};
+use fis_synth::BuildingConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_building() -> fis_types::Building {
+    BuildingConfig::new("bench", 4)
+        .samples_per_floor(60)
+        .aps_per_floor(12)
+        .seed(99)
+        .generate()
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let b = bench_building();
+    c.bench_function("graph/from_samples(240)", |bench| {
+        bench.iter(|| BipartiteGraph::from_samples(std::hint::black_box(b.samples())).unwrap())
+    });
+}
+
+fn bench_random_walks(c: &mut Criterion) {
+    let b = bench_building();
+    let graph = BipartiteGraph::from_samples(b.samples()).unwrap();
+    c.bench_function("graph/random_walks(len5)", |bench| {
+        bench.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let walks = random_walks(&graph, &mut rng, 2, 5, WalkStrategy::Weighted);
+            cooccurrence_pairs(&walks, 5)
+        })
+    });
+}
+
+fn bench_gnn_training(c: &mut Criterion) {
+    let b = bench_building();
+    let graph = BipartiteGraph::from_samples(b.samples()).unwrap();
+    let config = RfGnnConfig::new(8)
+        .epochs(1)
+        .walks_per_node(2)
+        .neighbor_samples(vec![5, 3]);
+    let mut group = c.benchmark_group("gnn");
+    group.sample_size(10);
+    group.bench_function("train(1 epoch, dim 8)", |bench| {
+        bench.iter(|| RfGnn::train(&graph, std::hint::black_box(&config)).unwrap())
+    });
+    let model = RfGnn::train(&graph, &config).unwrap();
+    group.bench_function("embed_samples(240)", |bench| {
+        bench.iter(|| model.embed_samples(std::hint::black_box(&graph)))
+    });
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let points: Vec<Vec<f64>> = (0..300)
+        .map(|i| vec![(i % 4) as f64 + (i as f64) * 0.001, (i % 7) as f64])
+        .collect();
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(20);
+    group.bench_function("hierarchical(300, k=4)", |bench| {
+        bench.iter(|| fis_cluster::average_linkage(std::hint::black_box(&points), 4).unwrap())
+    });
+    group.bench_function("kmeans(300, k=4)", |bench| {
+        bench.iter(|| {
+            fis_cluster::kmeans(
+                std::hint::black_box(&points),
+                &fis_cluster::KMeansConfig::new(4).seed(1),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_tsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsp");
+    for &n in &[6usize, 10, 14] {
+        let sim: Vec<Vec<f64>> = (0..n)
+            .map(|i: usize| {
+                (0..n)
+                    .map(|j: usize| if i == j { 1.0 } else { 1.0 / (1.0 + i.abs_diff(j) as f64) })
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("held_karp", n), &sim, |bench, sim| {
+            bench.iter(|| index_clusters(sim, 0, TspSolver::Exact).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("two_opt", n), &sim, |bench, sim| {
+            bench.iter(|| index_clusters(sim, 0, TspSolver::TwoOpt).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let b = bench_building();
+    let truth: Vec<usize> = b.ground_truth().iter().map(|f| f.index()).collect();
+    let profiles = ClusterMacProfile::from_assignment(b.samples(), &truth, b.floors());
+    c.bench_function("similarity/adapted_jaccard", |bench| {
+        bench.iter(|| adapted_jaccard(std::hint::black_box(&profiles[0]), &profiles[1]))
+    });
+    c.bench_function("similarity/plain_jaccard", |bench| {
+        bench.iter(|| plain_jaccard(std::hint::black_box(&profiles[0]), &profiles[1]))
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let pred: Vec<usize> = (0..1000).map(|i| i % 5).collect();
+    let truth: Vec<usize> = (0..1000).map(|i| (i + i / 500) % 5).collect();
+    c.bench_function("metrics/ari(1000)", |bench| {
+        bench.iter(|| fis_metrics::adjusted_rand_index(std::hint::black_box(&pred), &truth))
+    });
+    c.bench_function("metrics/nmi(1000)", |bench| {
+        bench
+            .iter(|| fis_metrics::normalized_mutual_information(std::hint::black_box(&pred), &truth))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_construction,
+    bench_random_walks,
+    bench_gnn_training,
+    bench_clustering,
+    bench_tsp,
+    bench_similarity,
+    bench_metrics
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates Figures 10-11: the embedding-dimension sweep.
+fn main() {
+    let (dims, max_buildings, _) = fis_bench::experiments::sweep_sizes();
+    fis_bench::experiments::fig10_fig11(&dims, max_buildings);
+}

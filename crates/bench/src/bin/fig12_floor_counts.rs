@@ -1,0 +1,5 @@
+//! Regenerates Figure 12: metrics by building floor count.
+fn main() {
+    let rows = fis_bench::experiments::build_cache(16);
+    fis_bench::experiments::fig12(&rows);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 14: bottom vs random-floor labeled sample.
+fn main() {
+    let (_, max_buildings, repeats) = fis_bench::experiments::sweep_sizes();
+    fis_bench::experiments::fig14(max_buildings, repeats);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 1(b): the MAC floor-span histogram.
+fn main() {
+    fis_bench::experiments::fig1b();
+}

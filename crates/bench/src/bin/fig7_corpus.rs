@@ -1,0 +1,4 @@
+//! Regenerates Figure 7: buildings by floor count.
+fn main() {
+    fis_bench::experiments::fig7();
+}

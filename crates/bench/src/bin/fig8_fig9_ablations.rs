@@ -1,0 +1,5 @@
+//! Regenerates Figures 8 and 9: the four ablations.
+fn main() {
+    let rows = fis_bench::experiments::build_cache(16);
+    fis_bench::experiments::fig8_fig9(&rows);
+}

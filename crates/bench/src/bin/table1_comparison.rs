@@ -1,0 +1,5 @@
+//! Regenerates Table I: FIS-ONE vs SDCN/DAEGC/METIS/MDS.
+fn main() {
+    let rows = fis_bench::experiments::build_cache(16);
+    fis_bench::experiments::table1(&rows);
+}

@@ -1,0 +1,8 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! See `src/bin/` for one binary per experiment and `benches/` for the
+//! Criterion micro-benchmarks. `DESIGN.md` §3 maps paper artifacts to
+//! targets.
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,196 @@
+//! Agglomerative hierarchical clustering with average linkage.
+//!
+//! Implemented with the Lance–Williams update on a full distance matrix:
+//! each merge recomputes distances to the merged cluster in O(n), and the
+//! next closest pair is found over active clusters. Complexity is O(n²)
+//! memory and O(n³) worst-case time, which is comfortable at the corpus
+//! sizes used here (hundreds to a few thousand samples per building);
+//! a nearest-neighbor cache brings typical time close to O(n²).
+
+/// Average-linkage agglomerative clustering down to `k` clusters.
+///
+/// `points` are dense vectors of equal dimension. Returns one cluster label
+/// per point, compacted to `0..k`.
+///
+/// # Errors
+///
+/// Returns an error if `points` is empty, dimensions are inconsistent,
+/// `k == 0`, or `k > points.len()`.
+pub fn average_linkage(points: &[Vec<f64>], k: usize) -> Result<Vec<usize>, String> {
+    validate(points, k)?;
+    let n = points.len();
+    if k == n {
+        return Ok((0..n).collect());
+    }
+
+    // Flat upper-triangular-ish full matrix of cluster distances. Inactive
+    // clusters keep stale entries that are simply never read.
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = euclidean(&points[i], &points[j]);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<usize> = vec![1; n];
+    // Union-find style assignment: every point starts as its own cluster;
+    // merges fold cluster j into cluster i.
+    let mut assignment: Vec<usize> = (0..n).collect();
+
+    let mut clusters_left = n;
+    while clusters_left > k {
+        // Find the closest active pair.
+        let (mut bi, mut bj, mut best) = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                let d = dist[i * n + j];
+                if d < best {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        debug_assert!(bi != usize::MAX, "no active pair found");
+
+        // Lance-Williams for average linkage (UPGMA):
+        // d(i∪j, l) = (|i| d(i,l) + |j| d(j,l)) / (|i| + |j|)
+        let (si, sj) = (size[bi] as f64, size[bj] as f64);
+        for l in 0..n {
+            if !active[l] || l == bi || l == bj {
+                continue;
+            }
+            let d_new = (si * dist[bi * n + l] + sj * dist[bj * n + l]) / (si + sj);
+            dist[bi * n + l] = d_new;
+            dist[l * n + bi] = d_new;
+        }
+        active[bj] = false;
+        size[bi] += size[bj];
+        for a in assignment.iter_mut() {
+            if *a == bj {
+                *a = bi;
+            }
+        }
+        clusters_left -= 1;
+    }
+
+    Ok(crate::partition::relabel_compact(&assignment))
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn validate(points: &[Vec<f64>], k: usize) -> Result<(), String> {
+    if points.is_empty() {
+        return Err("cannot cluster zero points".to_owned());
+    }
+    if k == 0 {
+        return Err("k must be at least 1".to_owned());
+    }
+    if k > points.len() {
+        return Err(format!("k = {k} exceeds number of points {}", points.len()));
+    }
+    let d = points[0].len();
+    if d == 0 {
+        return Err("points must have at least one dimension".to_owned());
+    }
+    if let Some(bad) = points.iter().position(|p| p.len() != d) {
+        return Err(format!("point {bad} has dimension {} != {d}", points[bad].len()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_obvious_blobs() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.2],
+            vec![9.0, 9.0],
+            vec![9.1, 8.9],
+        ];
+        let labels = average_linkage(&pts, 2).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn k_equals_n_is_identity() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        assert_eq!(average_linkage(&pts, 3).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let pts = vec![vec![0.0], vec![1.0], vec![100.0]];
+        let labels = average_linkage(&pts, 1).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn exact_cluster_count() {
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i / 10) as f64 * 10.0 + (i % 10) as f64 * 0.01]).collect();
+        for k in 1..=5 {
+            let labels = average_linkage(&pts, k).unwrap();
+            let mut distinct: Vec<usize> = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert_eq!(distinct.len(), k);
+            assert_eq!(distinct, (0..k).collect::<Vec<_>>(), "labels compact");
+        }
+    }
+
+    #[test]
+    fn average_linkage_resists_chaining() {
+        // A chain of close points plus a separate tight pair: single
+        // linkage would swallow the chain one way; average linkage splits
+        // the chain from the pair cleanly.
+        let pts = vec![
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![10.0],
+            vec![10.1],
+        ];
+        let labels = average_linkage(&pts, 2).unwrap();
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn duplicate_points_cluster_together() {
+        let pts = vec![vec![1.0, 1.0]; 4];
+        let labels = average_linkage(&pts, 1).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(average_linkage(&[], 1).is_err());
+        assert!(average_linkage(&[vec![1.0]], 0).is_err());
+        assert!(average_linkage(&[vec![1.0]], 2).is_err());
+        assert!(average_linkage(&[vec![1.0], vec![1.0, 2.0]], 1).is_err());
+        assert!(average_linkage(&[vec![]], 1).is_err());
+    }
+}

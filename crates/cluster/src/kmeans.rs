@@ -1,0 +1,225 @@
+//! K-means clustering (the Figure 8(c,d) ablation).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tol: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Conventional defaults: 100 iterations, tolerance `1e-6`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 100,
+            tol: 1e-6,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Lloyd's algorithm with k-means++ initialization.
+///
+/// Returns one label per point, compacted to `0..k'` where `k' <= k`
+/// (clusters can die when duplicates collapse).
+///
+/// # Errors
+///
+/// Returns an error under the same conditions as
+/// [`crate::hierarchical::average_linkage`]: empty input, inconsistent
+/// dimensions, `k == 0`, or `k > n`.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<Vec<usize>, String> {
+    let k = config.k;
+    if points.is_empty() {
+        return Err("cannot cluster zero points".to_owned());
+    }
+    if k == 0 {
+        return Err("k must be at least 1".to_owned());
+    }
+    if k > points.len() {
+        return Err(format!("k = {k} exceeds number of points {}", points.len()));
+    }
+    let d = points[0].len();
+    if d == 0 || points.iter().any(|p| p.len() != d) {
+        return Err("points must share a positive dimension".to_owned());
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut centroids = plus_plus_init(points, k, &mut rng);
+    let mut labels = vec![0usize; points.len()];
+
+    for _ in 0..config.max_iters {
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            labels[i] = nearest(p, &centroids).0;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &l) in points.iter().zip(labels.iter()) {
+            counts[l] += 1;
+            for (s, &x) in sums[l].iter_mut().zip(p.iter()) {
+                *s += x;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Dead cluster: re-seed at the point farthest from its
+                // centroid to keep k alive when possible.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = dist_sq(a, &centroids[labels_nearest(a, &centroids)]);
+                        let db = dist_sq(b, &centroids[labels_nearest(b, &centroids)]);
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty points");
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            let mut new_c = sums[c].clone();
+            for s in &mut new_c {
+                *s /= counts[c] as f64;
+            }
+            movement += dist_sq(&centroids[c], &new_c).sqrt();
+            centroids[c] = new_c;
+        }
+        if movement < config.tol {
+            break;
+        }
+    }
+    for (i, p) in points.iter().enumerate() {
+        labels[i] = nearest(p, &centroids).0;
+    }
+    Ok(crate::partition::relabel_compact(&labels))
+}
+
+fn labels_nearest(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    nearest(p, centroids).0
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = dist_sq(p, centroid);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+fn plus_plus_init<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| nearest(p, &centroids).1)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids; any choice works.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut x = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                chosen = i;
+                break;
+            }
+            x -= w;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
+            pts.push(vec![10.0 + (i as f64) * 0.01, 10.0]);
+        }
+        let labels = kmeans(&pts, &KMeansConfig::new(2).seed(1)).unwrap();
+        for i in (0..40).step_by(2) {
+            assert_eq!(labels[i], labels[0]);
+            assert_eq!(labels[i + 1], labels[1]);
+        }
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let a = kmeans(&pts, &KMeansConfig::new(3).seed(5)).unwrap();
+        let b = kmeans(&pts, &KMeansConfig::new(3).seed(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_one_puts_everything_together() {
+        let pts = vec![vec![1.0], vec![2.0], vec![50.0]];
+        let labels = kmeans(&pts, &KMeansConfig::new(1)).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash() {
+        let pts = vec![vec![3.0, 3.0]; 10];
+        let labels = kmeans(&pts, &KMeansConfig::new(3).seed(2)).unwrap();
+        assert_eq!(labels.len(), 10);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(kmeans(&[], &KMeansConfig::new(1)).is_err());
+        assert!(kmeans(&[vec![1.0]], &KMeansConfig::new(0)).is_err());
+        assert!(kmeans(&[vec![1.0]], &KMeansConfig::new(2)).is_err());
+        assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], &KMeansConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let pts: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 4) as f64 * 100.0]).collect();
+        let labels = kmeans(&pts, &KMeansConfig::new(4).seed(3)).unwrap();
+        let mut distinct = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct, (0..distinct.len()).collect::<Vec<_>>());
+    }
+}

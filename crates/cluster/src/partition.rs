@@ -1,0 +1,76 @@
+//! Partition utilities shared by the clustering algorithms.
+
+/// Compacts arbitrary cluster labels to `0..k`, preserving first-appearance
+/// order.
+///
+/// # Example
+///
+/// ```
+/// let compact = fis_cluster::relabel_compact(&[7, 7, 2, 9, 2]);
+/// assert_eq!(compact, vec![0, 0, 1, 2, 1]);
+/// ```
+pub fn relabel_compact(labels: &[usize]) -> Vec<usize> {
+    let mut map: Vec<(usize, usize)> = Vec::new();
+    labels
+        .iter()
+        .map(|&l| {
+            if let Some(&(_, new)) = map.iter().find(|&&(old, _)| old == l) {
+                new
+            } else {
+                let new = map.len();
+                map.push((l, new));
+                new
+            }
+        })
+        .collect()
+}
+
+/// Groups item indices by cluster label. Labels must be compact (`0..k`).
+///
+/// # Panics
+///
+/// Panics if a label is `>= k` where `k = max(labels) + 1` inferred from
+/// the data (i.e. never panics on compact labels).
+pub fn cluster_members(labels: &[usize]) -> Vec<Vec<usize>> {
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut members = vec![Vec::new(); k];
+    for (i, &l) in labels.iter().enumerate() {
+        members[l].push(i);
+    }
+    members
+}
+
+/// Sizes of each cluster under compact labels.
+pub fn cluster_sizes(labels: &[usize]) -> Vec<usize> {
+    cluster_members(labels).iter().map(Vec::len).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let labels = [42, 42, 7, 42, 9];
+        let compact = relabel_compact(&labels);
+        assert_eq!(compact, vec![0, 0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn relabel_empty() {
+        assert!(relabel_compact(&[]).is_empty());
+    }
+
+    #[test]
+    fn members_and_sizes() {
+        let labels = [0, 1, 0, 2, 1];
+        let members = cluster_members(&labels);
+        assert_eq!(members, vec![vec![0, 2], vec![1, 4], vec![3]]);
+        assert_eq!(cluster_sizes(&labels), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn members_of_empty() {
+        assert!(cluster_members(&[]).is_empty());
+    }
+}

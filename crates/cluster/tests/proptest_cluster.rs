@@ -1,0 +1,85 @@
+//! Property-based tests for the clustering algorithms.
+
+use fis_cluster::{average_linkage, cluster_sizes, kmeans, relabel_compact, KMeansConfig};
+use proptest::prelude::*;
+
+fn points(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-10.0..10.0f64, d), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hierarchical_yields_exactly_k_compact_clusters(pts in points(12, 3), k in 1usize..6) {
+        let k = k.min(pts.len());
+        let labels = average_linkage(&pts, k).unwrap();
+        prop_assert_eq!(labels.len(), pts.len());
+        let sizes = cluster_sizes(&labels);
+        prop_assert_eq!(sizes.len(), k);
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn hierarchical_is_permutation_stable_for_duplicates(pts in points(6, 2)) {
+        // Appending a duplicate of point 0 must place it with point 0.
+        let mut with_dup = pts.clone();
+        with_dup.push(pts[0].clone());
+        let labels = average_linkage(&with_dup, 2.min(with_dup.len())).unwrap();
+        prop_assert_eq!(labels[0], labels[with_dup.len() - 1]);
+    }
+
+    #[test]
+    fn kmeans_labels_compact_and_complete(pts in points(15, 2), k in 1usize..5) {
+        let k = k.min(pts.len());
+        let labels = kmeans(&pts, &KMeansConfig::new(k).seed(7)).unwrap();
+        prop_assert_eq!(labels.len(), pts.len());
+        let max = labels.iter().copied().max().unwrap_or(0);
+        for l in 0..=max {
+            prop_assert!(labels.contains(&l), "label {l} skipped");
+        }
+    }
+
+    #[test]
+    fn kmeans_respects_well_separated_blobs(offset in 50.0..200.0f64, per in 3usize..8) {
+        let mut pts = Vec::new();
+        for i in 0..per {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+            pts.push(vec![offset + i as f64 * 0.01, 0.0]);
+        }
+        let labels = kmeans(&pts, &KMeansConfig::new(2).seed(3)).unwrap();
+        for i in (0..pts.len()).step_by(2) {
+            prop_assert_eq!(labels[i], labels[0]);
+            prop_assert_eq!(labels[i + 1], labels[1]);
+        }
+        prop_assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn hierarchical_respects_well_separated_blobs(offset in 50.0..200.0f64, per in 3usize..8) {
+        let mut pts = Vec::new();
+        for i in 0..per {
+            pts.push(vec![i as f64 * 0.01]);
+            pts.push(vec![offset + i as f64 * 0.01]);
+        }
+        let labels = average_linkage(&pts, 2).unwrap();
+        for i in (0..pts.len()).step_by(2) {
+            prop_assert_eq!(labels[i], labels[0]);
+            prop_assert_eq!(labels[i + 1], labels[1]);
+        }
+        prop_assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn relabel_compact_is_idempotent(raw in proptest::collection::vec(0usize..20, 0..30)) {
+        let once = relabel_compact(&raw);
+        let twice = relabel_compact(&once);
+        prop_assert_eq!(&once, &twice);
+        // Same partition structure.
+        for i in 0..raw.len() {
+            for j in 0..raw.len() {
+                prop_assert_eq!(raw[i] == raw[j], once[i] == once[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the FIS-ONE pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the FIS-ONE pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FisError {
+    /// The input samples could not form a usable graph.
+    Graph(String),
+    /// RF-GNN training failed (bad config, divergence, empty walks).
+    Training(String),
+    /// Clustering failed (too few samples for the requested floor count).
+    Clustering(String),
+    /// Cluster indexing / TSP solving failed.
+    Indexing(String),
+    /// The labeled anchor was inconsistent with the inputs.
+    Anchor(String),
+    /// Evaluation inputs were inconsistent.
+    Evaluation(String),
+}
+
+impl fmt::Display for FisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FisError::Graph(s) => write!(f, "graph construction failed: {s}"),
+            FisError::Training(s) => write!(f, "rf-gnn training failed: {s}"),
+            FisError::Clustering(s) => write!(f, "signal clustering failed: {s}"),
+            FisError::Indexing(s) => write!(f, "cluster indexing failed: {s}"),
+            FisError::Anchor(s) => write!(f, "invalid labeled anchor: {s}"),
+            FisError::Evaluation(s) => write!(f, "evaluation failed: {s}"),
+        }
+    }
+}
+
+impl Error for FisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_lowercase() {
+        let e = FisError::Graph("x".into());
+        assert!(e.to_string().starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<FisError>();
+    }
+}

@@ -1,0 +1,298 @@
+//! §VI extension: the labeled sample comes from an *arbitrary* floor.
+//!
+//! With no fixed starting cluster, the TSP is solved from every start and
+//! the minimum-cost ordering kept. The anchor's disclosed floor then pins
+//! the orientation: its floor corresponds to two candidate path positions
+//! (one from each end), and the anchor joins whichever candidate cluster
+//! its embedding is closer to (Case 2). When the building has an odd
+//! number of floors and the anchor sits exactly in the middle, both
+//! candidates coincide positionally and the orientation is undecidable
+//! (Case 1) — reported as [`ArbitraryAnchorOutcome::Ambiguous`].
+
+use fis_linalg::Matrix;
+use fis_types::{FloorId, LabeledAnchor, SignalSample};
+
+use crate::error::FisError;
+use crate::indexing::solve_path;
+use crate::pipeline::{FisOne, FloorPrediction};
+use crate::similarity::{similarity_matrix, ClusterMacProfile};
+
+/// Result of arbitrary-anchor identification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArbitraryAnchorOutcome {
+    /// Orientation was determined; per-sample labels are available.
+    Resolved(FloorPrediction),
+    /// Case 1: the anchor is on the middle floor of an odd building, so
+    /// the ordering cannot be oriented. The unoriented cluster order and
+    /// the assignment (anchor excluded, `usize::MAX` in its slot) are
+    /// returned for inspection.
+    Ambiguous {
+        /// Clusters along the optimal (unoriented) path.
+        order: Vec<usize>,
+        /// Cluster per sample; the anchor's slot holds `usize::MAX`.
+        assignment: Vec<usize>,
+    },
+}
+
+/// Runs the §VI pipeline: cluster without the anchor, solve the TSP from
+/// every start, pick the max-similarity ordering, and orient it with the
+/// anchor's disclosed floor.
+///
+/// # Errors
+///
+/// Returns a [`FisError`] if any underlying stage fails or the anchor is
+/// inconsistent with the inputs.
+pub fn identify_with_arbitrary_anchor(
+    fis: &FisOne,
+    samples: &[SignalSample],
+    floors: usize,
+    anchor: LabeledAnchor,
+) -> Result<ArbitraryAnchorOutcome, FisError> {
+    if anchor.sample.index() >= samples.len() {
+        return Err(FisError::Anchor(format!(
+            "anchor sample {} out of bounds ({} samples)",
+            anchor.sample,
+            samples.len()
+        )));
+    }
+    if anchor.floor.index() >= floors {
+        return Err(FisError::Anchor(format!(
+            "anchor floor {} exceeds {floors} floors",
+            anchor.floor
+        )));
+    }
+    if samples.len() < floors + 1 {
+        return Err(FisError::Clustering(format!(
+            "{} samples cannot form {floors} clusters plus a held-out anchor",
+            samples.len()
+        )));
+    }
+
+    // Stage 1-2 on ALL samples (the anchor's representation is obtained,
+    // §VI), then the anchor is withheld from clustering.
+    let embeddings = fis.embed(samples)?;
+    let anchor_idx = anchor.sample.index();
+    let others: Vec<usize> = (0..samples.len()).filter(|&i| i != anchor_idx).collect();
+    let other_embeddings = embeddings.gather_rows(&others);
+    let other_assignment = fis.cluster_embeddings(&other_embeddings, floors)?;
+
+    // Expand to a full-length assignment with the anchor missing.
+    let mut assignment = vec![usize::MAX; samples.len()];
+    for (pos, &orig) in others.iter().enumerate() {
+        assignment[orig] = other_assignment[pos];
+    }
+
+    // Similarity over the anchor-free clusters.
+    let other_samples: Vec<SignalSample> =
+        others.iter().map(|&i| samples[i].clone()).collect();
+    let profiles = ClusterMacProfile::from_assignment(&other_samples, &other_assignment, floors);
+    let sim = similarity_matrix(fis.config().similarity, &profiles);
+
+    // No fixed start: evaluate all starting clusters, keep the cheapest
+    // (= maximum sum of adapted Jaccard coefficients).
+    let mut best: Option<fis_tsp::PathSolution> = None;
+    for start in 0..floors {
+        let sol = solve_path(&sim, start, fis.config().solver)?;
+        if best.as_ref().is_none_or(|b| sol.cost < b.cost) {
+            best = Some(sol);
+        }
+    }
+    let path = best.expect("at least one start");
+
+    // Candidate positions for the anchor's floor, one from each end.
+    let f = anchor.floor.index();
+    let p_forward = f;
+    let p_backward = floors - 1 - f;
+    if p_forward == p_backward {
+        // Case 1: middle floor of an odd building.
+        return Ok(ArbitraryAnchorOutcome::Ambiguous {
+            order: path.order,
+            assignment,
+        });
+    }
+
+    // Case 2: the anchor joins the closer candidate cluster by mean
+    // embedding distance d(r, C_i) = Σ ||r' − r|| / |C_i|.
+    let c_forward = path.order[p_forward];
+    let c_backward = path.order[p_backward];
+    let d_forward = mean_distance(&embeddings, anchor_idx, &assignment, c_forward);
+    let d_backward = mean_distance(&embeddings, anchor_idx, &assignment, c_backward);
+
+    let (anchor_cluster, orientation_forward) = if d_forward <= d_backward {
+        (c_forward, true)
+    } else {
+        (c_backward, false)
+    };
+    assignment[anchor_idx] = anchor_cluster;
+
+    let floor_of_cluster: Vec<usize> = {
+        let mut fc = vec![0usize; floors];
+        for (pos, &cluster) in path.order.iter().enumerate() {
+            fc[cluster] = if orientation_forward {
+                pos
+            } else {
+                floors - 1 - pos
+            };
+        }
+        fc
+    };
+    let order: Vec<usize> = if orientation_forward {
+        path.order
+    } else {
+        path.order.into_iter().rev().collect()
+    };
+    Ok(ArbitraryAnchorOutcome::Resolved(FloorPrediction::new(
+        assignment,
+        order,
+        floor_of_cluster,
+    )))
+}
+
+/// Mean Euclidean distance from the embedding of `target` to the members
+/// of `cluster` (§VI's `d(r, C_i)`), `+inf` for an empty cluster.
+fn mean_distance(
+    embeddings: &Matrix,
+    target: usize,
+    assignment: &[usize],
+    cluster: usize,
+) -> f64 {
+    let r = embeddings.row(target);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (i, &c) in assignment.iter().enumerate() {
+        if c == cluster && i != target {
+            sum += fis_linalg::vec_ops::euclidean(embeddings.row(i), r);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::INFINITY
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Convenience: did the outcome resolve, and if so with which labels?
+impl ArbitraryAnchorOutcome {
+    /// The prediction, if orientation was determined.
+    pub fn prediction(&self) -> Option<&FloorPrediction> {
+        match self {
+            ArbitraryAnchorOutcome::Resolved(p) => Some(p),
+            ArbitraryAnchorOutcome::Ambiguous { .. } => None,
+        }
+    }
+
+    /// Predicted floor labels, if resolved.
+    pub fn labels(&self) -> Option<&[FloorId]> {
+        self.prediction().map(FloorPrediction::labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_gnn::RfGnnConfig;
+    use fis_synth::BuildingConfig;
+    use fis_types::Building;
+
+    use crate::pipeline::FisOneConfig;
+
+    fn quick_pipeline(seed: u64) -> FisOne {
+        let mut config = FisOneConfig::default().seed(seed);
+        config.gnn = RfGnnConfig::new(16)
+            .epochs(10)
+            .walks_per_node(4)
+            .neighbor_samples(vec![8, 4])
+            .seed(seed);
+        FisOne::new(config)
+    }
+
+    fn easy_building(floors: usize, seed: u64) -> Building {
+        BuildingConfig::new("ext", floors)
+            .samples_per_floor(40)
+            .aps_per_floor(10)
+            .atrium_aps(0)
+            .seed(seed)
+            .generate()
+    }
+
+    #[test]
+    fn second_floor_anchor_resolves_four_floor_building() {
+        let b = easy_building(4, 21);
+        let anchor = b.anchor_on(FloorId::from_index(1)).unwrap();
+        let outcome = identify_with_arbitrary_anchor(
+            &quick_pipeline(1),
+            b.samples(),
+            b.floors(),
+            anchor,
+        )
+        .unwrap();
+        let pred = outcome.prediction().expect("case 2 must resolve");
+        let correct = pred
+            .labels()
+            .iter()
+            .zip(b.ground_truth())
+            .filter(|(p, t)| p == t)
+            .count();
+        let acc = correct as f64 / b.len() as f64;
+        assert!(acc > 0.6, "accuracy {acc}");
+        assert_eq!(pred.labels()[anchor.sample.index()], anchor.floor);
+    }
+
+    #[test]
+    fn middle_floor_of_odd_building_is_ambiguous() {
+        let b = easy_building(3, 22);
+        let anchor = b.anchor_on(FloorId::from_index(1)).unwrap();
+        let outcome = identify_with_arbitrary_anchor(
+            &quick_pipeline(2),
+            b.samples(),
+            b.floors(),
+            anchor,
+        )
+        .unwrap();
+        match outcome {
+            ArbitraryAnchorOutcome::Ambiguous { order, assignment } => {
+                assert_eq!(order.len(), 3);
+                assert_eq!(assignment[anchor.sample.index()], usize::MAX);
+            }
+            ArbitraryAnchorOutcome::Resolved(_) => panic!("middle anchor must be ambiguous"),
+        }
+    }
+
+    #[test]
+    fn bottom_anchor_matches_core_pipeline_quality() {
+        let b = easy_building(3, 23);
+        let anchor = b.bottom_anchor().unwrap();
+        let outcome = identify_with_arbitrary_anchor(
+            &quick_pipeline(3),
+            b.samples(),
+            b.floors(),
+            anchor,
+        )
+        .unwrap();
+        let pred = outcome.prediction().expect("bottom anchor resolves");
+        let correct = pred
+            .labels()
+            .iter()
+            .zip(b.ground_truth())
+            .filter(|(p, t)| p == t)
+            .count();
+        assert!(correct as f64 / b.len() as f64 > 0.6);
+    }
+
+    #[test]
+    fn bad_anchor_rejected() {
+        let b = easy_building(3, 24);
+        let bogus = LabeledAnchor {
+            sample: fis_types::SampleId(u32::MAX),
+            floor: FloorId::BOTTOM,
+        };
+        assert!(identify_with_arbitrary_anchor(
+            &quick_pipeline(4),
+            b.samples(),
+            b.floors(),
+            bogus
+        )
+        .is_err());
+    }
+}

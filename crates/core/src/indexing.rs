@@ -1,0 +1,192 @@
+//! Cluster indexing via shortest Hamiltonian paths (§IV-B, Theorem 1).
+//!
+//! Given pairwise cluster similarities, build the complete graph with edge
+//! weights `w_ij = 1 − Jⁿ_ij` and find the minimum-cost Hamiltonian path
+//! starting at the cluster that holds the labeled sample. The visiting
+//! order indexes the clusters with floor numbers.
+
+use fis_tsp::{held_karp_fixed_start, two_opt_fixed_start, CostMatrix, PathSolution};
+
+use crate::error::FisError;
+
+/// Which Hamiltonian-path solver to use (Figure 9(c,d) ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TspSolver {
+    /// Held–Karp exact dynamic programming, `O(N² 2^N)` (default; the
+    /// paper's building heights never exceed 10 floors).
+    #[default]
+    Exact,
+    /// Nearest-neighbor + 2-opt/or-opt local search.
+    TwoOpt,
+}
+
+/// Result of indexing `k` clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterIndexing {
+    /// `floor_of_cluster[c]` = zero-based floor index assigned to cluster `c`.
+    pub floor_of_cluster: Vec<usize>,
+    /// Visiting order: `order[p]` = cluster placed at path position `p`.
+    pub order: Vec<usize>,
+    /// Total path cost `Σ (1 − Jⁿ)` along the order.
+    pub cost: f64,
+}
+
+/// Indexes clusters by solving the shortest Hamiltonian path from
+/// `start_cluster` on the `1 − similarity` graph.
+///
+/// `similarity` must be a `k x k` symmetric matrix with entries in
+/// `[0, 1]`. Position `p` along the optimal path receives floor index `p`
+/// (the start cluster is the bottom floor).
+///
+/// # Errors
+///
+/// Returns [`FisError::Indexing`] if the matrix is malformed, the start is
+/// out of bounds, or the solver fails.
+pub fn index_clusters(
+    similarity: &[Vec<f64>],
+    start_cluster: usize,
+    solver: TspSolver,
+) -> Result<ClusterIndexing, FisError> {
+    let solution = solve_path(similarity, start_cluster, solver)?;
+    let k = similarity.len();
+    let mut floor_of_cluster = vec![0usize; k];
+    for (pos, &cluster) in solution.order.iter().enumerate() {
+        floor_of_cluster[cluster] = pos;
+    }
+    Ok(ClusterIndexing {
+        floor_of_cluster,
+        order: solution.order,
+        cost: solution.cost,
+    })
+}
+
+/// Solves the Hamiltonian path for a given start without converting to
+/// floor indices (used by the §VI all-starts extension).
+///
+/// # Errors
+///
+/// Returns [`FisError::Indexing`] under the same conditions as
+/// [`index_clusters`].
+pub fn solve_path(
+    similarity: &[Vec<f64>],
+    start_cluster: usize,
+    solver: TspSolver,
+) -> Result<PathSolution, FisError> {
+    let cost = cost_matrix(similarity)?;
+    let sol = match solver {
+        TspSolver::Exact => held_karp_fixed_start(&cost, start_cluster),
+        TspSolver::TwoOpt => two_opt_fixed_start(&cost, start_cluster),
+    }
+    .map_err(FisError::Indexing)?;
+    Ok(sol)
+}
+
+/// Builds the validated `1 − similarity` cost matrix.
+///
+/// # Errors
+///
+/// Returns [`FisError::Indexing`] if the matrix is empty, ragged, or has
+/// entries outside `[0, 1]`.
+pub fn cost_matrix(similarity: &[Vec<f64>]) -> Result<CostMatrix, FisError> {
+    let k = similarity.len();
+    if k == 0 {
+        return Err(FisError::Indexing("no clusters to index".to_owned()));
+    }
+    for (i, row) in similarity.iter().enumerate() {
+        if row.len() != k {
+            return Err(FisError::Indexing(format!(
+                "similarity row {i} has length {} != {k}",
+                row.len()
+            )));
+        }
+        for (j, &s) in row.iter().enumerate() {
+            if !s.is_finite() || !(0.0..=1.0).contains(&s) {
+                return Err(FisError::Indexing(format!(
+                    "similarity ({i},{j}) = {s} outside [0, 1]"
+                )));
+            }
+        }
+    }
+    CostMatrix::from_fn(k, |i, j| if i == j { 0.0 } else { 1.0 - similarity[i][j] })
+        .map_err(FisError::Indexing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Similarity of a 4-floor chain: adjacent clusters similar.
+    fn chain_similarity() -> Vec<Vec<f64>> {
+        let decay = |d: usize| match d {
+            0 => 1.0,
+            1 => 0.6,
+            2 => 0.2,
+            _ => 0.05,
+        };
+        (0..4)
+            .map(|i: usize| (0..4).map(|j: usize| decay(i.abs_diff(j))).collect())
+            .collect()
+    }
+
+    #[test]
+    fn chain_recovered_from_bottom() {
+        let idx = index_clusters(&chain_similarity(), 0, TspSolver::Exact).unwrap();
+        assert_eq!(idx.order, vec![0, 1, 2, 3]);
+        assert_eq!(idx.floor_of_cluster, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_recovered_with_two_opt() {
+        let idx = index_clusters(&chain_similarity(), 0, TspSolver::TwoOpt).unwrap();
+        assert_eq!(idx.order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn permuted_clusters_still_ordered() {
+        // Clusters labeled in scrambled order: cluster 2 is the bottom
+        // floor, then 0, 3, 1.
+        let true_pos = [1usize, 3, 0, 2]; // cluster c sits at physical level true_pos[c]
+        let decay = |d: usize| 1.0 / (1.0 + d as f64 * 2.0);
+        let sim: Vec<Vec<f64>> = (0..4)
+            .map(|i: usize| {
+                (0..4)
+                    .map(|j: usize| {
+                        if i == j {
+                            1.0
+                        } else {
+                            decay(true_pos[i].abs_diff(true_pos[j]))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let idx = index_clusters(&sim, 2, TspSolver::Exact).unwrap();
+        assert_eq!(idx.order, vec![2, 0, 3, 1]);
+        // floor_of_cluster inverts the order.
+        assert_eq!(idx.floor_of_cluster, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn single_cluster_trivial() {
+        let idx = index_clusters(&[vec![1.0]], 0, TspSolver::Exact).unwrap();
+        assert_eq!(idx.order, vec![0]);
+        assert_eq!(idx.floor_of_cluster, vec![0]);
+        assert_eq!(idx.cost, 0.0);
+    }
+
+    #[test]
+    fn rejects_malformed_similarity() {
+        assert!(index_clusters(&[], 0, TspSolver::Exact).is_err());
+        assert!(index_clusters(&[vec![1.0, 0.5]], 0, TspSolver::Exact).is_err());
+        assert!(index_clusters(&[vec![1.0, 2.0], vec![2.0, 1.0]], 0, TspSolver::Exact).is_err());
+        assert!(index_clusters(&chain_similarity(), 9, TspSolver::Exact).is_err());
+    }
+
+    #[test]
+    fn exact_cost_never_exceeds_two_opt() {
+        let sim = chain_similarity();
+        let exact = index_clusters(&sim, 0, TspSolver::Exact).unwrap();
+        let approx = index_clusters(&sim, 0, TspSolver::TwoOpt).unwrap();
+        assert!(exact.cost <= approx.cost + 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! FIS-ONE: floor identification with one labeled sample.
+//!
+//! This crate assembles the full pipeline of the paper (Figure 2):
+//!
+//! 1. **Graph construction** — crowdsourced samples become a weighted
+//!    bipartite graph (`fis-graph`).
+//! 2. **RF-GNN** — attention-based representation learning (`fis-gnn`).
+//! 3. **Signal clustering** — average-linkage hierarchical clustering of
+//!    the sample embeddings into as many clusters as floors
+//!    (`fis-cluster`, §IV-A).
+//! 4. **Cluster indexing** — the signal-spillover similarity between
+//!    clusters ([`similarity`], §IV-B eqs. 1–3) feeds a shortest
+//!    Hamiltonian path problem ([`indexing`], Theorem 1) anchored at the
+//!    cluster holding the single labeled sample.
+//!
+//! The §VI extension for an anchor on an arbitrary floor lives in
+//! [`extension`], and [`evaluate`] scores predictions with ARI / NMI /
+//! Jaro–Winkler edit distance against ground truth.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use fis_core::{FisOne, FisOneConfig};
+//! # fn building() -> fis_types::Building { unimplemented!() }
+//!
+//! let building = building();
+//! let anchor = building.bottom_anchor().expect("bottom floor sampled");
+//! let prediction = FisOne::new(FisOneConfig::default())
+//!     .identify(building.samples(), building.floors(), anchor)?;
+//! println!("first sample is on {}", prediction.labels()[0]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod error;
+pub mod evaluate;
+pub mod extension;
+pub mod indexing;
+pub mod pipeline;
+pub mod similarity;
+
+pub use error::FisError;
+pub use evaluate::{evaluate_building, EvalResult};
+pub use extension::{ArbitraryAnchorOutcome, identify_with_arbitrary_anchor};
+pub use indexing::{index_clusters, ClusterIndexing, TspSolver};
+pub use pipeline::{ClusteringMethod, FisOne, FisOneConfig, FloorPrediction};
+pub use similarity::{ClusterMacProfile, SimilarityMethod};

@@ -1,0 +1,299 @@
+//! Spillover-based similarity between floor clusters (§IV-B, eqs. 1–3).
+//!
+//! The paper measures how strongly two clusters "hear each other" through
+//! the signal spillover effect. Plain Jaccard over detected MAC sets
+//! ignores coverage; the *adapted* Jaccard weighs each MAC by its
+//! appearance frequency in each cluster:
+//!
+//! ```text
+//! f_share_ij = Σ_k f_ik · f_jk                                  (1)
+//! f_diff_ij  = Σ_k ( 1{f_ik=0} f_jk f̄_i + 1{f_jk=0} f_ik f̄_j ) (2)
+//! Jⁿ_ij      = f_share_ij / (f_share_ij + f_diff_ij)            (3)
+//! ```
+//!
+//! where `f_ik` counts samples of cluster `i` that detect MAC `k` and
+//! `f̄_i` is the mean frequency over the `m` MACs detected in the two
+//! clusters.
+
+use std::collections::BTreeMap;
+
+use fis_types::{MacAddr, SignalSample};
+
+/// Which cluster-similarity measure to use (Figure 9(a,b) ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimilarityMethod {
+    /// The paper's adapted Jaccard coefficient (default).
+    #[default]
+    AdaptedJaccard,
+    /// Plain Jaccard over detected MAC sets.
+    PlainJaccard,
+}
+
+/// MAC appearance frequencies for one cluster of signal samples.
+///
+/// `frequency(mac)` is the number of samples in the cluster that detect
+/// `mac` — the paper's `f_ik`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterMacProfile {
+    freq: BTreeMap<MacAddr, usize>,
+    n_samples: usize,
+}
+
+impl ClusterMacProfile {
+    /// Builds the profile of one cluster from its member samples.
+    pub fn from_members<'a>(members: impl IntoIterator<Item = &'a SignalSample>) -> Self {
+        let mut freq = BTreeMap::new();
+        let mut n_samples = 0;
+        for sample in members {
+            n_samples += 1;
+            for (mac, _) in sample.iter() {
+                *freq.entry(mac).or_insert(0) += 1;
+            }
+        }
+        Self { freq, n_samples }
+    }
+
+    /// Builds one profile per cluster from a compact assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != samples.len()` or a label is `>= k`.
+    pub fn from_assignment(
+        samples: &[SignalSample],
+        assignment: &[usize],
+        k: usize,
+    ) -> Vec<Self> {
+        assert_eq!(samples.len(), assignment.len(), "assignment length mismatch");
+        let mut profiles = vec![Self::default(); k];
+        for (sample, &cluster) in samples.iter().zip(assignment.iter()) {
+            assert!(cluster < k, "cluster label {cluster} out of range");
+            profiles[cluster].n_samples += 1;
+            for (mac, _) in sample.iter() {
+                *profiles[cluster].freq.entry(mac).or_insert(0) += 1;
+            }
+        }
+        profiles
+    }
+
+    /// Appearance frequency `f_ik` of a MAC in this cluster.
+    pub fn frequency(&self, mac: MacAddr) -> usize {
+        self.freq.get(&mac).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct MACs detected in the cluster.
+    pub fn n_macs(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// Number of samples in the cluster.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Iterates over `(mac, frequency)` pairs in MAC order.
+    pub fn iter(&self) -> impl Iterator<Item = (MacAddr, usize)> + '_ {
+        self.freq.iter().map(|(&m, &f)| (m, f))
+    }
+}
+
+/// The adapted Jaccard similarity `Jⁿ_ij` (eq. 3) between two clusters.
+///
+/// Returns a value in `[0, 1]`; `0` when the clusters share no MAC, and
+/// defined as `0` when both clusters are empty.
+pub fn adapted_jaccard(a: &ClusterMacProfile, b: &ClusterMacProfile) -> f64 {
+    // Union of MACs detected in the two clusters = the paper's m MACs.
+    let macs: Vec<MacAddr> = union_macs(a, b);
+    let m = macs.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let fa_bar: f64 = macs.iter().map(|&k| a.frequency(k) as f64).sum::<f64>() / m as f64;
+    let fb_bar: f64 = macs.iter().map(|&k| b.frequency(k) as f64).sum::<f64>() / m as f64;
+    let mut share = 0.0;
+    let mut diff = 0.0;
+    for &k in &macs {
+        let fik = a.frequency(k) as f64;
+        let fjk = b.frequency(k) as f64;
+        share += fik * fjk;
+        if fik == 0.0 {
+            diff += fjk * fa_bar;
+        }
+        if fjk == 0.0 {
+            diff += fik * fb_bar;
+        }
+    }
+    if share + diff == 0.0 {
+        0.0
+    } else {
+        share / (share + diff)
+    }
+}
+
+/// Plain Jaccard `|A_i ∩ A_j| / |A_i ∪ A_j|` over detected MAC sets.
+///
+/// Defined as `0` when both clusters are empty.
+pub fn plain_jaccard(a: &ClusterMacProfile, b: &ClusterMacProfile) -> f64 {
+    let union = union_macs(a, b);
+    if union.is_empty() {
+        return 0.0;
+    }
+    let inter = union
+        .iter()
+        .filter(|&&k| a.frequency(k) > 0 && b.frequency(k) > 0)
+        .count();
+    inter as f64 / union.len() as f64
+}
+
+/// Similarity dispatch on [`SimilarityMethod`].
+pub fn cluster_similarity(
+    method: SimilarityMethod,
+    a: &ClusterMacProfile,
+    b: &ClusterMacProfile,
+) -> f64 {
+    match method {
+        SimilarityMethod::AdaptedJaccard => adapted_jaccard(a, b),
+        SimilarityMethod::PlainJaccard => plain_jaccard(a, b),
+    }
+}
+
+/// Full pairwise similarity matrix over cluster profiles.
+pub fn similarity_matrix(method: SimilarityMethod, profiles: &[ClusterMacProfile]) -> Vec<Vec<f64>> {
+    let k = profiles.len();
+    let mut m = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        m[i][i] = 1.0;
+        for j in (i + 1)..k {
+            let s = cluster_similarity(method, &profiles[i], &profiles[j]);
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    m
+}
+
+fn union_macs(a: &ClusterMacProfile, b: &ClusterMacProfile) -> Vec<MacAddr> {
+    let mut macs: Vec<MacAddr> = a.iter().map(|(m, _)| m).collect();
+    macs.extend(b.iter().map(|(m, _)| m));
+    macs.sort_unstable();
+    macs.dedup();
+    macs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_types::Rssi;
+
+    fn sample(id: u32, macs: &[u64]) -> SignalSample {
+        SignalSample::builder(id)
+            .readings(
+                macs.iter()
+                    .map(|&m| (MacAddr::from_u64(m), Rssi::new(-50.0).unwrap())),
+            )
+            .build()
+    }
+
+    fn profile(samples: &[SignalSample]) -> ClusterMacProfile {
+        ClusterMacProfile::from_members(samples.iter())
+    }
+
+    #[test]
+    fn profile_counts_frequencies() {
+        let p = profile(&[sample(0, &[1, 2]), sample(1, &[1])]);
+        assert_eq!(p.frequency(MacAddr::from_u64(1)), 2);
+        assert_eq!(p.frequency(MacAddr::from_u64(2)), 1);
+        assert_eq!(p.frequency(MacAddr::from_u64(3)), 0);
+        assert_eq!(p.n_macs(), 2);
+        assert_eq!(p.n_samples(), 2);
+    }
+
+    #[test]
+    fn from_assignment_groups_correctly() {
+        let samples = vec![sample(0, &[1]), sample(1, &[2]), sample(2, &[1])];
+        let profiles = ClusterMacProfile::from_assignment(&samples, &[0, 1, 0], 2);
+        assert_eq!(profiles[0].frequency(MacAddr::from_u64(1)), 2);
+        assert_eq!(profiles[1].frequency(MacAddr::from_u64(2)), 1);
+    }
+
+    #[test]
+    fn identical_clusters_score_one() {
+        let a = profile(&[sample(0, &[1, 2, 3])]);
+        let b = profile(&[sample(0, &[1, 2, 3])]);
+        assert!((adapted_jaccard(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((plain_jaccard(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_clusters_score_zero() {
+        let a = profile(&[sample(0, &[1, 2])]);
+        let b = profile(&[sample(0, &[3, 4])]);
+        assert_eq!(adapted_jaccard(&a, &b), 0.0);
+        assert_eq!(plain_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_clusters_score_zero() {
+        let e = ClusterMacProfile::default();
+        assert_eq!(adapted_jaccard(&e, &e), 0.0);
+        assert_eq!(plain_jaccard(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn adapted_jaccard_in_unit_interval_and_symmetric() {
+        let a = profile(&[sample(0, &[1, 2]), sample(1, &[2, 3])]);
+        let b = profile(&[sample(0, &[2, 4]), sample(1, &[4, 5])]);
+        let ab = adapted_jaccard(&a, &b);
+        let ba = adapted_jaccard(&b, &a);
+        assert!((0.0..=1.0).contains(&ab));
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_matters_for_adapted_but_not_plain() {
+        // Shared MAC 1 heard by many samples in both clusters versus by one
+        // sample each: plain Jaccard identical, adapted higher for wide
+        // coverage.
+        let wide_a = profile(&(0..10).map(|i| sample(i, &[1, 2])).collect::<Vec<_>>());
+        let wide_b = profile(&(0..10).map(|i| sample(i, &[1, 3])).collect::<Vec<_>>());
+        let narrow_a = profile(&{
+            let mut v = vec![sample(0, &[1, 2])];
+            v.extend((1..10).map(|i| sample(i, &[2])));
+            v
+        });
+        let narrow_b = profile(&{
+            let mut v = vec![sample(0, &[1, 3])];
+            v.extend((1..10).map(|i| sample(i, &[3])));
+            v
+        });
+        assert_eq!(
+            plain_jaccard(&wide_a, &wide_b),
+            plain_jaccard(&narrow_a, &narrow_b)
+        );
+        assert!(adapted_jaccard(&wide_a, &wide_b) > adapted_jaccard(&narrow_a, &narrow_b));
+    }
+
+    #[test]
+    fn similarity_matrix_is_symmetric_with_unit_diagonal() {
+        let profiles = vec![
+            profile(&[sample(0, &[1, 2])]),
+            profile(&[sample(0, &[2, 3])]),
+            profile(&[sample(0, &[3, 4])]),
+        ];
+        let m = similarity_matrix(SimilarityMethod::AdaptedJaccard, &profiles);
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+        // Adjacent overlap beats no overlap.
+        assert!(m[0][1] > m[0][2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_assignment_validates_labels() {
+        let samples = vec![sample(0, &[1])];
+        let _ = ClusterMacProfile::from_assignment(&samples, &[3], 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the spillover similarity and cluster indexing.
+
+use fis_core::indexing::{index_clusters, TspSolver};
+use fis_core::similarity::{
+    adapted_jaccard, plain_jaccard, similarity_matrix, ClusterMacProfile,
+};
+use fis_core::SimilarityMethod;
+use fis_types::{MacAddr, Rssi, SignalSample};
+use proptest::prelude::*;
+
+fn cluster(mac_sets: Vec<Vec<u64>>) -> ClusterMacProfile {
+    let samples: Vec<SignalSample> = mac_sets
+        .into_iter()
+        .enumerate()
+        .map(|(i, macs)| {
+            SignalSample::builder(i as u32)
+                .readings(
+                    macs.into_iter()
+                        .map(|m| (MacAddr::from_u64(m), Rssi::new(-60.0).unwrap())),
+                )
+                .build()
+        })
+        .collect();
+    ClusterMacProfile::from_members(samples.iter())
+}
+
+fn mac_sets() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(1u64..12, 1..6), 1..8)
+}
+
+proptest! {
+    #[test]
+    fn adapted_jaccard_bounded_and_symmetric(a in mac_sets(), b in mac_sets()) {
+        let pa = cluster(a);
+        let pb = cluster(b);
+        let ab = adapted_jaccard(&pa, &pb);
+        let ba = adapted_jaccard(&pb, &pa);
+        prop_assert!((0.0..=1.0).contains(&ab), "ab={ab}");
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plain_jaccard_bounded_and_symmetric(a in mac_sets(), b in mac_sets()) {
+        let pa = cluster(a);
+        let pb = cluster(b);
+        let ab = plain_jaccard(&pa, &pb);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - plain_jaccard(&pb, &pa)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_similarity_is_one_for_nonempty(a in mac_sets()) {
+        let p = cluster(a);
+        prop_assert!((adapted_jaccard(&p, &p) - 1.0).abs() < 1e-12);
+        prop_assert!((plain_jaccard(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_iff_disjoint(a in mac_sets()) {
+        let pa = cluster(a.clone());
+        // Shift MACs out of range to guarantee disjointness.
+        let shifted: Vec<Vec<u64>> = a.iter().map(|s| s.iter().map(|m| m + 1000).collect()).collect();
+        let pb = cluster(shifted);
+        prop_assert_eq!(adapted_jaccard(&pa, &pb), 0.0);
+        prop_assert_eq!(plain_jaccard(&pa, &pb), 0.0);
+    }
+
+    /// A chain of clusters with geometrically decaying similarity must be
+    /// indexed in chain order from either end.
+    #[test]
+    fn indexing_recovers_chains(k in 3usize..8, decay in 1.5..4.0f64) {
+        let sim: Vec<Vec<f64>> = (0..k)
+            .map(|i: usize| {
+                (0..k)
+                    .map(|j: usize| {
+                        if i == j { 1.0 } else { 1.0 / decay.powi(i.abs_diff(j) as i32) }
+                    })
+                    .collect()
+            })
+            .collect();
+        for solver in [TspSolver::Exact, TspSolver::TwoOpt] {
+            let idx = index_clusters(&sim, 0, solver).unwrap();
+            prop_assert_eq!(&idx.order, &(0..k).collect::<Vec<_>>(), "{:?}", solver);
+        }
+    }
+
+    #[test]
+    fn similarity_matrix_consistent_with_pairwise(a in mac_sets(), b in mac_sets(), c in mac_sets()) {
+        let profiles = vec![cluster(a), cluster(b), cluster(c)];
+        let m = similarity_matrix(SimilarityMethod::AdaptedJaccard, &profiles);
+        for i in 0..3 {
+            prop_assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                prop_assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+                if i != j {
+                    let expect = adapted_jaccard(&profiles[i], &profiles[j]);
+                    prop_assert!((m[i][j] - expect).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

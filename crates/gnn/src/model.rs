@@ -1,0 +1,214 @@
+//! The RF-GNN encoder: K-hop sampled, RSS-attention-weighted aggregation.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fis_autograd::{Tape, Var};
+use fis_graph::BipartiteGraph;
+use fis_linalg::{init, Matrix};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::RfGnnConfig;
+
+/// A trained RF-GNN encoder.
+///
+/// Holds the learned initial node features `r^0` and the per-hop weight
+/// matrices `W_k`. Because the encoder is *inductive* (it aggregates
+/// sampled neighborhoods at inference time), it can embed nodes of a graph
+/// that grew after training — the paper's motivation for choosing a GNN
+/// over static embedding methods.
+#[derive(Debug, Clone)]
+pub struct RfGnn {
+    pub(crate) config: RfGnnConfig,
+    pub(crate) features: Matrix,
+    pub(crate) weights: Vec<Matrix>,
+}
+
+/// Leaf variables for one forward/backward pass.
+pub(crate) struct ModelVars {
+    pub features: Var,
+    pub weights: Vec<Var>,
+}
+
+impl RfGnn {
+    /// Initializes an untrained model for `graph` (used by the trainer).
+    pub(crate) fn init(graph: &BipartiteGraph, config: &RfGnnConfig) -> Self {
+        let d = config.dim;
+        let features =
+            init::uniform_matrix(graph.n_nodes(), d, -0.5, 0.5, config.seed ^ 0xFEED);
+        let weights = (0..config.hops)
+            .map(|k| init::xavier_uniform(2 * d, d, config.seed ^ (0xBEEF + k as u64)))
+            .collect();
+        Self {
+            config: config.clone(),
+            features,
+            weights,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &RfGnnConfig {
+        &self.config
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Registers the model parameters as tape leaves.
+    pub(crate) fn leaves(&self, tape: &mut Tape) -> ModelVars {
+        ModelVars {
+            features: tape.leaf(self.features.clone()),
+            weights: self.weights.iter().map(|w| tape.leaf(w.clone())).collect(),
+        }
+    }
+
+    /// K-hop forward pass for `nodes`, returning their `(|nodes| x dim)`
+    /// representation variable on `tape`.
+    pub(crate) fn forward<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape,
+        graph: &BipartiteGraph,
+        rng: &mut R,
+        vars: &ModelVars,
+        nodes: &[usize],
+    ) -> Var {
+        self.layer(tape, graph, rng, vars, nodes, self.config.hops)
+    }
+
+    /// Recursive layer computation. `depth` counts remaining hops; depth 0
+    /// reads the raw features `r^0`.
+    fn layer<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape,
+        graph: &BipartiteGraph,
+        rng: &mut R,
+        vars: &ModelVars,
+        nodes: &[usize],
+        depth: usize,
+    ) -> Var {
+        if depth == 0 {
+            return tape.gather_rows(vars.features, Rc::new(nodes.to_vec()));
+        }
+        let hop_index = self.config.hops - depth; // 0 = outermost sampling
+        let sample_size = self.config.neighbor_samples[hop_index];
+
+        // The child node list starts with the nodes themselves (for the
+        // CONCAT self-representation) and extends with sampled neighbors,
+        // deduplicated so the recursion stays bounded by the graph size.
+        let mut child_list: Vec<usize> = nodes.to_vec();
+        let mut child_index: HashMap<usize, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut groups: Vec<Vec<(usize, f64)>> = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            let sampled = self.sample_neighbors(graph, rng, node, sample_size);
+            let total: f64 = sampled.iter().map(|&(_, w)| w).sum();
+            let mut group = Vec::with_capacity(sampled.len());
+            for (nbr, w) in sampled {
+                let idx = *child_index.entry(nbr).or_insert_with(|| {
+                    child_list.push(nbr);
+                    child_list.len() - 1
+                });
+                group.push((idx, w / total));
+            }
+            groups.push(group);
+        }
+
+        let child_reps = self.layer(tape, graph, rng, vars, &child_list, depth - 1);
+        // Nodes occupy the first positions of child_list by construction.
+        let self_idx: Vec<usize> = (0..nodes.len()).collect();
+        let self_reps = tape.gather_rows(child_reps, Rc::new(self_idx));
+        let agg = tape.aggregate(child_reps, Rc::new(groups));
+        let cat = tape.hcat(self_reps, agg);
+        let lin = tape.matmul(cat, vars.weights[hop_index]);
+        // σ(·) on the inner hops only. The outermost hop (hop_index 0) stays
+        // linear before normalization: with a ReLU there, embeddings would be
+        // confined to the non-negative orthant, negative-pair dot products
+        // could never go below zero, and the τ = 4 negative terms would pull
+        // every embedding toward mutual orthogonality — a degenerate optimum
+        // with no floor structure (standard GraphSAGE practice).
+        let act = if hop_index == 0 { lin } else { tape.relu(lin) };
+        tape.l2_normalize_rows(act)
+    }
+
+    /// Draws `k` neighbors with replacement together with normalization
+    /// weights. With attention on, both the draw probability and the
+    /// aggregation weight are proportional to `f(RSS)`; the ablation draws
+    /// uniformly and aggregates with equal weights (mean aggregator).
+    ///
+    /// Isolated nodes contribute a single zero-weight self-loop so the
+    /// aggregate is a zero vector rather than a panic.
+    fn sample_neighbors<R: Rng + ?Sized>(
+        &self,
+        graph: &BipartiteGraph,
+        rng: &mut R,
+        node: usize,
+        k: usize,
+    ) -> Vec<(usize, f64)> {
+        let nbrs = graph.neighbors(node);
+        if nbrs.is_empty() {
+            return vec![(node, 1.0)];
+        }
+        if self.config.attention {
+            let total: f64 = nbrs.iter().map(|&(_, w)| w).sum();
+            (0..k)
+                .map(|_| {
+                    let mut x = rng.gen_range(0.0..total);
+                    for &(n, w) in nbrs {
+                        if x < w {
+                            return (n, w);
+                        }
+                        x -= w;
+                    }
+                    *nbrs.last().expect("non-empty")
+                })
+                .collect()
+        } else {
+            (0..k)
+                .map(|_| {
+                    let (n, _) = nbrs[rng.gen_range(0..nbrs.len())];
+                    (n, 1.0)
+                })
+                .collect()
+        }
+    }
+
+    /// Embeds every *sample* node of `graph`, one row per sample, in the
+    /// dense sample-id order. Deterministic for a fixed model and config
+    /// seed.
+    pub fn embed_samples(&self, graph: &BipartiteGraph) -> Matrix {
+        self.embed_nodes(graph, &(0..graph.n_samples()).collect::<Vec<_>>())
+    }
+
+    /// Embeds an arbitrary set of unified node indices (samples or MACs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds for `graph`.
+    pub fn embed_nodes(&self, graph: &BipartiteGraph, nodes: &[usize]) -> Matrix {
+        for &n in nodes {
+            assert!(n < graph.n_nodes(), "node {n} out of bounds");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x1AFE1D);
+        let mut out = Matrix::zeros(nodes.len(), self.config.dim);
+        // Average several stochastic neighborhood samples, then project
+        // back onto the unit sphere; this shrinks the sampling variance of
+        // the final representations.
+        for _pass in 0..self.config.inference_passes {
+            for (chunk_start, chunk) in nodes.chunks(512).enumerate().map(|(i, c)| (i * 512, c)) {
+                let mut tape = Tape::new();
+                let vars = self.leaves(&mut tape);
+                let reps = self.forward(&mut tape, graph, &mut rng, &vars, chunk);
+                let values = tape.value(reps);
+                for (i, _) in chunk.iter().enumerate() {
+                    fis_linalg::vec_ops::axpy(out.row_mut(chunk_start + i), 1.0, values.row(i));
+                }
+            }
+        }
+        out.scale(1.0 / self.config.inference_passes as f64)
+            .l2_normalize_rows()
+    }
+}

@@ -1,0 +1,155 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+
+use rand::Rng;
+
+/// Preprocessed discrete distribution supporting O(1) weighted draws.
+///
+/// Construction is O(n); each draw costs one uniform index plus one
+/// Bernoulli test. Used for RSS-proportional neighbor sampling and the
+/// degree-biased negative sampler, both of which draw millions of times per
+/// training run.
+///
+/// # Example
+///
+/// ```
+/// use fis_graph::AliasTable;
+/// use rand::SeedableRng;
+///
+/// let table = AliasTable::new(&[1.0, 3.0])?;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let draw = table.sample(&mut rng);
+/// assert!(draw < 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `weights` is empty, contains a negative
+    /// or non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, String> {
+        if weights.is_empty() {
+            return Err("alias table needs at least one weight".to_owned());
+        }
+        if let Some(w) = weights.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return Err(format!("invalid weight {w}"));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err("weights sum to zero".to_owned());
+        }
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index with probability proportional to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_target_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let freq = empirical(&weights, 200_000, 1);
+        let total: f64 = weights.iter().sum();
+        for (f, w) in freq.iter().zip(weights.iter()) {
+            let expect = w / total;
+            assert!((f - expect).abs() < 0.01, "freq={f} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_drawn() {
+        let freq = empirical(&[0.0, 1.0, 0.0], 50_000, 2);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+        assert_eq!(freq[1], 1.0);
+    }
+
+    #[test]
+    fn single_category_always_drawn() {
+        let freq = empirical(&[42.0], 100, 3);
+        assert_eq!(freq[0], 1.0);
+    }
+
+    #[test]
+    fn heavily_skewed_distribution() {
+        let freq = empirical(&[1.0, 9999.0], 100_000, 4);
+        assert!(freq[1] > 0.999, "freq={freq:?}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[-1.0]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+    }
+}

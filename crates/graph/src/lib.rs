@@ -1,0 +1,43 @@
+//! Weighted bipartite graphs over crowdsourced RF signals.
+//!
+//! Implements §III-A of the FIS-ONE paper: crowdsourced RF signal samples
+//! and the MAC addresses they hear form a weighted bipartite graph
+//! `G = (U, V, E)` with edge weights `w_uv = f(RSS_uv) = RSS_uv + c`.
+//! This representation sidesteps the missing-value problem of the dense
+//! matrix encoding (Figure 3).
+//!
+//! Provided here:
+//!
+//! - [`BipartiteGraph`]: interned MAC/sample nodes in a unified index space
+//!   with adjacency lists carrying positive weights.
+//! - [`alias::AliasTable`]: Walker's O(1) weighted sampler, used both for
+//!   RSS-proportional neighbor sampling and the `d^{3/4}` negative-sampling
+//!   distribution.
+//! - [`walk`]: weighted/uniform random walks of length 5 and co-occurrence
+//!   pair extraction for the unsupervised loss.
+//! - [`neg`]: the negative sampler `Pr(z) ∝ d_z^{3/4}`.
+//!
+//! # Example
+//!
+//! ```
+//! use fis_graph::BipartiteGraph;
+//! use fis_types::{MacAddr, Rssi, SignalSample};
+//!
+//! let s = SignalSample::builder(0)
+//!     .reading(MacAddr::from_u64(1), Rssi::new(-60.0)?)
+//!     .build();
+//! let g = BipartiteGraph::from_samples(&[s])?;
+//! assert_eq!(g.n_samples(), 1);
+//! assert_eq!(g.n_macs(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod alias;
+pub mod bipartite;
+pub mod neg;
+pub mod walk;
+
+pub use alias::AliasTable;
+pub use bipartite::{BipartiteGraph, GraphError, NodeKind};
+pub use neg::NegativeSampler;
+pub use walk::{cooccurrence_pairs, random_walks, WalkStrategy};

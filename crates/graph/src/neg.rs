@@ -1,0 +1,153 @@
+//! Degree-biased negative sampling.
+//!
+//! The unsupervised loss draws τ negative nodes per positive pair from
+//! `Pr(z) ∝ d_z^{3/4}` (§III-B, following word2vec/LINE). Isolated nodes
+//! (degree 0) are never drawn.
+
+use rand::Rng;
+
+use crate::alias::AliasTable;
+use crate::bipartite::BipartiteGraph;
+
+/// Sampler over graph nodes with probability proportional to `degree^{3/4}`.
+///
+/// # Example
+///
+/// ```
+/// use fis_graph::{BipartiteGraph, NegativeSampler};
+/// use fis_types::{MacAddr, Rssi, SignalSample};
+/// use rand::SeedableRng;
+///
+/// let s = SignalSample::builder(0)
+///     .reading(MacAddr::from_u64(1), Rssi::new(-60.0)?)
+///     .build();
+/// let g = BipartiteGraph::from_samples(&[s])?;
+/// let sampler = NegativeSampler::new(&g)?;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// assert!(sampler.sample(&mut rng) < g.n_nodes());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    table: AliasTable,
+}
+
+impl NegativeSampler {
+    /// Builds the sampler from a graph's degree sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if every node is isolated (no edges at all).
+    pub fn new(graph: &BipartiteGraph) -> Result<Self, String> {
+        let weights: Vec<f64> = graph
+            .degrees()
+            .iter()
+            .map(|&d| (d as f64).powf(0.75))
+            .collect();
+        let table = AliasTable::new(&weights)?;
+        Ok(Self { table })
+    }
+
+    /// Draws one node index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng)
+    }
+
+    /// Draws `tau` node indices, excluding any that appear in `forbidden`
+    /// (retrying a bounded number of times before accepting a collision, so
+    /// the call always terminates even on tiny graphs).
+    pub fn sample_excluding<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        tau: usize,
+        forbidden: &[usize],
+    ) -> Vec<usize> {
+        (0..tau)
+            .map(|_| {
+                for _ in 0..16 {
+                    let z = self.table.sample(rng);
+                    if !forbidden.contains(&z) {
+                        return z;
+                    }
+                }
+                self.table.sample(rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_types::{MacAddr, Rssi, SignalSample};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn star_graph() -> BipartiteGraph {
+        // m1 heard by 4 samples; m2 heard by 1.
+        let r = Rssi::new(-50.0).unwrap();
+        let samples: Vec<SignalSample> = (0..4)
+            .map(|i| {
+                let mut b = SignalSample::builder(i).reading(MacAddr::from_u64(1), r);
+                if i == 0 {
+                    b = b.reading(MacAddr::from_u64(2), r);
+                }
+                b.build()
+            })
+            .collect();
+        BipartiteGraph::from_samples(&samples).unwrap()
+    }
+
+    #[test]
+    fn hub_drawn_more_often_with_sublinear_bias() {
+        let g = star_graph();
+        let sampler = NegativeSampler::new(&g).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 100_000;
+        let mut counts = vec![0usize; g.n_nodes()];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let hub = g.mac_node(0); // degree 4
+        let leaf = g.mac_node(1); // degree 1
+        let ratio = counts[hub] as f64 / counts[leaf] as f64;
+        // 4^{3/4} / 1 = 2.828..., well below the linear ratio of 4.
+        assert!((ratio - 4f64.powf(0.75)).abs() < 0.3, "ratio={ratio}");
+    }
+
+    #[test]
+    fn isolated_nodes_never_sampled() {
+        let r = Rssi::new(-50.0).unwrap();
+        let samples = vec![
+            SignalSample::builder(0).reading(MacAddr::from_u64(1), r).build(),
+            SignalSample::builder(1).build(), // isolated
+        ];
+        let g = BipartiteGraph::from_samples(&samples).unwrap();
+        let sampler = NegativeSampler::new(&g).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(sampler.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn all_isolated_is_an_error() {
+        let samples = vec![SignalSample::builder(0).build()];
+        let g = BipartiteGraph::from_samples(&samples).unwrap();
+        assert!(NegativeSampler::new(&g).is_err());
+    }
+
+    #[test]
+    fn sample_excluding_avoids_forbidden() {
+        let g = star_graph();
+        let sampler = NegativeSampler::new(&g).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let hub = g.mac_node(0);
+        for _ in 0..100 {
+            let draws = sampler.sample_excluding(&mut rng, 4, &[hub]);
+            assert_eq!(draws.len(), 4);
+            // hub is extremely likely; exclusion must keep it out.
+            assert!(draws.iter().all(|&z| z != hub));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Random walks and co-occurrence pair extraction.
+//!
+//! The unsupervised RF-GNN objective (§III-B) follows GraphSAGE: generate
+//! many short random walks (length 5) and treat nodes that co-occur in the
+//! same walk as positive pairs.
+
+use rand::Rng;
+
+use crate::bipartite::BipartiteGraph;
+
+/// How the walker chooses the next hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalkStrategy {
+    /// Transition probability proportional to edge weight `f(RSS)` —
+    /// consistent with the paper's attention principle.
+    #[default]
+    Weighted,
+    /// Uniform over neighbors (no-attention ablation).
+    Uniform,
+}
+
+/// Generates `walks_per_node` random walks of `length` steps starting from
+/// every node of the graph.
+///
+/// Walks stop early at isolated nodes (a walk from an isolated node is just
+/// the node itself). Output is deterministic given the RNG state.
+pub fn random_walks<R: Rng + ?Sized>(
+    graph: &BipartiteGraph,
+    rng: &mut R,
+    walks_per_node: usize,
+    length: usize,
+    strategy: WalkStrategy,
+) -> Vec<Vec<usize>> {
+    let mut walks = Vec::with_capacity(graph.n_nodes() * walks_per_node);
+    for start in 0..graph.n_nodes() {
+        for _ in 0..walks_per_node {
+            let mut walk = Vec::with_capacity(length + 1);
+            walk.push(start);
+            let mut current = start;
+            for _ in 0..length {
+                let next = match strategy {
+                    WalkStrategy::Weighted => {
+                        graph.sample_neighbors_weighted(rng, current, 1)
+                    }
+                    WalkStrategy::Uniform => graph.sample_neighbors_uniform(rng, current, 1),
+                };
+                match next.first() {
+                    Some(&n) => {
+                        walk.push(n);
+                        current = n;
+                    }
+                    None => break,
+                }
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+/// Extracts positive co-occurrence pairs `(i, j)` from walks: every ordered
+/// pair of distinct nodes within `window` steps of each other.
+///
+/// With the paper's walk length of 5 and `window >= 5`, this yields "nodes
+/// that appear in the same random walk" exactly.
+pub fn cooccurrence_pairs(walks: &[Vec<usize>], window: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for walk in walks {
+        for (i, &a) in walk.iter().enumerate() {
+            let hi = (i + window + 1).min(walk.len());
+            for &b in &walk[i + 1..hi] {
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_types::{MacAddr, Rssi, SignalSample};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn line_graph() -> BipartiteGraph {
+        // s0 - m0 - s1 - m1 - s2 (a path through the bipartite structure)
+        let r = Rssi::new(-50.0).unwrap();
+        let m = MacAddr::from_u64;
+        let samples = vec![
+            SignalSample::builder(0).reading(m(1), r).build(),
+            SignalSample::builder(1).reading(m(1), r).reading(m(2), r).build(),
+            SignalSample::builder(2).reading(m(2), r).build(),
+        ];
+        BipartiteGraph::from_samples(&samples).unwrap()
+    }
+
+    #[test]
+    fn walks_have_expected_count_and_length() {
+        let g = line_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let walks = random_walks(&g, &mut rng, 3, 5, WalkStrategy::Weighted);
+        assert_eq!(walks.len(), g.n_nodes() * 3);
+        assert!(walks.iter().all(|w| w.len() == 6));
+        // Every hop must be a real edge.
+        for w in &walks {
+            for pair in w.windows(2) {
+                assert!(g.neighbors(pair[0]).iter().any(|&(n, _)| n == pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn walks_alternate_bipartition_sides() {
+        let g = line_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let walks = random_walks(&g, &mut rng, 2, 4, WalkStrategy::Uniform);
+        for w in &walks {
+            for pair in w.windows(2) {
+                let a_is_sample = pair[0] < g.n_samples();
+                let b_is_sample = pair[1] < g.n_samples();
+                assert_ne!(a_is_sample, b_is_sample, "bipartite walks must alternate");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_walk_is_singleton() {
+        let s0 = SignalSample::builder(0).build();
+        let g = BipartiteGraph::from_samples(&[s0]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let walks = random_walks(&g, &mut rng, 2, 5, WalkStrategy::Weighted);
+        assert!(walks.iter().all(|w| w == &vec![0]));
+    }
+
+    #[test]
+    fn cooccurrence_respects_window() {
+        let walks = vec![vec![0, 1, 2, 3]];
+        let pairs = cooccurrence_pairs(&walks, 1);
+        assert_eq!(pairs, vec![(0, 1), (1, 2), (2, 3)]);
+        let pairs2 = cooccurrence_pairs(&walks, 3);
+        assert_eq!(pairs2.len(), 6);
+    }
+
+    #[test]
+    fn cooccurrence_skips_self_pairs() {
+        let walks = vec![vec![0, 1, 0]];
+        let pairs = cooccurrence_pairs(&walks, 5);
+        assert!(pairs.iter().all(|&(a, b)| a != b));
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn weighted_walks_prefer_strong_edges() {
+        // s0 hears m1 strongly (-40) and m2 weakly (-90).
+        let r_strong = Rssi::new(-40.0).unwrap();
+        let r_weak = Rssi::new(-90.0).unwrap();
+        let samples = vec![SignalSample::builder(0)
+            .reading(MacAddr::from_u64(1), r_strong)
+            .reading(MacAddr::from_u64(2), r_weak)
+            .build()];
+        let g = BipartiteGraph::from_samples(&samples).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let walks = random_walks(&g, &mut rng, 3000, 1, WalkStrategy::Weighted);
+        let from_s0: Vec<&Vec<usize>> = walks.iter().filter(|w| w[0] == 0).collect();
+        let strong_node = g.mac_node(g.mac_id(MacAddr::from_u64(1)).unwrap());
+        let frac = from_s0.iter().filter(|w| w[1] == strong_node).count() as f64
+            / from_s0.len() as f64;
+        // Weight ratio 80:30 -> ~0.727
+        assert!((frac - 80.0 / 110.0).abs() < 0.05, "frac={frac}");
+    }
+}

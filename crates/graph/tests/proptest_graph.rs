@@ -1,0 +1,106 @@
+//! Property-based tests for the bipartite graph layer.
+
+use fis_graph::{cooccurrence_pairs, random_walks, AliasTable, BipartiteGraph, WalkStrategy};
+use fis_types::{MacAddr, Rssi, SignalSample};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Random sample set: each sample hears a nonempty subset of `macs` MACs.
+fn sample_set(max_samples: usize, macs: u64) -> impl Strategy<Value = Vec<SignalSample>> {
+    proptest::collection::vec(
+        proptest::collection::vec((1..=macs, -110.0..-30.0f64), 1..8),
+        1..max_samples,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, readings)| {
+                SignalSample::builder(i as u32)
+                    .readings(
+                        readings
+                            .into_iter()
+                            .map(|(m, r)| (MacAddr::from_u64(m), Rssi::new(r).unwrap())),
+                    )
+                    .build()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn graph_adjacency_is_symmetric_with_positive_weights(samples in sample_set(12, 6)) {
+        let g = BipartiteGraph::from_samples(&samples).unwrap();
+        prop_assert_eq!(g.n_samples(), samples.len());
+        for u in 0..g.n_nodes() {
+            for &(v, w) in g.neighbors(u) {
+                prop_assert!(w > 0.0, "non-positive weight {w}");
+                prop_assert!(g.neighbors(v).iter().any(|&(b, bw)| b == u && bw == w));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_total_readings(samples in sample_set(12, 6)) {
+        let g = BipartiteGraph::from_samples(&samples).unwrap();
+        let readings: usize = samples.iter().map(SignalSample::len).sum();
+        prop_assert_eq!(g.n_edges(), readings);
+    }
+
+    #[test]
+    fn walks_traverse_only_real_edges(samples in sample_set(10, 5), seed in 0u64..100) {
+        let g = BipartiteGraph::from_samples(&samples).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let walks = random_walks(&g, &mut rng, 2, 5, WalkStrategy::Weighted);
+        for walk in &walks {
+            for hop in walk.windows(2) {
+                prop_assert!(g.neighbors(hop[0]).iter().any(|&(v, _)| v == hop[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn cooccurrence_pairs_are_within_window(walks_len in 2usize..8, window in 1usize..6) {
+        let walk: Vec<usize> = (0..walks_len).collect();
+        let pairs = cooccurrence_pairs(&[walk.clone()], window);
+        for (a, b) in pairs {
+            let pa = walk.iter().position(|&x| x == a).unwrap();
+            let pb = walk.iter().position(|&x| x == b).unwrap();
+            prop_assert!(pb > pa && pb - pa <= window);
+        }
+    }
+
+    #[test]
+    fn components_partition_the_graph(samples in sample_set(12, 6)) {
+        let g = BipartiteGraph::from_samples(&samples).unwrap();
+        let comps = g.components();
+        prop_assert_eq!(comps.len(), g.n_nodes());
+        // Connected nodes share a component id.
+        for u in 0..g.n_nodes() {
+            for &(v, _) in g.neighbors(u) {
+                prop_assert_eq!(comps[u], comps[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn alias_table_distribution_converges(weights in proptest::collection::vec(0.1..10.0f64, 2..6)) {
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let draws = 40_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (c, w) in counts.iter().zip(weights.iter()) {
+            let observed = *c as f64 / draws as f64;
+            let expected = w / total;
+            prop_assert!((observed - expected).abs() < 0.03,
+                "observed {observed:.3} vs expected {expected:.3}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Classical multidimensional scaling (the paper's MDS baseline, §V-A) needs
+//! the top eigenpairs of the double-centered distance-squared matrix. The
+//! matrices involved are small (`n x n` with `n` = number of signal samples
+//! in a building, and the baseline subsamples), so the robust-but-cubic
+//! Jacobi rotation method is the right tool: it is simple, numerically
+//! stable, and produces orthonormal eigenvectors.
+
+use crate::Matrix;
+
+/// Result of a symmetric eigendecomposition.
+///
+/// `values[k]` corresponds to the eigenvector stored in column `k` of
+/// `vectors`; pairs are sorted by descending eigenvalue.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Column `k` is the unit eigenvector for `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenpairs of a symmetric matrix with the cyclic Jacobi
+/// method.
+///
+/// Off-diagonal elements are annihilated in sweeps until the off-diagonal
+/// Frobenius norm falls below `tol * ||A||_F` or `max_sweeps` is reached.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square. Symmetry is assumed, not checked; the
+/// strictly lower triangle is read as the mirror of the upper.
+///
+/// # Example
+///
+/// ```
+/// use fis_linalg::{Matrix, symmetric_eigen};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = symmetric_eigen(&a, 1e-12, 50);
+/// assert!((e.values[0] - 3.0).abs() < 1e-9);
+/// assert!((e.values[1] - 1.0).abs() < 1e-9);
+/// ```
+pub fn symmetric_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Eigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "symmetric_eigen requires a square matrix");
+    // Work on a symmetrized copy so tiny asymmetries from distance
+    // computations cannot break convergence.
+    let mut m = Matrix::from_fn(n, n, |r, c| 0.5 * (a[(r, c)] + a[(c, r)]));
+    let mut v = Matrix::identity(n);
+    if n <= 1 {
+        return finish(m, v);
+    }
+    let fro = m.frobenius_norm().max(1e-300);
+
+    for _ in 0..max_sweeps {
+        let off: f64 = {
+            let mut s = 0.0;
+            for r in 0..n {
+                for c in (r + 1)..n {
+                    s += m[(r, c)] * m[(r, c)];
+                }
+            }
+            (2.0 * s).sqrt()
+        };
+        if off <= tol * fro {
+            break;
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Stable computation of the rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation J(p, q, theta) on both sides: A <- J^T A J.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate the eigenvector rotation: V <- V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    finish(m, v)
+}
+
+fn finish(m: Matrix, v: Matrix) -> Eigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("NaN eigenvalue"));
+    let values = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    Eigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut rng = SplitMix64::new(seed);
+        let raw = Matrix::from_fn(n, n, |_, _| rng.uniform(-1.0, 1.0));
+        Matrix::from_fn(n, n, |r, c| 0.5 * (raw[(r, c)] + raw[(c, r)]))
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 2.0]]);
+        let e = symmetric_eigen(&a, 1e-12, 50);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_of_random_symmetric() {
+        let a = random_symmetric(8, 11);
+        let e = symmetric_eigen(&a, 1e-14, 100);
+        // A == V diag(lambda) V^T
+        let n = a.rows();
+        let mut recon = Matrix::zeros(n, n);
+        for k in 0..n {
+            for r in 0..n {
+                for c in 0..n {
+                    recon[(r, c)] += e.values[k] * e.vectors[(r, k)] * e.vectors[(c, k)];
+                }
+            }
+        }
+        assert!(a.max_abs_diff(&recon) < 1e-8, "diff={}", a.max_abs_diff(&recon));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_symmetric(6, 22);
+        let e = symmetric_eigen(&a, 1e-14, 100);
+        let vtv = e.vectors.t_matmul(&e.vectors);
+        assert!(vtv.max_abs_diff(&Matrix::identity(6)) < 1e-9);
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let a = random_symmetric(10, 33);
+        let e = symmetric_eigen(&a, 1e-12, 100);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let e = symmetric_eigen(&Matrix::from_rows(&[&[5.0]]), 1e-12, 10);
+        assert_eq!(e.values, vec![5.0]);
+        let e0 = symmetric_eigen(&Matrix::zeros(0, 0), 1e-12, 10);
+        assert!(e0.values.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let _ = symmetric_eigen(&Matrix::zeros(2, 3), 1e-12, 10);
+    }
+}

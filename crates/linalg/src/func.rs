@@ -1,0 +1,137 @@
+//! Numerically stable scalar and slice-level nonlinearities.
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, stable for large `|x|`.
+///
+/// # Example
+///
+/// ```
+/// let y = fis_linalg::func::sigmoid(0.0);
+/// assert!((y - 0.5).abs() < 1e-12);
+/// ```
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// `log(sigmoid(x))` computed without overflow or catastrophic cancellation.
+///
+/// Used by the negative-sampling loss `−log σ(r_i·r_j)`.
+pub fn log_sigmoid(x: f64) -> f64 {
+    // log σ(x) = -log(1 + e^{-x}) = -softplus(-x)
+    -softplus(-x)
+}
+
+/// Softplus `log(1 + e^x)`, stable for large `|x|`.
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Rectified linear unit.
+pub fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// Derivative of [`relu`]; by convention `relu'(0) = 0`.
+pub fn relu_grad(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Log-sum-exp of a slice, stable under large magnitudes.
+///
+/// Returns negative infinity for an empty slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Softmax of a slice, stable under large magnitudes.
+///
+/// Returns an empty vector for an empty slice.
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let lse = log_sum_exp(xs);
+    xs.iter().map(|x| (x - lse).exp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_extremes() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0) > 0.0 || sigmoid(-1000.0) == 0.0);
+    }
+
+    #[test]
+    fn log_sigmoid_matches_naive_in_safe_range() {
+        for &x in &[-5.0, -1.0, 0.0, 1.0, 5.0] {
+            let naive = sigmoid(x).ln();
+            assert!((log_sigmoid(x) - naive).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn log_sigmoid_no_overflow() {
+        assert!(log_sigmoid(-800.0).is_finite());
+        assert!((log_sigmoid(-800.0) + 800.0).abs() < 1e-9);
+        assert!(log_sigmoid(800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softplus_limits() {
+        assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(softplus(100.0), 100.0);
+        assert!(softplus(-100.0) > 0.0);
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(3.0), 3.0);
+        assert_eq!(relu_grad(-2.0), 0.0);
+        assert_eq!(relu_grad(0.0), 0.0);
+        assert_eq!(relu_grad(3.0), 1.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let q = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (a, b) in p.iter().zip(q.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn log_sum_exp_known_and_empty() {
+        assert!((log_sum_exp(&[0.0, 0.0]) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert!((log_sum_exp(&[1000.0, 1000.0]) - (1000.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+    }
+}

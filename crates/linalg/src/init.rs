@@ -1,0 +1,74 @@
+//! Deterministic weight initialization schemes.
+
+use crate::{Matrix, SplitMix64};
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Appropriate for layers followed by symmetric activations (sigmoid/tanh)
+/// and the convention used for the RF-GNN weight matrices `W_k`.
+///
+/// # Example
+///
+/// ```
+/// let w = fis_linalg::init::xavier_uniform(4, 8, 42);
+/// assert_eq!(w.shape(), (4, 8));
+/// ```
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.uniform(-a, a))
+}
+
+/// He/Kaiming normal initialization: `N(0, 2/fan_in)`.
+///
+/// Appropriate for ReLU-activated layers (the SDCN/DAEGC autoencoders).
+pub fn he_normal(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.normal() * std)
+}
+
+/// Uniform random matrix in `[lo, hi)`, used for the random initial node
+/// representations `r^0_i` of RF-GNN (§III-B: "We set r0_i to a random
+/// vector").
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform_matrix(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Matrix {
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let w = xavier_uniform(10, 20, 1);
+        let a = (6.0f64 / 30.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn xavier_deterministic() {
+        assert_eq!(xavier_uniform(3, 3, 9), xavier_uniform(3, 3, 9));
+        assert_ne!(xavier_uniform(3, 3, 9), xavier_uniform(3, 3, 10));
+    }
+
+    #[test]
+    fn he_normal_scale_reasonable() {
+        let w = he_normal(100, 50, 2);
+        let std = (w.as_slice().iter().map(|x| x * x).sum::<f64>() / w.len() as f64).sqrt();
+        let expect = (2.0f64 / 100.0).sqrt();
+        assert!((std - expect).abs() / expect < 0.2, "std={std} expect={expect}");
+    }
+
+    #[test]
+    fn uniform_matrix_bounds() {
+        let m = uniform_matrix(5, 5, -0.5, 0.5, 3);
+        assert!(m.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+}

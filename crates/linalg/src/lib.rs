@@ -1,0 +1,33 @@
+//! Dense linear algebra kernels for the FIS-ONE reproduction.
+//!
+//! This crate provides the small, dependency-free numerical substrate used by
+//! the rest of the workspace: a row-major dense [`Matrix`], vector helpers
+//! ([`vec_ops`]), numerically stable scalar functions ([`func`]), a symmetric
+//! eigendecomposition ([`eigen`]) used by classical multidimensional scaling,
+//! and deterministic weight initialization ([`init`]).
+//!
+//! Everything operates on `f64`. Matrices are deliberately simple (no
+//! expression templates, no BLAS): the models trained in this workspace are
+//! tiny (two-layer GNN encoders, small autoencoders) and clarity wins.
+//!
+//! # Example
+//!
+//! ```
+//! use fis_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+pub mod eigen;
+pub mod func;
+pub mod init;
+pub mod matrix;
+pub mod rng;
+pub mod vec_ops;
+
+pub use eigen::{symmetric_eigen, Eigen};
+pub use matrix::Matrix;
+pub use rng::SplitMix64;

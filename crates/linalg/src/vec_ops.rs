@@ -1,0 +1,207 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! These helpers are used pervasively by the clustering and metric crates
+//! where embedding vectors are plain slices rather than [`crate::Matrix`]
+//! rows.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// ℓ2 norm of a slice.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Squared Euclidean distance (avoids the final `sqrt`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean_sq length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// Cosine similarity in `[-1, 1]`; returns `0.0` when either vector is
+/// (numerically) zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+/// Cosine distance `1 - cosine_similarity`, in `[0, 2]`.
+///
+/// This is the pairwise distance the paper feeds to MDS (§V-A).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// `out += alpha * x`, element-wise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(out: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(out.len(), x.len(), "axpy length mismatch");
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o += alpha * v;
+    }
+}
+
+/// Scales a slice in place.
+pub fn scale(v: &mut [f64], s: f64) {
+    for x in v {
+        *x *= s;
+    }
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for slices shorter than 2.
+pub fn std_dev(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+/// Index of the maximum element; `None` for an empty slice. Ties resolve to
+/// the first maximum.
+pub fn argmax(v: &[f64]) -> Option<usize> {
+    if v.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate().skip(1) {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Index of the minimum element; `None` for an empty slice. Ties resolve to
+/// the first minimum.
+pub fn argmin(v: &[f64]) -> Option<usize> {
+    if v.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate().skip(1) {
+        if x < v[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Normalizes a non-negative weight vector into a probability distribution.
+///
+/// Returns `None` if the sum is not positive and finite.
+pub fn normalize_probs(weights: &[f64]) -> Option<Vec<f64>> {
+    let total: f64 = weights.iter().sum();
+    if !(total.is_finite() && total > 0.0) {
+        return None;
+    }
+    Some(weights.iter().map(|w| w / total).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_norm_euclidean_known_values() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(euclidean_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn cosine_identical_and_orthogonal() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 5.0]).abs() < 1e-12);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_scale_mean_std() {
+        let mut out = vec![1.0, 1.0];
+        axpy(&mut out, 2.0, &[1.0, 2.0]);
+        assert_eq!(out, vec![3.0, 5.0]);
+        scale(&mut out, 0.5);
+        assert_eq!(out, vec![1.5, 2.5]);
+        assert_eq!(mean(&out), 2.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_argmin_ties_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[2.0, -1.0, -1.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn normalize_probs_valid_and_invalid() {
+        let p = normalize_probs(&[1.0, 3.0]).unwrap();
+        assert!((p[0] - 0.25).abs() < 1e-12);
+        assert!((p[1] - 0.75).abs() < 1e-12);
+        assert!(normalize_probs(&[0.0, 0.0]).is_none());
+        assert!(normalize_probs(&[f64::INFINITY]).is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use fis_linalg::func::{log_sigmoid, sigmoid, softmax};
+use fis_linalg::vec_ops::{cosine_similarity, dot, euclidean, norm};
+use fis_linalg::{symmetric_eigen, Matrix};
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    -100.0..100.0f64
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(small_f64(), rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        // Relative tolerance: entries can reach ~1e6.
+        prop_assert!(left.max_abs_diff(&right) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 3)) {
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(left.max_abs_diff(&right) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-8);
+    }
+
+    #[test]
+    fn l2_normalized_rows_have_unit_or_zero_norm(a in matrix(4, 6)) {
+        let n = a.l2_normalize_rows();
+        for nr in n.row_norms() {
+            prop_assert!((nr - 1.0).abs() < 1e-9 || nr < 1e-9);
+        }
+    }
+
+    #[test]
+    fn l2_normalize_idempotent(a in matrix(4, 3)) {
+        let once = a.l2_normalize_rows();
+        let twice = once.l2_normalize_rows();
+        prop_assert!(once.max_abs_diff(&twice) < 1e-9);
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(v in proptest::collection::vec(small_f64(), 8),
+                          w in proptest::collection::vec(small_f64(), 8)) {
+        prop_assert!(dot(&v, &w).abs() <= norm(&v) * norm(&w) + 1e-6);
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(a in proptest::collection::vec(small_f64(), 5),
+                                     b in proptest::collection::vec(small_f64(), 5),
+                                     c in proptest::collection::vec(small_f64(), 5)) {
+        prop_assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn cosine_in_range(a in proptest::collection::vec(small_f64(), 6),
+                       b in proptest::collection::vec(small_f64(), 6)) {
+        let s = cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(x in -50.0..50.0f64, d in 0.001..10.0f64) {
+        prop_assert!((0.0..=1.0).contains(&sigmoid(x)));
+        prop_assert!(sigmoid(x + d) >= sigmoid(x));
+    }
+
+    #[test]
+    fn log_sigmoid_nonpositive(x in -700.0..700.0f64) {
+        prop_assert!(log_sigmoid(x) <= 1e-12);
+        prop_assert!(log_sigmoid(x).is_finite());
+    }
+
+    #[test]
+    fn softmax_is_distribution(xs in proptest::collection::vec(-50.0..50.0f64, 1..10)) {
+        let p = softmax(&xs);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn eigen_trace_preserved(v in proptest::collection::vec(-5.0..5.0f64, 16)) {
+        let raw = Matrix::from_vec(4, 4, v);
+        let a = Matrix::from_fn(4, 4, |r, c| 0.5 * (raw[(r, c)] + raw[(c, r)]));
+        let e = symmetric_eigen(&a, 1e-12, 100);
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,97 @@
+//! Adjusted Rand Index.
+
+use crate::contingency::ContingencyTable;
+
+fn choose2(n: usize) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index between a predicted and a ground-truth labeling.
+///
+/// `ARI = (Σ C(n_ij,2) − E) / (max − E)` with
+/// `E = Σ C(|X_i|,2) Σ C(|Y_j|,2) / C(n,2)` — Rand (1971) with the
+/// Hubert–Arabie chance correction, exactly the formula in §V-A.
+///
+/// Returns 1.0 for identical partitions (including the degenerate case
+/// where both sides put everything in one cluster), values near 0 for
+/// random labelings, and can be negative for adversarial ones.
+///
+/// # Errors
+///
+/// Returns an error if the slices differ in length or are empty.
+///
+/// # Example
+///
+/// ```
+/// let ari = fis_metrics::adjusted_rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0])?;
+/// assert!((ari - 1.0).abs() < 1e-12); // permutation-invariant
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn adjusted_rand_index(predicted: &[usize], truth: &[usize]) -> Result<f64, String> {
+    let t = ContingencyTable::new(predicted, truth)?;
+    let sum_cells: f64 = t.cells().map(|(_, _, c)| choose2(c)).sum();
+    let sum_rows: f64 = (0..t.n_predicted()).map(|i| choose2(t.row_sum(i))).sum();
+    let sum_cols: f64 = (0..t.n_true()).map(|j| choose2(t.col_sum(j))).sum();
+    let pairs = choose2(t.total());
+    if pairs == 0.0 {
+        // A single item: both partitions are trivially identical.
+        return Ok(1.0);
+    }
+    let expected = sum_rows * sum_cols / pairs;
+    let max = 0.5 * (sum_rows + sum_cols);
+    let denom = max - expected;
+    if denom.abs() < 1e-12 {
+        // Both partitions are all-singletons or single-cluster: identical
+        // structure, define ARI = 1.
+        return Ok(1.0);
+    }
+    Ok((sum_cells - expected) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let ari = adjusted_rand_index(&[0, 0, 1, 1, 2], &[0, 0, 1, 1, 2]).unwrap();
+        assert!((ari - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_invariant() {
+        let a = adjusted_rand_index(&[0, 0, 1, 1], &[2, 2, 7, 7]).unwrap();
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_sklearn_value() {
+        // sklearn.metrics.adjusted_rand_score([0,0,1,2], [0,0,1,1]) = 0.5714285714285715
+        let ari = adjusted_rand_index(&[0, 0, 1, 2], &[0, 0, 1, 1]).unwrap();
+        assert!((ari - 0.571_428_571_428_571_5).abs() < 1e-12, "ari={ari}");
+    }
+
+    #[test]
+    fn single_cluster_both_sides() {
+        let ari = adjusted_rand_index(&[0, 0, 0], &[5, 5, 5]).unwrap();
+        assert!((ari - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adversarial_can_be_negative() {
+        // sklearn: adjusted_rand_score([0,1,0,1], [0,0,1,1]) = -0.5
+        let ari = adjusted_rand_index(&[0, 1, 0, 1], &[0, 0, 1, 1]).unwrap();
+        assert!((ari + 0.5).abs() < 1e-12, "ari={ari}");
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(adjusted_rand_index(&[0], &[0, 1]).is_err());
+        assert!(adjusted_rand_index(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn single_item_is_one() {
+        assert_eq!(adjusted_rand_index(&[3], &[9]).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Contingency tables between two labelings.
+
+/// Cross-tabulation of two labelings of the same items.
+///
+/// Entry `(i, j)` counts items with predicted label `i` and true label `j`
+/// (`n_ij = |X_i ∩ Y_j|` in the paper's notation).
+///
+/// # Example
+///
+/// ```
+/// use fis_metrics::ContingencyTable;
+///
+/// let t = ContingencyTable::new(&[0, 0, 1], &[1, 1, 0])?;
+/// assert_eq!(t.total(), 3);
+/// assert_eq!(t.count(0, 1), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContingencyTable {
+    counts: Vec<Vec<usize>>,
+    row_sums: Vec<usize>,
+    col_sums: Vec<usize>,
+    total: usize,
+}
+
+impl ContingencyTable {
+    /// Builds the table from parallel label slices. Labels may be any
+    /// `usize` values; they are compacted internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slices have different lengths or are empty.
+    pub fn new(predicted: &[usize], truth: &[usize]) -> Result<Self, String> {
+        if predicted.len() != truth.len() {
+            return Err(format!(
+                "label slices differ in length: {} vs {}",
+                predicted.len(),
+                truth.len()
+            ));
+        }
+        if predicted.is_empty() {
+            return Err("cannot build a contingency table from zero items".to_owned());
+        }
+        let compact = |labels: &[usize]| -> (Vec<usize>, usize) {
+            let mut sorted: Vec<usize> = labels.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let mapped = labels
+                .iter()
+                .map(|l| sorted.binary_search(l).expect("label present"))
+                .collect();
+            (mapped, sorted.len())
+        };
+        let (pred, n_pred) = compact(predicted);
+        let (tru, n_true) = compact(truth);
+        let mut counts = vec![vec![0usize; n_true]; n_pred];
+        for (&p, &t) in pred.iter().zip(tru.iter()) {
+            counts[p][t] += 1;
+        }
+        let row_sums: Vec<usize> = counts.iter().map(|r| r.iter().sum()).collect();
+        let col_sums: Vec<usize> =
+            (0..n_true).map(|j| counts.iter().map(|r| r[j]).sum()).collect();
+        Ok(Self {
+            counts,
+            row_sums,
+            col_sums,
+            total: predicted.len(),
+        })
+    }
+
+    /// Number of distinct predicted labels.
+    pub fn n_predicted(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of distinct true labels.
+    pub fn n_true(&self) -> usize {
+        self.col_sums.len()
+    }
+
+    /// Count of items in predicted cluster `i` and true cluster `j`.
+    pub fn count(&self, i: usize, j: usize) -> usize {
+        self.counts[i][j]
+    }
+
+    /// Size of predicted cluster `i`.
+    pub fn row_sum(&self, i: usize) -> usize {
+        self.row_sums[i]
+    }
+
+    /// Size of true cluster `j`.
+    pub fn col_sum(&self, j: usize) -> usize {
+        self.col_sums[j]
+    }
+
+    /// Total number of items.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Iterates over all `(i, j, count)` cells.
+    pub fn cells(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().enumerate().map(move |(j, &c)| (i, j, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compacts_sparse_labels() {
+        let t = ContingencyTable::new(&[10, 10, 99], &[5, 7, 7]).unwrap();
+        assert_eq!(t.n_predicted(), 2);
+        assert_eq!(t.n_true(), 2);
+        assert_eq!(t.count(0, 0), 1); // label 10 ∩ label 5
+        assert_eq!(t.count(0, 1), 1);
+        assert_eq!(t.count(1, 1), 1);
+    }
+
+    #[test]
+    fn sums_are_consistent() {
+        let t = ContingencyTable::new(&[0, 0, 1, 1, 1], &[0, 1, 0, 1, 1]).unwrap();
+        assert_eq!(t.total(), 5);
+        assert_eq!((0..t.n_predicted()).map(|i| t.row_sum(i)).sum::<usize>(), 5);
+        assert_eq!((0..t.n_true()).map(|j| t.col_sum(j)).sum::<usize>(), 5);
+        let cell_total: usize = t.cells().map(|(_, _, c)| c).sum();
+        assert_eq!(cell_total, 5);
+    }
+
+    #[test]
+    fn rejects_mismatched_or_empty() {
+        assert!(ContingencyTable::new(&[0], &[]).is_err());
+        assert!(ContingencyTable::new(&[], &[]).is_err());
+    }
+}

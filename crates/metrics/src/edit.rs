@@ -1,0 +1,163 @@
+//! Jaro and Jaro–Winkler similarity on index sequences.
+//!
+//! The paper measures indexing quality with the Jaro–Winkler "edit
+//! distance" (§V-A): how close the predicted floor ordering
+//! `S_X = (1, 4, 3, 2, 5)` is to the ground truth `S_Y = (1, 2, 3, 4, 5)`,
+//! counting matches `m` and transpositions `t`. Higher is better;
+//! 1.0 means identical sequences.
+
+/// Jaro similarity between two sequences:
+///
+/// ```text
+/// J = 0                                   if m = 0
+/// J = (m/|X| + m/|Y| + (m − t)/m) / 3     otherwise
+/// ```
+///
+/// where `m` counts matches and `t` is half the number of out-of-order
+/// matches.
+///
+/// Unlike string-matching Jaro, the match window spans the whole sequence:
+/// the paper's floor orderings are permutations of `1..N`, and its worked
+/// example (`(1,2,3,4,5)` vs `(1,4,3,2,5)` → `m = 5`, one transposition)
+/// only holds with unbounded matching.
+pub fn jaro(x: &[usize], y: &[usize]) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 1.0;
+    }
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    let window = x.len().max(y.len());
+    let mut x_matched = vec![false; x.len()];
+    let mut y_matched = vec![false; y.len()];
+    let mut m = 0usize;
+    for (i, &xi) in x.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(y.len());
+        for j in lo..hi {
+            if !y_matched[j] && y[j] == xi {
+                x_matched[i] = true;
+                y_matched[j] = true;
+                m += 1;
+                break;
+            }
+        }
+    }
+    if m == 0 {
+        return 0.0;
+    }
+    // Count transpositions among matched elements.
+    let xs: Vec<usize> = x
+        .iter()
+        .zip(x_matched.iter())
+        .filter_map(|(&v, &ok)| ok.then_some(v))
+        .collect();
+    let ys: Vec<usize> = y
+        .iter()
+        .zip(y_matched.iter())
+        .filter_map(|(&v, &ok)| ok.then_some(v))
+        .collect();
+    let half_transpositions = xs.iter().zip(ys.iter()).filter(|(a, b)| a != b).count();
+    let t = half_transpositions as f64 / 2.0;
+    let m = m as f64;
+    (m / x.len() as f64 + m / y.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: [`jaro`] boosted by a common-prefix bonus
+/// `J_W = J + ℓ·p·(1 − J)` with prefix length `ℓ ≤ 4` and scale `p = 0.1`.
+///
+/// This is the paper's edit-distance metric; a correct bottom-floor anchor
+/// means predicted orderings usually share a prefix with the truth, which
+/// the Winkler bonus rewards.
+///
+/// # Example
+///
+/// ```
+/// let sim = fis_metrics::jaro_winkler(&[1, 2, 3, 4, 5], &[1, 4, 3, 2, 5]);
+/// assert!(sim > 0.8 && sim < 1.0);
+/// assert_eq!(fis_metrics::jaro_winkler(&[1, 2], &[1, 2]), 1.0);
+/// ```
+pub fn jaro_winkler(x: &[usize], y: &[usize]) -> f64 {
+    let j = jaro(x, y);
+    let prefix = x
+        .iter()
+        .zip(y.iter())
+        .take(4)
+        .take_while(|(a, b)| a == b)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_are_one() {
+        assert_eq!(jaro(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaro_winkler(&[1, 2, 3], &[1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(jaro(&[], &[]), 1.0);
+        assert_eq!(jaro(&[1], &[]), 0.0);
+        assert_eq!(jaro(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sequences_are_zero() {
+        assert_eq!(jaro(&[1, 2, 3], &[4, 5, 6]), 0.0);
+        assert_eq!(jaro_winkler(&[1, 2, 3], &[4, 5, 6]), 0.0);
+    }
+
+    #[test]
+    fn paper_example_single_swap() {
+        // §V-A worked example: ground truth (1,2,3,4,5) vs predicted
+        // (1,4,3,2,5), one swap of 4 and 2. m = 5, two positions
+        // mismatch -> t = 1.
+        // Jaro = (1 + 1 + 4/5)/3 = 14/15 ≈ 0.9333.
+        let j = jaro(&[1, 2, 3, 4, 5], &[1, 4, 3, 2, 5]);
+        assert!((j - 14.0 / 15.0).abs() < 1e-12, "j={j}");
+        // Winkler: shared prefix of length 1 -> + 0.1 * (1 - J).
+        let jw = jaro_winkler(&[1, 2, 3, 4, 5], &[1, 4, 3, 2, 5]);
+        assert!((jw - (14.0 / 15.0 + 0.1 * (1.0 / 15.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_bonus_caps_at_four() {
+        let x = [1, 2, 3, 4, 5, 9];
+        let y = [1, 2, 3, 4, 5, 8];
+        let j = jaro(&x, &y);
+        let jw = jaro_winkler(&x, &y);
+        assert!((jw - (j + 4.0 * 0.1 * (1.0 - j))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1, 3, 2, 4];
+        let b = [1, 2, 3, 4];
+        assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+        assert!((jaro_winkler(&a, &b) - jaro_winkler(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_zero_one() {
+        let cases: &[(&[usize], &[usize])] = &[
+            (&[1, 2, 3], &[3, 2, 1]),
+            (&[1, 1, 1], &[1, 2, 3]),
+            (&[5, 4, 3, 2, 1], &[1, 2, 3, 4, 5]),
+        ];
+        for (x, y) in cases {
+            let j = jaro_winkler(x, y);
+            assert!((0.0..=1.0).contains(&j), "{x:?} vs {y:?} -> {j}");
+        }
+    }
+
+    #[test]
+    fn reversal_is_heavily_penalized() {
+        let fwd = jaro_winkler(&[1, 2, 3, 4, 5], &[1, 2, 3, 4, 5]);
+        let rev = jaro_winkler(&[1, 2, 3, 4, 5], &[5, 4, 3, 2, 1]);
+        assert!(fwd > rev);
+    }
+}

@@ -1,0 +1,144 @@
+//! Mutual information, entropy, and NMI.
+
+use crate::contingency::ContingencyTable;
+
+/// Shannon entropy (nats) of a labeling.
+///
+/// # Errors
+///
+/// Returns an error for an empty slice.
+pub fn entropy(labels: &[usize]) -> Result<f64, String> {
+    if labels.is_empty() {
+        return Err("entropy of empty labeling".to_owned());
+    }
+    let t = ContingencyTable::new(labels, labels)?;
+    let n = t.total() as f64;
+    let mut h = 0.0;
+    for i in 0..t.n_predicted() {
+        let p = t.row_sum(i) as f64 / n;
+        if p > 0.0 {
+            h -= p * p.ln();
+        }
+    }
+    Ok(h)
+}
+
+/// Mutual information (nats) between two labelings:
+/// `MI = Σ_ij (n_ij/n) · ln(n·n_ij / (|X_i||Y_j|))` (§V-A).
+///
+/// # Errors
+///
+/// Returns an error if the slices differ in length or are empty.
+pub fn mutual_information(predicted: &[usize], truth: &[usize]) -> Result<f64, String> {
+    let t = ContingencyTable::new(predicted, truth)?;
+    let n = t.total() as f64;
+    let mut mi = 0.0;
+    for (i, j, c) in t.cells() {
+        if c == 0 {
+            continue;
+        }
+        let nij = c as f64;
+        mi += (nij / n) * ((n * nij) / (t.row_sum(i) as f64 * t.col_sum(j) as f64)).ln();
+    }
+    Ok(mi.max(0.0))
+}
+
+/// Normalized mutual information `2·MI / (H(X) + H(Y))`, in `[0, 1]`.
+///
+/// When both labelings are constant (zero entropy), they are identical
+/// partitions and NMI is defined as 1.
+///
+/// # Errors
+///
+/// Returns an error if the slices differ in length or are empty.
+///
+/// # Example
+///
+/// ```
+/// let nmi = fis_metrics::normalized_mutual_information(&[0, 0, 1, 1], &[1, 1, 0, 0])?;
+/// assert!((nmi - 1.0).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn normalized_mutual_information(
+    predicted: &[usize],
+    truth: &[usize],
+) -> Result<f64, String> {
+    let mi = mutual_information(predicted, truth)?;
+    let hx = entropy(predicted)?;
+    let hy = entropy(truth)?;
+    if hx + hy == 0.0 {
+        return Ok(1.0);
+    }
+    Ok((2.0 * mi / (hx + hy)).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_uniform_two_classes() {
+        let h = entropy(&[0, 1, 0, 1]).unwrap();
+        assert!((h - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_constant_is_zero() {
+        assert_eq!(entropy(&[7, 7, 7]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mi_of_identical_equals_entropy() {
+        let labels = [0, 0, 1, 1, 2, 2];
+        let mi = mutual_information(&labels, &labels).unwrap();
+        let h = entropy(&labels).unwrap();
+        assert!((mi - h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_independent_is_zero() {
+        // Every (pred, truth) combination appears equally often.
+        let pred = [0, 0, 1, 1];
+        let truth = [0, 1, 0, 1];
+        let mi = mutual_information(&pred, &truth).unwrap();
+        assert!(mi.abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_perfect_and_independent() {
+        assert!(
+            (normalized_mutual_information(&[0, 0, 1, 1], &[5, 5, 9, 9]).unwrap() - 1.0).abs()
+                < 1e-12
+        );
+        assert!(
+            normalized_mutual_information(&[0, 0, 1, 1], &[0, 1, 0, 1])
+                .unwrap()
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn nmi_constant_both_sides_is_one() {
+        assert_eq!(
+            normalized_mutual_information(&[1, 1, 1], &[2, 2, 2]).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn nmi_known_hand_computed_value() {
+        // pred=[0,0,1,2], truth=[0,0,1,1]:
+        // MI = ln 2, H(X) = 1.5 ln 2, H(Y) = ln 2
+        // NMI = 2 ln2 / (2.5 ln2) = 0.8 (matches sklearn's arithmetic mean).
+        let nmi = normalized_mutual_information(&[0, 0, 1, 2], &[0, 0, 1, 1]).unwrap();
+        assert!((nmi - 0.8).abs() < 1e-12, "nmi={nmi}");
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(entropy(&[]).is_err());
+        assert!(mutual_information(&[0], &[0, 1]).is_err());
+        assert!(normalized_mutual_information(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Mean/standard-deviation summaries for experiment tables.
+
+use std::fmt;
+
+/// Accumulates observations and reports `mean(std)` in the style of the
+/// paper's Table I.
+///
+/// # Example
+///
+/// ```
+/// use fis_metrics::MeanStd;
+///
+/// let mut acc = MeanStd::new();
+/// acc.push(0.8);
+/// acc.push(0.9);
+/// assert!((acc.mean() - 0.85).abs() < 1e-12);
+/// assert_eq!(format!("{acc}"), "0.850(0.050)");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeanStd {
+    values: Vec<f64>,
+}
+
+impl MeanStd {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite — a NaN metric indicates an upstream
+    /// bug and must not be silently averaged away.
+    pub fn push(&mut self, v: f64) {
+        assert!(v.is_finite(), "non-finite observation {v}");
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Population standard deviation (0.0 with fewer than two values).
+    pub fn std(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64)
+            .sqrt()
+    }
+
+    /// The raw observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}({:.3})", self.mean(), self.std())
+    }
+}
+
+impl Extend<f64> for MeanStd {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for MeanStd {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Self::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reports_zeros() {
+        let acc = MeanStd::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.std(), 0.0);
+    }
+
+    #[test]
+    fn single_value_zero_std() {
+        let acc: MeanStd = [0.7].into_iter().collect();
+        assert_eq!(acc.mean(), 0.7);
+        assert_eq!(acc.std(), 0.0);
+        assert_eq!(acc.len(), 1);
+    }
+
+    #[test]
+    fn known_mean_std() {
+        let acc: MeanStd = [1.0, 3.0].into_iter().collect();
+        assert_eq!(acc.mean(), 2.0);
+        assert_eq!(acc.std(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        MeanStd::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn display_table_format() {
+        let acc: MeanStd = [0.856, 0.856].into_iter().collect();
+        assert_eq!(acc.to_string(), "0.856(0.000)");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the evaluation metrics.
+
+use fis_metrics::{
+    adjusted_rand_index, entropy, jaro, jaro_winkler, mutual_information,
+    normalized_mutual_information,
+};
+use proptest::prelude::*;
+
+fn labels(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..k, n)
+}
+
+proptest! {
+    #[test]
+    fn ari_of_identical_labelings_is_one(l in labels(30, 4)) {
+        let ari = adjusted_rand_index(&l, &l).unwrap();
+        prop_assert!((ari - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ari_symmetric(a in labels(25, 3), b in labels(25, 3)) {
+        let x = adjusted_rand_index(&a, &b).unwrap();
+        let y = adjusted_rand_index(&b, &a).unwrap();
+        prop_assert!((x - y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ari_invariant_to_label_permutation(l in labels(25, 3), offset in 1usize..10) {
+        let renamed: Vec<usize> = l.iter().map(|&x| x * 7 + offset).collect();
+        let ari = adjusted_rand_index(&renamed, &l).unwrap();
+        prop_assert!((ari - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ari_bounded_above_by_one(a in labels(25, 4), b in labels(25, 4)) {
+        let ari = adjusted_rand_index(&a, &b).unwrap();
+        prop_assert!(ari <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn nmi_in_unit_interval(a in labels(25, 4), b in labels(25, 4)) {
+        let nmi = normalized_mutual_information(&a, &b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&nmi));
+    }
+
+    #[test]
+    fn nmi_symmetric(a in labels(20, 3), b in labels(20, 3)) {
+        let x = normalized_mutual_information(&a, &b).unwrap();
+        let y = normalized_mutual_information(&b, &a).unwrap();
+        prop_assert!((x - y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mi_bounded_by_min_entropy(a in labels(25, 4), b in labels(25, 4)) {
+        let mi = mutual_information(&a, &b).unwrap();
+        let ha = entropy(&a).unwrap();
+        let hb = entropy(&b).unwrap();
+        prop_assert!(mi <= ha.min(hb) + 1e-9);
+        prop_assert!(mi >= -1e-12);
+    }
+
+    #[test]
+    fn entropy_nonnegative_and_bounded(l in labels(30, 5)) {
+        let h = entropy(&l).unwrap();
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (5.0f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn jaro_winkler_bounded_and_reflexive(s in proptest::collection::vec(1usize..10, 1..8)) {
+        prop_assert_eq!(jaro_winkler(&s, &s), 1.0);
+        let rev: Vec<usize> = s.iter().rev().copied().collect();
+        let j = jaro_winkler(&s, &rev);
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn jaro_symmetric(a in proptest::collection::vec(1usize..8, 1..8),
+                      b in proptest::collection::vec(1usize..8, 1..8)) {
+        prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winkler_bonus_never_decreases(a in proptest::collection::vec(1usize..8, 1..8),
+                                     b in proptest::collection::vec(1usize..8, 1..8)) {
+        prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12);
+    }
+
+    /// Single swap in a permutation must score strictly higher than a full
+    /// reversal (for length >= 4): the metric must reward near-misses.
+    #[test]
+    fn near_miss_beats_reversal(n in 4usize..9, i in 0usize..3) {
+        let truth: Vec<usize> = (1..=n).collect();
+        let mut swapped = truth.clone();
+        let j = (i + 1).min(n - 1);
+        swapped.swap(i, j);
+        let rev: Vec<usize> = truth.iter().rev().copied().collect();
+        prop_assert!(jaro_winkler(&swapped, &truth) > jaro_winkler(&rev, &truth));
+    }
+}

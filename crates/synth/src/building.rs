@@ -1,0 +1,338 @@
+//! Building geometry, AP placement, and crowdsourced sample generation.
+
+use fis_types::{Building, FloorId, MacAddr, Rssi, SignalSample};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::propagation::{gaussian, PropagationModel};
+
+/// A placed access point.
+#[derive(Debug, Clone)]
+struct PlacedAp {
+    mac: MacAddr,
+    x: f64,
+    y: f64,
+    floor: usize,
+    /// Atrium APs propagate with the low floor-attenuation model.
+    atrium: bool,
+}
+
+/// Configuration (builder) for generating one synthetic building.
+///
+/// Defaults mirror a mid-sized mall floor plate: 80 m × 60 m, 3.5 m floor
+/// height, 12 regular APs per floor plus one shared atrium AP per two
+/// floors, ~1000 samples per floor at paper scale.
+///
+/// # Example
+///
+/// ```
+/// use fis_synth::BuildingConfig;
+///
+/// let b = BuildingConfig::new("mall-a", 5)
+///     .samples_per_floor(100)
+///     .seed(42)
+///     .generate();
+/// assert_eq!(b.floors(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuildingConfig {
+    name: String,
+    floors: usize,
+    width_m: f64,
+    length_m: f64,
+    floor_height_m: f64,
+    aps_per_floor: usize,
+    atrium_aps: usize,
+    samples_per_floor: usize,
+    device_sigma_db: f64,
+    max_aps_per_scan: usize,
+    scan_dropout: f64,
+    model: PropagationModel,
+    atrium_model: PropagationModel,
+    seed: u64,
+}
+
+impl BuildingConfig {
+    /// Starts a config for a building with `floors` floors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floors == 0`.
+    pub fn new(name: impl Into<String>, floors: usize) -> Self {
+        assert!(floors > 0, "a building needs at least one floor");
+        Self {
+            name: name.into(),
+            floors,
+            width_m: 80.0,
+            length_m: 60.0,
+            floor_height_m: 3.5,
+            aps_per_floor: 12,
+            atrium_aps: (floors / 2).max(1),
+            samples_per_floor: 1000,
+            device_sigma_db: 2.0,
+            max_aps_per_scan: 12,
+            scan_dropout: 0.0,
+            model: PropagationModel::default(),
+            atrium_model: PropagationModel::atrium(),
+            seed: 0,
+        }
+    }
+
+    /// Floor plate dimensions in metres.
+    pub fn footprint(mut self, width_m: f64, length_m: f64) -> Self {
+        assert!(width_m > 0.0 && length_m > 0.0, "footprint must be positive");
+        self.width_m = width_m;
+        self.length_m = length_m;
+        self
+    }
+
+    /// Number of regular APs installed on each floor.
+    pub fn aps_per_floor(mut self, n: usize) -> Self {
+        self.aps_per_floor = n;
+        self
+    }
+
+    /// Number of atrium APs (placed near the building centre, heard across
+    /// many floors). Set 0 for a building without open spaces.
+    pub fn atrium_aps(mut self, n: usize) -> Self {
+        self.atrium_aps = n;
+        self
+    }
+
+    /// Number of crowdsourced samples collected on each floor.
+    pub fn samples_per_floor(mut self, n: usize) -> Self {
+        self.samples_per_floor = n;
+        self
+    }
+
+    /// Per-device RSS bias spread (device heterogeneity), in dB.
+    pub fn device_sigma(mut self, sigma_db: f64) -> Self {
+        assert!(sigma_db >= 0.0, "sigma must be non-negative");
+        self.device_sigma_db = sigma_db;
+        self
+    }
+
+    /// Maximum APs reported per scan. Commodity radios report only the
+    /// strongest APs they hear; this cap keeps weak cross-floor leakage
+    /// rare, matching the Figure 1(b) span histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn max_aps_per_scan(mut self, n: usize) -> Self {
+        assert!(n > 0, "scans must report at least one AP");
+        self.max_aps_per_scan = n;
+        self
+    }
+
+    /// Probability that a hearable AP is missing from a given scan.
+    /// Crowdsourced contributors scan at different moments, with different
+    /// radios and scan durations, so each record reports only a subset of
+    /// the APs audible at its position — the heterogeneity the paper's
+    /// introduction motivates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn scan_dropout(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout must be in [0, 1)");
+        self.scan_dropout = p;
+        self
+    }
+
+    /// Overrides the regular propagation model.
+    pub fn propagation(mut self, model: PropagationModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Overrides the atrium propagation model.
+    pub fn atrium_propagation(mut self, model: PropagationModel) -> Self {
+        self.atrium_model = model;
+        self
+    }
+
+    /// RNG seed; everything about the building derives from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the building: places APs, walks crowdsourced positions,
+    /// and synthesizes one scan per position through the propagation model.
+    ///
+    /// Samples whose scan hears no AP at all are re-drawn (a real phone
+    /// would not upload an empty fingerprint), so the output always has
+    /// exactly `floors * samples_per_floor` samples.
+    pub fn generate(&self) -> Building {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let aps = self.place_aps(&mut rng);
+
+        let mut samples = Vec::with_capacity(self.floors * self.samples_per_floor);
+        let mut labels = Vec::with_capacity(self.floors * self.samples_per_floor);
+        for floor in 0..self.floors {
+            for _ in 0..self.samples_per_floor {
+                let sample_id = samples.len() as u32;
+                // Device heterogeneity: each crowdsourced contributor's radio
+                // has a constant bias.
+                let device_bias = gaussian(&mut rng) * self.device_sigma_db;
+                let mut scan = self.scan_at(&mut rng, &aps, floor, device_bias, sample_id);
+                let mut retries = 0;
+                while scan.is_empty() && retries < 16 {
+                    scan = self.scan_at(&mut rng, &aps, floor, device_bias, sample_id);
+                    retries += 1;
+                }
+                samples.push(scan);
+                labels.push(FloorId::from_index(floor));
+            }
+        }
+        Building::new(self.name.clone(), self.floors, samples, labels)
+            .expect("generator maintains building invariants")
+    }
+
+    fn place_aps<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<PlacedAp> {
+        let mut aps = Vec::new();
+        let mut mac_counter: u64 = (self.seed << 20) | 1;
+        for floor in 0..self.floors {
+            for _ in 0..self.aps_per_floor {
+                aps.push(PlacedAp {
+                    mac: MacAddr::from_u64(mac_counter),
+                    x: rng.gen_range(0.0..self.width_m),
+                    y: rng.gen_range(0.0..self.length_m),
+                    floor,
+                    atrium: false,
+                });
+                mac_counter += 1;
+            }
+        }
+        // Atrium APs sit near the centre of the footprint on random floors.
+        for _ in 0..self.atrium_aps {
+            aps.push(PlacedAp {
+                mac: MacAddr::from_u64(mac_counter),
+                x: self.width_m / 2.0 + rng.gen_range(-5.0..5.0),
+                y: self.length_m / 2.0 + rng.gen_range(-5.0..5.0),
+                floor: rng.gen_range(0..self.floors),
+                atrium: true,
+            });
+            mac_counter += 1;
+        }
+        aps
+    }
+
+    fn scan_at<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        aps: &[PlacedAp],
+        floor: usize,
+        device_bias: f64,
+        sample_id: u32,
+    ) -> SignalSample {
+        let x = rng.gen_range(0.0..self.width_m);
+        let y = rng.gen_range(0.0..self.length_m);
+        let mut readings = Vec::new();
+        for ap in aps {
+            let dz = ap.floor.abs_diff(floor) as f64 * self.floor_height_m;
+            let d3 = ((ap.x - x).powi(2) + (ap.y - y).powi(2) + dz * dz).sqrt();
+            let floors_crossed = ap.floor.abs_diff(floor);
+            let model = if ap.atrium { &self.atrium_model } else { &self.model };
+            if rng.gen::<f64>() < self.scan_dropout {
+                continue;
+            }
+            if let Some(rss) = model.sample_rss(rng, d3, floors_crossed) {
+                readings.push((ap.mac, Rssi::clamped(rss + device_bias)));
+            }
+        }
+        // The radio reports only the strongest max_aps_per_scan readings.
+        readings.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("Rssi is never NaN"));
+        readings.truncate(self.max_aps_per_scan);
+        SignalSample::builder(sample_id).readings(readings).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_types::stats;
+
+    fn quick(floors: usize, seed: u64) -> Building {
+        BuildingConfig::new("t", floors)
+            .samples_per_floor(60)
+            .aps_per_floor(8)
+            .seed(seed)
+            .generate()
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let b = quick(4, 1);
+        assert_eq!(b.floors(), 4);
+        assert_eq!(b.len(), 240);
+        assert_eq!(b.samples_per_floor(), vec![60; 4]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(quick(3, 9), quick(3, 9));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(quick(3, 1), quick(3, 2));
+    }
+
+    #[test]
+    fn no_empty_scans() {
+        let b = quick(5, 3);
+        assert!(b.samples().iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn spillover_adjacent_beats_distant() {
+        let b = quick(6, 4);
+        let (adj, far) = stats::spillover_contrast(&b, 3);
+        assert!(
+            adj > 2.0 * far.max(0.5),
+            "adjacent {adj} should dominate far {far}"
+        );
+    }
+
+    #[test]
+    fn most_macs_span_few_floors() {
+        // The Figure 1(b) shape: the bulk of MACs are heard on 1-3 floors.
+        let b = BuildingConfig::new("m", 8)
+            .samples_per_floor(80)
+            .aps_per_floor(12)
+            .atrium_aps(4)
+            .seed(5)
+            .generate();
+        let hist = stats::mac_floor_span_histogram(&b);
+        let narrow: usize = hist[..3].iter().sum();
+        let wide: usize = hist[3..].iter().sum();
+        assert!(
+            narrow > wide,
+            "narrow-span MACs {narrow} should outnumber wide {wide} (hist={hist:?})"
+        );
+        // But the atrium produces at least one wide-span MAC.
+        assert!(wide > 0, "expected some atrium spillover (hist={hist:?})");
+    }
+
+    #[test]
+    fn atrium_free_building_has_no_very_wide_macs() {
+        let b = BuildingConfig::new("m", 8)
+            .samples_per_floor(50)
+            .aps_per_floor(10)
+            .atrium_aps(0)
+            .seed(6)
+            .generate();
+        let hist = stats::mac_floor_span_histogram(&b);
+        let very_wide: usize = hist[5..].iter().sum();
+        assert_eq!(very_wide, 0, "hist={hist:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one floor")]
+    fn zero_floors_panics() {
+        let _ = BuildingConfig::new("t", 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Ready-made corpora shaped like the paper's two evaluation datasets.
+
+use fis_types::{Building, Dataset};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::building::BuildingConfig;
+
+/// Experiment scale.
+///
+/// `Reduced` keeps unit tests and CI fast while preserving every statistical
+/// property the algorithms rely on; `Full` matches the paper's corpus sizes
+/// (152 buildings, ~1000 samples per floor). Selected via the `FIS_SCALE`
+/// environment variable by the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Small corpora for fast iteration (default).
+    #[default]
+    Reduced,
+    /// Paper-sized corpora.
+    Full,
+}
+
+impl Scale {
+    /// Reads `FIS_SCALE` (`"full"` → [`Scale::Full`], anything else or
+    /// unset → [`Scale::Reduced`]).
+    pub fn from_env() -> Self {
+        match std::env::var("FIS_SCALE") {
+            Ok(v) if v.eq_ignore_ascii_case("full") => Scale::Full,
+            _ => Scale::Reduced,
+        }
+    }
+
+    fn buildings(&self) -> usize {
+        match self {
+            Scale::Reduced => 12,
+            Scale::Full => 152,
+        }
+    }
+
+    fn samples_per_floor(&self) -> usize {
+        match self {
+            Scale::Reduced => 100,
+            Scale::Full => 1000,
+        }
+    }
+}
+
+/// Relative frequency of building heights in the Microsoft-like corpus,
+/// matching the shape of the paper's Figure 7: most buildings have 4–6
+/// floors, with a thin tail up to 10.
+const FLOOR_COUNT_WEIGHTS: [(usize, f64); 8] = [
+    (3, 0.15),
+    (4, 0.22),
+    (5, 0.25),
+    (6, 0.16),
+    (7, 0.10),
+    (8, 0.06),
+    (9, 0.04),
+    (10, 0.02),
+];
+
+/// Generates the Microsoft-like corpus: `scale.buildings()` buildings whose
+/// floor counts follow the Figure 7 distribution, each with
+/// `scale.samples_per_floor()` crowdsourced samples per floor.
+///
+/// Deterministic for a given `(scale, seed)`.
+pub fn microsoft_like(scale: Scale, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut buildings = Vec::new();
+    for i in 0..scale.buildings() {
+        let floors = draw_floor_count(&mut rng);
+        let b = BuildingConfig::new(format!("ms-{i:03}"), floors)
+            .samples_per_floor(scale.samples_per_floor())
+            .aps_per_floor(12)
+            .atrium_aps(if floors >= 6 { 2 } else { 1 })
+            .footprint(
+                rng.gen_range(50.0..110.0),
+                rng.gen_range(40.0..90.0),
+            )
+            .seed(seed.wrapping_mul(1_000_003).wrapping_add(i as u64))
+            .generate();
+        buildings.push(b);
+    }
+    Dataset::new("Microsoft", buildings)
+}
+
+/// Generates the "Ours" corpus: three large shopping malls with 5, 5, and 7
+/// floors (§V-A), ~`samples_per_floor` samples per floor, generous atria.
+pub fn malls_like(scale: Scale, seed: u64) -> Dataset {
+    let spf = scale.samples_per_floor();
+    let mk = |name: &str, floors: usize, salt: u64| -> Building {
+        BuildingConfig::new(name, floors)
+            .samples_per_floor(spf)
+            .aps_per_floor(16)
+            .atrium_aps(3)
+            .footprint(120.0, 90.0)
+            .seed(seed.wrapping_mul(7_777_777).wrapping_add(salt))
+            .generate()
+    };
+    Dataset::new(
+        "Ours",
+        vec![mk("mall-A", 5, 1), mk("mall-B", 5, 2), mk("mall-C", 7, 3)],
+    )
+}
+
+/// The eight-floor mall used for the paper's Figure 1(b), tuned to carry
+/// roughly 168 distinct MAC addresses in total.
+pub fn fig1b_mall(seed: u64) -> Building {
+    // 8 floors * 20 APs + 8 atrium APs = 168 MACs.
+    BuildingConfig::new("mall-fig1b", 8)
+        .samples_per_floor(150)
+        .aps_per_floor(20)
+        .atrium_aps(8)
+        .footprint(130.0, 100.0)
+        .seed(seed)
+        .generate()
+}
+
+fn draw_floor_count<R: Rng + ?Sized>(rng: &mut R) -> usize {
+    let total: f64 = FLOOR_COUNT_WEIGHTS.iter().map(|&(_, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for &(floors, w) in &FLOOR_COUNT_WEIGHTS {
+        if x < w {
+            return floors;
+        }
+        x -= w;
+    }
+    FLOOR_COUNT_WEIGHTS.last().expect("non-empty table").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_types::stats;
+
+    #[test]
+    fn microsoft_like_shape() {
+        let ds = microsoft_like(Scale::Reduced, 1);
+        assert_eq!(ds.len(), 12);
+        assert!(ds
+            .buildings()
+            .iter()
+            .all(|b| (3..=10).contains(&b.floors())));
+        assert!(ds
+            .buildings()
+            .iter()
+            .all(|b| b.samples_per_floor().iter().all(|&c| c == 100)));
+    }
+
+    #[test]
+    fn microsoft_like_deterministic() {
+        let a = microsoft_like(Scale::Reduced, 5);
+        let b = microsoft_like(Scale::Reduced, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malls_have_paper_floor_counts() {
+        let ds = malls_like(Scale::Reduced, 2);
+        let mut floors: Vec<usize> = ds.buildings().iter().map(|b| b.floors()).collect();
+        floors.sort_unstable();
+        assert_eq!(floors, vec![5, 5, 7]);
+    }
+
+    #[test]
+    fn fig1b_mall_has_168_macs() {
+        let mall = fig1b_mall(3);
+        let macs = stats::total_macs(&mall);
+        // Every AP is placed; a couple may never rise above the detection
+        // threshold in any scan, so allow a tiny deficit.
+        assert!((160..=168).contains(&macs), "macs={macs}");
+        assert_eq!(mall.floors(), 8);
+    }
+
+    #[test]
+    fn fig1b_histogram_shape_matches_paper() {
+        let mall = fig1b_mall(4);
+        let hist = stats::mac_floor_span_histogram(&mall);
+        // Paper's Fig 1(b): spans 1-3 dominate; a small tail reaches many
+        // floors because of the central atrium.
+        let narrow: usize = hist[..3].iter().sum();
+        let wide: usize = hist[4..].iter().sum();
+        assert!(narrow > 3 * wide, "hist={hist:?}");
+        assert!(wide >= 1, "hist={hist:?}");
+    }
+
+    #[test]
+    fn scale_from_env_defaults_reduced() {
+        // Do not set the variable here (tests run in parallel); just check
+        // the parser on the unset path.
+        if std::env::var("FIS_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Reduced);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic multi-floor RF signal corpus generator.
+//!
+//! The FIS-ONE paper evaluates on two proprietary corpora: the Microsoft
+//! Indoor Location open dataset and surveys of three Hong Kong shopping
+//! malls. Neither ships with this repository, so this crate builds the
+//! closest synthetic equivalent (see `DESIGN.md` §4 for the substitution
+//! argument):
+//!
+//! - [`propagation`]: a standard multi-floor log-distance path-loss model
+//!   with a per-floor attenuation factor — the physical mechanism behind
+//!   the paper's *signal spillover* observation (Figure 1).
+//! - [`building`]: building geometry, AP placement (including open-atrium
+//!   APs that leak across many floors, the paper's own caveat about malls),
+//!   and crowdsourced sample generation.
+//! - [`corpus`]: ready-made corpora shaped like the paper's two datasets
+//!   (building-count distribution of Figure 7, ~1000 samples/floor, 5/5/7
+//!   floor malls, a 168-MAC 8-floor mall for Figure 1(b)).
+//!
+//! All generation is deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use fis_synth::building::BuildingConfig;
+//!
+//! let building = BuildingConfig::new("demo", 3)
+//!     .samples_per_floor(40)
+//!     .aps_per_floor(8)
+//!     .seed(7)
+//!     .generate();
+//! assert_eq!(building.floors(), 3);
+//! assert_eq!(building.len(), 120);
+//! ```
+
+pub mod building;
+pub mod corpus;
+pub mod propagation;
+
+pub use building::BuildingConfig;
+pub use corpus::{fig1b_mall, malls_like, microsoft_like, Scale};
+pub use propagation::PropagationModel;

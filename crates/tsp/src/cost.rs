@@ -1,0 +1,125 @@
+//! Validated cost matrices.
+
+/// A square matrix of finite, non-negative edge costs with zero diagonal.
+///
+/// # Example
+///
+/// ```
+/// use fis_tsp::CostMatrix;
+///
+/// let m = CostMatrix::from_fn(3, |i, j| if i == j { 0.0 } else { 1.0 })?;
+/// assert_eq!(m.len(), 3);
+/// assert_eq!(m.get(0, 1), 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Builds a matrix by evaluating `f(i, j)` for every pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0`, any cost is negative or non-finite,
+    /// or the diagonal is nonzero.
+    pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64) -> Result<Self, String> {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = f(i, j);
+            }
+        }
+        Self::from_vec(n, data)
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CostMatrix::from_fn`], plus a length check.
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Result<Self, String> {
+        if n == 0 {
+            return Err("cost matrix needs at least one node".to_owned());
+        }
+        if data.len() != n * n {
+            return Err(format!("buffer length {} != {n}x{n}", data.len()));
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let c = data[i * n + j];
+                if !c.is_finite() || c < 0.0 {
+                    return Err(format!("invalid cost {c} at ({i},{j})"));
+                }
+                if i == j && c != 0.0 {
+                    return Err(format!("nonzero diagonal {c} at ({i},{i})"));
+                }
+            }
+        }
+        Ok(Self { n, data })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Cost of edge `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// Whether the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_round_trip() {
+        let m = CostMatrix::from_fn(3, |i, j| (i as f64 - j as f64).abs()).unwrap();
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(2, 0), 2.0);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn rejects_bad_matrices() {
+        assert!(CostMatrix::from_fn(0, |_, _| 0.0).is_err());
+        assert!(CostMatrix::from_fn(2, |_, _| -1.0).is_err());
+        assert!(CostMatrix::from_fn(2, |_, _| f64::NAN).is_err());
+        assert!(CostMatrix::from_fn(2, |_, _| 1.0).is_err()); // diag nonzero
+        assert!(CostMatrix::from_vec(2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn asymmetric_detected() {
+        let m =
+            CostMatrix::from_vec(2, vec![0.0, 1.0, 2.0, 0.0]).unwrap();
+        assert!(!m.is_symmetric(0.5));
+        assert!(m.is_symmetric(1.5));
+    }
+}

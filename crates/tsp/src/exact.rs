@@ -1,0 +1,247 @@
+//! Held–Karp exact dynamic programming.
+
+use crate::cost::CostMatrix;
+use crate::PathSolution;
+
+/// Hard cap on exact instances: `O(N² 2^N)` with `N = 24` is ~400M DP
+/// cells, beyond which the approximation must be used.
+pub const MAX_EXACT_NODES: usize = 24;
+
+/// Exact shortest Hamiltonian path starting at `start`, visiting every node
+/// exactly once (free final endpoint).
+///
+/// This is the paper's Theorem 1 formulation: a TSP on the complete graph
+/// where all edges *back to* the start cost zero, which makes the optimal
+/// tour equal to the optimal Hamiltonian path from `start`.
+///
+/// # Errors
+///
+/// Returns an error if `start` is out of bounds or the instance exceeds
+/// [`MAX_EXACT_NODES`].
+pub fn held_karp_fixed_start(cost: &CostMatrix, start: usize) -> Result<PathSolution, String> {
+    let n = cost.len();
+    if start >= n {
+        return Err(format!("start {start} out of bounds for {n} nodes"));
+    }
+    if n > MAX_EXACT_NODES {
+        return Err(format!(
+            "{n} nodes exceeds the exact-solver cap of {MAX_EXACT_NODES}; use 2-opt"
+        ));
+    }
+    if n == 1 {
+        return Ok(PathSolution {
+            order: vec![start],
+            cost: 0.0,
+        });
+    }
+
+    // Re-index so that `start` is node 0; others are 1..n.
+    let others: Vec<usize> = (0..n).filter(|&i| i != start).collect();
+    let m = others.len();
+    let full: usize = (1 << m) - 1;
+
+    // dp[mask][j] = min cost of a path from start visiting exactly the
+    // others in `mask`, ending at others[j].
+    let mut dp = vec![vec![f64::INFINITY; m]; 1 << m];
+    let mut parent = vec![vec![usize::MAX; m]; 1 << m];
+    for j in 0..m {
+        dp[1 << j][j] = cost.get(start, others[j]);
+    }
+    for mask in 1..=full {
+        for j in 0..m {
+            if mask & (1 << j) == 0 || dp[mask][j].is_infinite() {
+                continue;
+            }
+            let base = dp[mask][j];
+            for nxt in 0..m {
+                if mask & (1 << nxt) != 0 {
+                    continue;
+                }
+                let nmask = mask | (1 << nxt);
+                let cand = base + cost.get(others[j], others[nxt]);
+                if cand < dp[nmask][nxt] {
+                    dp[nmask][nxt] = cand;
+                    parent[nmask][nxt] = j;
+                }
+            }
+        }
+    }
+    // Free endpoint: best over all terminal nodes.
+    let (mut best_j, mut best) = (0usize, f64::INFINITY);
+    for j in 0..m {
+        if dp[full][j] < best {
+            best = dp[full][j];
+            best_j = j;
+        }
+    }
+    // Reconstruct.
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    let mut j = best_j;
+    while j != usize::MAX {
+        order.push(others[j]);
+        let pj = parent[mask][j];
+        mask &= !(1 << j);
+        j = pj;
+    }
+    order.push(start);
+    order.reverse();
+    debug_assert_eq!(order.len(), n);
+    Ok(PathSolution { order, cost: best })
+}
+
+/// Exact shortest Hamiltonian path with *both* endpoints free: solves the
+/// fixed-start problem from every start and keeps the cheapest.
+///
+/// Used by the §VI extension, where the labeled sample's floor is unknown
+/// so every ordering must be considered.
+///
+/// # Errors
+///
+/// Same conditions as [`held_karp_fixed_start`].
+pub fn held_karp_free(cost: &CostMatrix) -> Result<PathSolution, String> {
+    let mut best: Option<PathSolution> = None;
+    for start in 0..cost.len() {
+        let sol = held_karp_fixed_start(cost, start)?;
+        if best.as_ref().is_none_or(|b| sol.cost < b.cost) {
+            best = Some(sol);
+        }
+    }
+    Ok(best.expect("at least one start"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(cost: &CostMatrix, start: usize) -> PathSolution {
+        let n = cost.len();
+        let mut others: Vec<usize> = (0..n).filter(|&i| i != start).collect();
+        let mut best = PathSolution {
+            order: vec![],
+            cost: f64::INFINITY,
+        };
+        permute(&mut others, 0, &mut |perm| {
+            let mut order = vec![start];
+            order.extend_from_slice(perm);
+            let c: f64 = order.windows(2).map(|w| cost.get(w[0], w[1])).sum();
+            if c < best.cost {
+                best = PathSolution { order, cost: c };
+            }
+        });
+        best
+    }
+
+    fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == v.len() {
+            f(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permute(v, k + 1, f);
+            v.swap(k, i);
+        }
+    }
+
+    fn line_matrix(n: usize) -> CostMatrix {
+        CostMatrix::from_fn(n, |i, j| (i as f64 - j as f64).abs()).unwrap()
+    }
+
+    #[test]
+    fn line_graph_orders_sequentially() {
+        let sol = held_karp_fixed_start(&line_matrix(5), 0).unwrap();
+        assert_eq!(sol.order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sol.cost, 4.0);
+    }
+
+    #[test]
+    fn start_in_middle_still_valid_path() {
+        let sol = held_karp_fixed_start(&line_matrix(5), 2).unwrap();
+        assert_eq!(sol.order[0], 2);
+        assert_eq!(sol.order.len(), 5);
+        // Optimal from the middle of a line: go to the near end first.
+        assert_eq!(sol.cost, brute_force(&line_matrix(5), 2).cost);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use fis_linalg_free_rng::SplitMix;
+        let mut rng = SplitMix::new(7);
+        for trial in 0..20 {
+            let n = 3 + (trial % 5);
+            let mut data = vec![0.0; n * n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let c = rng.next_f64() * 10.0;
+                    data[i * n + j] = c;
+                    data[j * n + i] = c;
+                }
+            }
+            let cost = CostMatrix::from_vec(n, data).unwrap();
+            for start in 0..n {
+                let hk = held_karp_fixed_start(&cost, start).unwrap();
+                let bf = brute_force(&cost, start);
+                assert!(
+                    (hk.cost - bf.cost).abs() < 1e-9,
+                    "n={n} start={start}: hk={} bf={}",
+                    hk.cost,
+                    bf.cost
+                );
+                assert!((hk.recompute_cost(&cost) - hk.cost).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn free_start_finds_global_best() {
+        // Line graph: best free path starts at an end.
+        let sol = held_karp_free(&line_matrix(6)).unwrap();
+        assert_eq!(sol.cost, 5.0);
+        assert!(sol.order == vec![0, 1, 2, 3, 4, 5] || sol.order == vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn single_node() {
+        let m = CostMatrix::from_fn(1, |_, _| 0.0).unwrap();
+        let sol = held_karp_fixed_start(&m, 0).unwrap();
+        assert_eq!(sol.order, vec![0]);
+        assert_eq!(sol.cost, 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_start_and_oversized() {
+        let m = line_matrix(3);
+        assert!(held_karp_fixed_start(&m, 3).is_err());
+        let big = CostMatrix::from_fn(25, |i, j| if i == j { 0.0 } else { 1.0 }).unwrap();
+        assert!(held_karp_fixed_start(&big, 0).is_err());
+    }
+
+    /// Order is visited exactly once per node.
+    #[test]
+    fn path_is_a_permutation() {
+        let sol = held_karp_fixed_start(&line_matrix(7), 3).unwrap();
+        let mut seen = sol.order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    /// Tiny self-contained RNG so this test crate does not depend on rand.
+    mod fis_linalg_free_rng {
+        pub struct SplitMix {
+            state: u64,
+        }
+        impl SplitMix {
+            pub fn new(seed: u64) -> Self {
+                Self { state: seed }
+            }
+            pub fn next_f64(&mut self) -> f64 {
+                self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = self.state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Shortest Hamiltonian path solvers for cluster indexing.
+//!
+//! FIS-ONE's cluster indexing problem (§IV-B, Theorem 1) reduces to finding
+//! the shortest Hamiltonian path on a complete graph whose nodes are floor
+//! clusters and whose edge weights are `1 − Jⁿ_ij` (one minus the adapted
+//! Jaccard similarity), starting from the cluster that contains the single
+//! labeled sample. The paper solves it exactly with Held–Karp dynamic
+//! programming (`O(N² 2^N)`) and approximately with 2-opt local search.
+//!
+//! This crate provides both, plus a free-endpoint variant used by the §VI
+//! extension where the labeled sample may come from any floor.
+//!
+//! # Example
+//!
+//! ```
+//! use fis_tsp::{held_karp_fixed_start, two_opt_fixed_start, CostMatrix};
+//!
+//! // Four clusters on a line: the optimal path is 0-1-2-3.
+//! let cost = CostMatrix::from_fn(4, |i, j| (i as f64 - j as f64).abs())?;
+//! let exact = held_karp_fixed_start(&cost, 0)?;
+//! assert_eq!(exact.order, vec![0, 1, 2, 3]);
+//! let approx = two_opt_fixed_start(&cost, 0)?;
+//! assert_eq!(approx.order, exact.order);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cost;
+pub mod exact;
+pub mod local_search;
+
+pub use cost::CostMatrix;
+pub use exact::{held_karp_fixed_start, held_karp_free};
+pub use local_search::{two_opt_fixed_start, two_opt_free};
+
+/// A Hamiltonian path and its total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSolution {
+    /// Visiting order over all nodes (each exactly once).
+    pub order: Vec<usize>,
+    /// Sum of edge costs along `order`.
+    pub cost: f64,
+}
+
+impl PathSolution {
+    /// Recomputes the path cost against a matrix (sanity helper).
+    pub fn recompute_cost(&self, cost: &CostMatrix) -> f64 {
+        self.order
+            .windows(2)
+            .map(|w| cost.get(w[0], w[1]))
+            .sum()
+    }
+}

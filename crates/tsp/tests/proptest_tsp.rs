@@ -1,0 +1,86 @@
+//! Property-based tests for the Hamiltonian-path solvers.
+
+use fis_tsp::{held_karp_fixed_start, held_karp_free, two_opt_fixed_start, CostMatrix};
+use proptest::prelude::*;
+
+/// Random symmetric cost matrix with zero diagonal.
+fn cost_matrix(n: usize) -> impl Strategy<Value = CostMatrix> {
+    proptest::collection::vec(0.01..10.0f64, n * (n - 1) / 2).prop_map(move |upper| {
+        let mut data = vec![0.0; n * n];
+        let mut it = upper.into_iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let c = it.next().expect("enough entries");
+                data[i * n + j] = c;
+                data[j * n + i] = c;
+            }
+        }
+        CostMatrix::from_vec(n, data).expect("valid matrix")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_path_is_permutation_starting_at_start(cost in cost_matrix(7), start in 0usize..7) {
+        let sol = held_karp_fixed_start(&cost, start).unwrap();
+        prop_assert_eq!(sol.order[0], start);
+        let mut sorted = sol.order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+        prop_assert!((sol.recompute_cost(&cost) - sol.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_opt_never_beats_exact(cost in cost_matrix(8), start in 0usize..8) {
+        let exact = held_karp_fixed_start(&cost, start).unwrap();
+        let approx = two_opt_fixed_start(&cost, start).unwrap();
+        prop_assert!(approx.cost >= exact.cost - 1e-9,
+            "approx {} < exact {}", approx.cost, exact.cost);
+    }
+
+    #[test]
+    fn free_start_no_worse_than_any_fixed_start(cost in cost_matrix(6)) {
+        let free = held_karp_free(&cost).unwrap();
+        for start in 0..6 {
+            let fixed = held_karp_fixed_start(&cost, start).unwrap();
+            prop_assert!(free.cost <= fixed.cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_beats_random_orders(cost in cost_matrix(6), seed in 0u64..1000) {
+        let exact = held_karp_fixed_start(&cost, 0).unwrap();
+        // Deterministic pseudo-random permutation of 1..6 after the start.
+        let mut order: Vec<usize> = (1..6).collect();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut full = vec![0];
+        full.extend(order);
+        let cost_random: f64 = full.windows(2).map(|w| cost.get(w[0], w[1])).sum();
+        prop_assert!(exact.cost <= cost_random + 1e-9);
+    }
+
+    #[test]
+    fn scaling_costs_scales_solution(cost in cost_matrix(6), factor in 0.1..10.0f64) {
+        let base = held_karp_fixed_start(&cost, 0).unwrap();
+        let scaled_matrix = CostMatrix::from_fn(6, |i, j| cost.get(i, j) * factor).unwrap();
+        let scaled = held_karp_fixed_start(&scaled_matrix, 0).unwrap();
+        // Optimal order may differ under ties, but cost must scale.
+        prop_assert!((scaled.cost - base.cost * factor).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_opt_path_is_valid(cost in cost_matrix(9), start in 0usize..9) {
+        let sol = two_opt_fixed_start(&cost, start).unwrap();
+        prop_assert_eq!(sol.order[0], start);
+        let mut sorted = sol.order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,278 @@
+//! Buildings: collections of samples with ground-truth floor labels.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TypeError;
+use crate::floor::FloorId;
+use crate::sample::{SampleId, SignalSample};
+
+/// The single floor-labeled sample FIS-ONE is allowed to use.
+///
+/// The paper's core setting anchors the TSP ordering at the bottom floor;
+/// §VI relaxes this to an arbitrary floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledAnchor {
+    /// Which sample carries the label.
+    pub sample: SampleId,
+    /// The disclosed floor of that sample.
+    pub floor: FloorId,
+}
+
+/// A building's worth of crowdsourced RF signal samples.
+///
+/// Ground-truth floor labels for *all* samples are stored for evaluation
+/// (ARI/NMI/edit distance need them) and for selecting the single labeled
+/// anchor; the identification pipeline itself only ever sees the anchor.
+///
+/// # Invariants
+///
+/// - `samples.len() == labels.len()`
+/// - every label index is `< floors`
+/// - sample ids are dense: `samples[i].id().index() == i`
+///
+/// These are enforced by [`Building::new`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Building {
+    name: String,
+    floors: usize,
+    samples: Vec<SignalSample>,
+    labels: Vec<FloorId>,
+}
+
+impl Building {
+    /// Creates a building after validating all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::InvalidBuilding`] if the sample/label lengths
+    /// differ, a label is out of range, ids are not dense, or `floors == 0`.
+    pub fn new(
+        name: impl Into<String>,
+        floors: usize,
+        samples: Vec<SignalSample>,
+        labels: Vec<FloorId>,
+    ) -> Result<Self, TypeError> {
+        let name = name.into();
+        if floors == 0 {
+            return Err(TypeError::InvalidBuilding(format!(
+                "building {name} has zero floors"
+            )));
+        }
+        if samples.len() != labels.len() {
+            return Err(TypeError::InvalidBuilding(format!(
+                "building {name}: {} samples but {} labels",
+                samples.len(),
+                labels.len()
+            )));
+        }
+        for (i, s) in samples.iter().enumerate() {
+            if s.id().index() != i {
+                return Err(TypeError::InvalidBuilding(format!(
+                    "building {name}: sample at position {i} has id {}",
+                    s.id()
+                )));
+            }
+        }
+        if let Some(bad) = labels.iter().find(|l| l.index() >= floors) {
+            return Err(TypeError::InvalidBuilding(format!(
+                "building {name}: label {bad} exceeds floor count {floors}"
+            )));
+        }
+        Ok(Self {
+            name,
+            floors,
+            samples,
+            labels,
+        })
+    }
+
+    /// The building's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of floors.
+    pub fn floors(&self) -> usize {
+        self.floors
+    }
+
+    /// All samples, ordered by dense id.
+    pub fn samples(&self) -> &[SignalSample] {
+        &self.samples
+    }
+
+    /// Ground-truth floor labels, parallel to [`Building::samples`].
+    ///
+    /// Only the evaluation harness and anchor selection may use these.
+    pub fn ground_truth(&self) -> &[FloorId] {
+        &self.labels
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the building holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of samples on each floor (indexed by floor index).
+    pub fn samples_per_floor(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.floors];
+        for l in &self.labels {
+            counts[l.index()] += 1;
+        }
+        counts
+    }
+
+    /// The first sample on the requested floor, as a labeled anchor.
+    ///
+    /// Deterministic (lowest sample id), which keeps experiments
+    /// reproducible.
+    pub fn anchor_on(&self, floor: FloorId) -> Option<LabeledAnchor> {
+        self.labels
+            .iter()
+            .position(|&l| l == floor)
+            .map(|i| LabeledAnchor {
+                sample: self.samples[i].id(),
+                floor,
+            })
+    }
+
+    /// The anchor on the bottom floor — the paper's core setting.
+    pub fn bottom_anchor(&self) -> Option<LabeledAnchor> {
+        self.anchor_on(FloorId::BOTTOM)
+    }
+
+    /// Applies the paper's Microsoft-dataset filtering (§V-A): drops floors
+    /// with fewer than `min_samples_per_floor` samples (re-indexing the
+    /// remaining floors bottom-up) and returns `None` if fewer than
+    /// `min_floors` floors remain (two-story buildings are excluded).
+    pub fn filtered(&self, min_samples_per_floor: usize, min_floors: usize) -> Option<Building> {
+        let counts = self.samples_per_floor();
+        let kept: Vec<usize> = (0..self.floors)
+            .filter(|&f| counts[f] >= min_samples_per_floor)
+            .collect();
+        if kept.len() < min_floors {
+            return None;
+        }
+        let remap: Vec<Option<usize>> = (0..self.floors)
+            .map(|f| kept.iter().position(|&k| k == f))
+            .collect();
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for (s, &l) in self.samples.iter().zip(self.labels.iter()) {
+            if let Some(new_floor) = remap[l.index()] {
+                samples.push(s.clone().with_id(samples.len() as u32));
+                labels.push(FloorId::from_index(new_floor));
+            }
+        }
+        Some(
+            Building::new(self.name.clone(), kept.len(), samples, labels)
+                .expect("filtering preserves invariants"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::MacAddr;
+    use crate::rssi::Rssi;
+
+    fn sample(id: u32, macs: &[u64]) -> SignalSample {
+        SignalSample::builder(id)
+            .readings(
+                macs.iter()
+                    .map(|&m| (MacAddr::from_u64(m), Rssi::new(-50.0).unwrap())),
+            )
+            .build()
+    }
+
+    fn small_building() -> Building {
+        // 3 floors; floor 0 has 2 samples, floor 1 has 2, floor 2 has 1.
+        Building::new(
+            "B",
+            3,
+            (0..5).map(|i| sample(i, &[u64::from(i) + 1])).collect(),
+            vec![
+                FloorId::from_index(0),
+                FloorId::from_index(0),
+                FloorId::from_index(1),
+                FloorId::from_index(1),
+                FloorId::from_index(2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        let err = Building::new("B", 2, vec![sample(0, &[1])], vec![]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn new_validates_floor_range() {
+        let err = Building::new("B", 1, vec![sample(0, &[1])], vec![FloorId::from_index(1)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn new_validates_dense_ids() {
+        let err = Building::new("B", 1, vec![sample(5, &[1])], vec![FloorId::BOTTOM]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn new_rejects_zero_floors() {
+        assert!(Building::new("B", 0, vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn samples_per_floor_counts() {
+        let b = small_building();
+        assert_eq!(b.samples_per_floor(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn anchors_are_deterministic() {
+        let b = small_building();
+        let a = b.bottom_anchor().unwrap();
+        assert_eq!(a.sample, SampleId(0));
+        assert_eq!(a.floor, FloorId::BOTTOM);
+        let a2 = b.anchor_on(FloorId::from_index(2)).unwrap();
+        assert_eq!(a2.sample, SampleId(4));
+        assert!(b.anchor_on(FloorId::from_index(9)).is_none());
+    }
+
+    #[test]
+    fn filtered_drops_thin_floors_and_reindexes() {
+        let b = small_building();
+        // floor 2 has only one sample -> dropped with threshold 2.
+        let f = b.filtered(2, 2).unwrap();
+        assert_eq!(f.floors(), 2);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.samples_per_floor(), vec![2, 2]);
+        // ids re-densified
+        for (i, s) in f.samples().iter().enumerate() {
+            assert_eq!(s.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn filtered_rejects_too_few_floors() {
+        let b = small_building();
+        assert!(b.filtered(2, 3).is_none()); // only 2 floors survive
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = small_building();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Building = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

@@ -1,0 +1,175 @@
+//! Named corpora of buildings.
+
+use serde::{Deserialize, Serialize};
+
+use crate::building::Building;
+
+/// A named collection of buildings (a corpus).
+///
+/// Mirrors the paper's two evaluation corpora: the Microsoft open dataset
+/// (152 buildings after filtering) and "Ours" (three shopping malls).
+///
+/// # Example
+///
+/// ```
+/// use fis_types::Dataset;
+///
+/// let ds = Dataset::new("demo", vec![]);
+/// assert!(ds.is_empty());
+/// assert!(ds.floor_histogram(3, 10).iter().all(|&c| c == 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    buildings: Vec<Building>,
+}
+
+impl Dataset {
+    /// Creates a dataset from a list of buildings.
+    pub fn new(name: impl Into<String>, buildings: Vec<Building>) -> Self {
+        Self {
+            name: name.into(),
+            buildings,
+        }
+    }
+
+    /// The corpus name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The buildings in the corpus.
+    pub fn buildings(&self) -> &[Building] {
+        &self.buildings
+    }
+
+    /// Number of buildings.
+    pub fn len(&self) -> usize {
+        self.buildings.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buildings.is_empty()
+    }
+
+    /// Adds a building.
+    pub fn push(&mut self, building: Building) {
+        self.buildings.push(building);
+    }
+
+    /// Histogram of buildings by floor count over `[min_floors, max_floors]`
+    /// (the paper's Figure 7). Index 0 corresponds to `min_floors`.
+    pub fn floor_histogram(&self, min_floors: usize, max_floors: usize) -> Vec<usize> {
+        assert!(min_floors <= max_floors, "empty histogram range");
+        let mut hist = vec![0usize; max_floors - min_floors + 1];
+        for b in &self.buildings {
+            if (min_floors..=max_floors).contains(&b.floors()) {
+                hist[b.floors() - min_floors] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Total number of samples across all buildings.
+    pub fn total_samples(&self) -> usize {
+        self.buildings.iter().map(Building::len).sum()
+    }
+
+    /// Mean samples per floor across the corpus; `0.0` when empty.
+    pub fn mean_samples_per_floor(&self) -> f64 {
+        let floors: usize = self.buildings.iter().map(Building::floors).sum();
+        if floors == 0 {
+            0.0
+        } else {
+            self.total_samples() as f64 / floors as f64
+        }
+    }
+
+    /// Applies [`Building::filtered`] to every building, dropping the ones
+    /// that do not survive — the paper's §V-A preprocessing.
+    pub fn filtered(&self, min_samples_per_floor: usize, min_floors: usize) -> Dataset {
+        Dataset::new(
+            self.name.clone(),
+            self.buildings
+                .iter()
+                .filter_map(|b| b.filtered(min_samples_per_floor, min_floors))
+                .collect(),
+        )
+    }
+}
+
+impl Extend<Building> for Dataset {
+    fn extend<T: IntoIterator<Item = Building>>(&mut self, iter: T) {
+        self.buildings.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floor::FloorId;
+    use crate::mac::MacAddr;
+    use crate::rssi::Rssi;
+    use crate::sample::SignalSample;
+
+    fn tiny_building(name: &str, floors: usize, per_floor: usize) -> Building {
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for f in 0..floors {
+            for _ in 0..per_floor {
+                let id = samples.len() as u32;
+                samples.push(
+                    SignalSample::builder(id)
+                        .reading(MacAddr::from_u64(f as u64 + 1), Rssi::new(-50.0).unwrap())
+                        .build(),
+                );
+                labels.push(FloorId::from_index(f));
+            }
+        }
+        Building::new(name, floors, samples, labels).unwrap()
+    }
+
+    #[test]
+    fn floor_histogram_buckets_correctly() {
+        let ds = Dataset::new(
+            "d",
+            vec![
+                tiny_building("a", 3, 1),
+                tiny_building("b", 3, 1),
+                tiny_building("c", 5, 1),
+            ],
+        );
+        assert_eq!(ds.floor_histogram(3, 10), vec![2, 0, 1, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_ignores_out_of_range() {
+        let ds = Dataset::new("d", vec![tiny_building("a", 2, 1)]);
+        assert_eq!(ds.floor_histogram(3, 4), vec![0, 0]);
+    }
+
+    #[test]
+    fn totals_and_means() {
+        let ds = Dataset::new("d", vec![tiny_building("a", 2, 3), tiny_building("b", 4, 3)]);
+        assert_eq!(ds.total_samples(), 18);
+        assert!((ds.mean_samples_per_floor() - 3.0).abs() < 1e-12);
+        assert_eq!(Dataset::new("e", vec![]).mean_samples_per_floor(), 0.0);
+    }
+
+    #[test]
+    fn filtered_removes_small_buildings() {
+        let ds = Dataset::new("d", vec![tiny_building("a", 2, 5), tiny_building("b", 4, 5)]);
+        let f = ds.filtered(1, 3);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.buildings()[0].name(), "b");
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut ds = Dataset::new("d", vec![]);
+        ds.extend([tiny_building("a", 3, 1)]);
+        ds.push(tiny_building("b", 3, 1));
+        assert_eq!(ds.len(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for domain-value validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing or parsing domain values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TypeError {
+    /// A MAC address string did not have six `:`-separated hex octets.
+    ParseMac(String),
+    /// An RSS reading was outside the physically plausible range or NaN.
+    InvalidRssi(String),
+    /// A floor index was invalid for the building (e.g. out of range).
+    InvalidFloor(String),
+    /// A building-level structural invariant failed.
+    InvalidBuilding(String),
+    /// An I/O or serialization problem while loading/saving a dataset.
+    Io(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::ParseMac(s) => write!(f, "invalid MAC address syntax: {s}"),
+            TypeError::InvalidRssi(s) => write!(f, "invalid RSS reading: {s}"),
+            TypeError::InvalidFloor(s) => write!(f, "invalid floor: {s}"),
+            TypeError::InvalidBuilding(s) => write!(f, "invalid building: {s}"),
+            TypeError::Io(s) => write!(f, "dataset i/o error: {s}"),
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+impl From<std::io::Error> for TypeError {
+    fn from(e: std::io::Error) -> Self {
+        TypeError::Io(e.to_string())
+    }
+}
+
+impl From<serde_json::Error> for TypeError {
+    fn from(e: serde_json::Error) -> Self {
+        TypeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = TypeError::ParseMac("xx".into());
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TypeError>();
+    }
+}

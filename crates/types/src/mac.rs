@@ -1,0 +1,154 @@
+//! MAC addresses of sensed access points.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::error::TypeError;
+
+/// A 48-bit media access control address identifying one AP radio.
+///
+/// Stored as six octets; ordered and hashable so it can key maps and be
+/// interned into dense indices by the graph layer.
+///
+/// # Example
+///
+/// ```
+/// use fis_types::MacAddr;
+///
+/// let mac: MacAddr = "aa:bb:cc:dd:ee:ff".parse()?;
+/// assert_eq!(mac.to_string(), "aa:bb:cc:dd:ee:ff");
+/// assert_eq!(MacAddr::from_u64(mac.to_u64()), mac);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr([u8; 6]);
+
+impl MacAddr {
+    /// Creates a MAC address from its six octets.
+    pub fn new(octets: [u8; 6]) -> Self {
+        Self(octets)
+    }
+
+    /// The six octets.
+    pub fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Packs the address into the low 48 bits of a `u64`.
+    pub fn to_u64(&self) -> u64 {
+        self.0
+            .iter()
+            .fold(0u64, |acc, &b| (acc << 8) | u64::from(b))
+    }
+
+    /// Unpacks a MAC address from the low 48 bits of a `u64`.
+    ///
+    /// The high 16 bits are ignored, which makes this convenient for
+    /// generating synthetic distinct MACs from counters.
+    pub fn from_u64(v: u64) -> Self {
+        let mut o = [0u8; 6];
+        for i in 0..6 {
+            o[5 - i] = ((v >> (8 * i)) & 0xFF) as u8;
+        }
+        Self(o)
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = TypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 6 {
+            return Err(TypeError::ParseMac(s.to_owned()));
+        }
+        let mut octets = [0u8; 6];
+        for (i, p) in parts.iter().enumerate() {
+            octets[i] =
+                u8::from_str_radix(p, 16).map_err(|_| TypeError::ParseMac(s.to_owned()))?;
+        }
+        Ok(Self(octets))
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        Self(octets)
+    }
+}
+
+impl Serialize for MacAddr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for MacAddr {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trip() {
+        let mac: MacAddr = "00:1a:2b:3c:4d:5e".parse().unwrap();
+        assert_eq!(mac.to_string(), "00:1a:2b:3c:4d:5e");
+        assert_eq!(mac.octets(), [0x00, 0x1a, 0x2b, 0x3c, 0x4d, 0x5e]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("aa:bb:cc:dd:ee".parse::<MacAddr>().is_err());
+        assert!("aa:bb:cc:dd:ee:gg".parse::<MacAddr>().is_err());
+        assert!("aa-bb-cc-dd-ee-ff".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 0xFFFF_FFFF_FFFF, 0x1234_5678_9ABC] {
+            assert_eq!(MacAddr::from_u64(v).to_u64(), v);
+        }
+    }
+
+    #[test]
+    fn from_u64_ignores_high_bits() {
+        assert_eq!(
+            MacAddr::from_u64(0xFFFF_0000_0000_0001),
+            MacAddr::from_u64(1)
+        );
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_octets() {
+        let a = MacAddr::from_u64(1);
+        let b = MacAddr::from_u64(2);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mac = MacAddr::from_u64(0xA1B2C3D4E5F6);
+        let json = serde_json::to_string(&mac).unwrap();
+        assert_eq!(json, "\"a1:b2:c3:d4:e5:f6\"");
+        let back: MacAddr = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, mac);
+    }
+}

@@ -1,0 +1,244 @@
+//! Crowdsourced RF signal samples (records).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mac::MacAddr;
+use crate::rssi::Rssi;
+
+/// Identifier of a signal sample within a building, dense from zero.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SampleId(pub u32);
+
+impl SampleId {
+    /// The dense index as `usize`.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SampleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One crowdsourced RF record: the set of MAC addresses heard in a single
+/// scan together with their RSS readings.
+///
+/// Readings are stored sorted by MAC with duplicates collapsed (the
+/// strongest reading wins), so lookups are `O(log n)` and iteration order is
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use fis_types::{MacAddr, Rssi, SignalSample};
+///
+/// let m1 = MacAddr::from_u64(1);
+/// let m2 = MacAddr::from_u64(2);
+/// let s = SignalSample::builder(7)
+///     .reading(m2, Rssi::new(-70.0)?)
+///     .reading(m1, Rssi::new(-55.0)?)
+///     .reading(m2, Rssi::new(-60.0)?) // duplicate: strongest kept
+///     .build();
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.rssi_of(m2), Some(Rssi::new(-60.0)?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalSample {
+    id: SampleId,
+    readings: Vec<(MacAddr, Rssi)>,
+}
+
+impl SignalSample {
+    /// Starts building a sample with the given dense id.
+    pub fn builder(id: u32) -> SignalSampleBuilder {
+        SignalSampleBuilder {
+            id: SampleId(id),
+            readings: Vec::new(),
+        }
+    }
+
+    /// The sample's identifier.
+    pub fn id(&self) -> SampleId {
+        self.id
+    }
+
+    /// Number of distinct MACs heard.
+    pub fn len(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// Whether the scan heard no APs at all.
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty()
+    }
+
+    /// Iterates over `(mac, rssi)` readings in MAC order.
+    pub fn iter(&self) -> impl Iterator<Item = (MacAddr, Rssi)> + '_ {
+        self.readings.iter().copied()
+    }
+
+    /// The RSS reading for `mac`, if heard.
+    pub fn rssi_of(&self, mac: MacAddr) -> Option<Rssi> {
+        self.readings
+            .binary_search_by_key(&mac, |&(m, _)| m)
+            .ok()
+            .map(|i| self.readings[i].1)
+    }
+
+    /// Whether the sample heard `mac`.
+    pub fn contains(&self, mac: MacAddr) -> bool {
+        self.rssi_of(mac).is_some()
+    }
+
+    /// The strongest reading in the sample, if any.
+    pub fn strongest(&self) -> Option<(MacAddr, Rssi)> {
+        self.readings
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("Rssi is never NaN"))
+    }
+
+    /// Count of MACs shared with another sample.
+    pub fn shared_macs(&self, other: &SignalSample) -> usize {
+        // Merge walk over the two sorted lists.
+        let (mut i, mut j, mut count) = (0, 0, 0);
+        while i < self.readings.len() && j < other.readings.len() {
+            match self.readings[i].0.cmp(&other.readings[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Re-numbers the sample (used when filtering corpora compacts ids).
+    pub fn with_id(mut self, id: u32) -> SignalSample {
+        self.id = SampleId(id);
+        self
+    }
+}
+
+/// Builder for [`SignalSample`]; see [`SignalSample::builder`].
+#[derive(Debug, Clone)]
+pub struct SignalSampleBuilder {
+    id: SampleId,
+    readings: Vec<(MacAddr, Rssi)>,
+}
+
+impl SignalSampleBuilder {
+    /// Adds one `(mac, rssi)` reading. Duplicate MACs are collapsed at
+    /// [`SignalSampleBuilder::build`] time, keeping the strongest reading.
+    pub fn reading(mut self, mac: MacAddr, rssi: Rssi) -> Self {
+        self.readings.push((mac, rssi));
+        self
+    }
+
+    /// Adds many readings at once.
+    pub fn readings(mut self, iter: impl IntoIterator<Item = (MacAddr, Rssi)>) -> Self {
+        self.readings.extend(iter);
+        self
+    }
+
+    /// Finalizes the sample: sorts by MAC and collapses duplicates keeping
+    /// the strongest reading.
+    pub fn build(mut self) -> SignalSample {
+        self.readings
+            .sort_by(|a, b| a.0.cmp(&b.0).then(b.1.partial_cmp(&a.1).expect("no NaN")));
+        self.readings.dedup_by_key(|&mut (m, _)| m);
+        SignalSample {
+            id: self.id,
+            readings: self.readings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rssi(v: f64) -> Rssi {
+        Rssi::new(v).unwrap()
+    }
+
+    #[test]
+    fn builder_sorts_and_dedups_keeping_strongest() {
+        let m1 = MacAddr::from_u64(10);
+        let m2 = MacAddr::from_u64(5);
+        let s = SignalSample::builder(0)
+            .reading(m1, rssi(-80.0))
+            .reading(m2, rssi(-60.0))
+            .reading(m1, rssi(-40.0))
+            .build();
+        assert_eq!(s.len(), 2);
+        let macs: Vec<MacAddr> = s.iter().map(|(m, _)| m).collect();
+        assert_eq!(macs, vec![m2, m1]); // sorted
+        assert_eq!(s.rssi_of(m1), Some(rssi(-40.0))); // strongest kept
+    }
+
+    #[test]
+    fn lookup_and_contains() {
+        let m = MacAddr::from_u64(1);
+        let other = MacAddr::from_u64(2);
+        let s = SignalSample::builder(0).reading(m, rssi(-50.0)).build();
+        assert!(s.contains(m));
+        assert!(!s.contains(other));
+        assert_eq!(s.rssi_of(other), None);
+    }
+
+    #[test]
+    fn strongest_of_empty_is_none() {
+        let s = SignalSample::builder(0).build();
+        assert!(s.is_empty());
+        assert_eq!(s.strongest(), None);
+    }
+
+    #[test]
+    fn strongest_picks_max() {
+        let s = SignalSample::builder(0)
+            .reading(MacAddr::from_u64(1), rssi(-90.0))
+            .reading(MacAddr::from_u64(2), rssi(-30.0))
+            .reading(MacAddr::from_u64(3), rssi(-60.0))
+            .build();
+        assert_eq!(s.strongest().unwrap().0, MacAddr::from_u64(2));
+    }
+
+    #[test]
+    fn shared_macs_counts_intersection() {
+        let a = SignalSample::builder(0)
+            .readings((1..=5).map(|i| (MacAddr::from_u64(i), rssi(-50.0))))
+            .build();
+        let b = SignalSample::builder(1)
+            .readings((4..=8).map(|i| (MacAddr::from_u64(i), rssi(-50.0))))
+            .build();
+        assert_eq!(a.shared_macs(&b), 2);
+        assert_eq!(b.shared_macs(&a), 2);
+        assert_eq!(a.shared_macs(&a), 5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = SignalSample::builder(3)
+            .reading(MacAddr::from_u64(9), rssi(-66.0))
+            .build();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SignalSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn with_id_renumbers() {
+        let s = SignalSample::builder(3).build().with_id(9);
+        assert_eq!(s.id(), SampleId(9));
+    }
+}

@@ -1,0 +1,156 @@
+//! Spillover statistics over buildings.
+//!
+//! These reproduce the empirical observations that motivate FIS-ONE:
+//! Figure 1(b)'s histogram of how many floors each MAC is detected on, and
+//! the per-floor-pair shared-MAC counts behind Figure 5.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::building::Building;
+use crate::mac::MacAddr;
+
+/// For each MAC in the building, the set of floors it is detected on.
+pub fn mac_floor_sets(building: &Building) -> BTreeMap<MacAddr, BTreeSet<usize>> {
+    let mut map: BTreeMap<MacAddr, BTreeSet<usize>> = BTreeMap::new();
+    for (sample, label) in building.samples().iter().zip(building.ground_truth()) {
+        for (mac, _) in sample.iter() {
+            map.entry(mac).or_default().insert(label.index());
+        }
+    }
+    map
+}
+
+/// Figure 1(b): histogram over "number of floors a MAC is detected on".
+///
+/// Entry `k` (zero-based) counts MACs detected on exactly `k + 1` floors;
+/// the histogram has `building.floors()` entries.
+pub fn mac_floor_span_histogram(building: &Building) -> Vec<usize> {
+    let mut hist = vec![0usize; building.floors()];
+    for floors in mac_floor_sets(building).values() {
+        let span = floors.len();
+        debug_assert!(span >= 1 && span <= building.floors());
+        hist[span - 1] += 1;
+    }
+    hist
+}
+
+/// Number of distinct MACs detected anywhere in the building.
+pub fn total_macs(building: &Building) -> usize {
+    mac_floor_sets(building).len()
+}
+
+/// Shared-MAC count matrix between floors: entry `(i, j)` is the number of
+/// distinct MACs heard on both floor `i` and floor `j`.
+///
+/// The diagonal holds each floor's own MAC count. Adjacent floors should
+/// show markedly higher off-diagonal counts than distant floors — the
+/// signal spillover effect of Figure 5.
+pub fn floor_shared_mac_matrix(building: &Building) -> Vec<Vec<usize>> {
+    let f = building.floors();
+    let mut per_floor: Vec<BTreeSet<MacAddr>> = vec![BTreeSet::new(); f];
+    for (sample, label) in building.samples().iter().zip(building.ground_truth()) {
+        for (mac, _) in sample.iter() {
+            per_floor[label.index()].insert(mac);
+        }
+    }
+    let mut matrix = vec![vec![0usize; f]; f];
+    for i in 0..f {
+        for j in 0..f {
+            matrix[i][j] = per_floor[i].intersection(&per_floor[j]).count();
+        }
+    }
+    matrix
+}
+
+/// Summary check of the spillover monotonicity: the mean shared-MAC count
+/// between floors at distance 1 versus distance `>= far`.
+///
+/// Returns `(mean_adjacent, mean_far)`. A corpus with realistic spillover
+/// has `mean_adjacent > mean_far`. Returns zeros when the building is too
+/// short for the requested distance.
+pub fn spillover_contrast(building: &Building, far: usize) -> (f64, f64) {
+    let matrix = floor_shared_mac_matrix(building);
+    let f = building.floors();
+    let (mut adj_sum, mut adj_n, mut far_sum, mut far_n) = (0usize, 0usize, 0usize, 0usize);
+    for i in 0..f {
+        for j in (i + 1)..f {
+            let d = j - i;
+            if d == 1 {
+                adj_sum += matrix[i][j];
+                adj_n += 1;
+            } else if d >= far {
+                far_sum += matrix[i][j];
+                far_n += 1;
+            }
+        }
+    }
+    let adj = if adj_n == 0 { 0.0 } else { adj_sum as f64 / adj_n as f64 };
+    let farv = if far_n == 0 { 0.0 } else { far_sum as f64 / far_n as f64 };
+    (adj, farv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floor::FloorId;
+    use crate::rssi::Rssi;
+    use crate::sample::SignalSample;
+
+    /// Three floors. MAC 1 heard on floors 0,1; MAC 2 on floor 1 only;
+    /// MAC 3 on all floors.
+    fn building() -> Building {
+        let r = Rssi::new(-60.0).unwrap();
+        let mk = MacAddr::from_u64;
+        let samples = vec![
+            SignalSample::builder(0).reading(mk(1), r).reading(mk(3), r).build(),
+            SignalSample::builder(1)
+                .reading(mk(1), r)
+                .reading(mk(2), r)
+                .reading(mk(3), r)
+                .build(),
+            SignalSample::builder(2).reading(mk(3), r).build(),
+        ];
+        let labels = vec![
+            FloorId::from_index(0),
+            FloorId::from_index(1),
+            FloorId::from_index(2),
+        ];
+        Building::new("t", 3, samples, labels).unwrap()
+    }
+
+    #[test]
+    fn floor_sets_are_correct() {
+        let sets = mac_floor_sets(&building());
+        assert_eq!(sets[&MacAddr::from_u64(1)], BTreeSet::from([0, 1]));
+        assert_eq!(sets[&MacAddr::from_u64(2)], BTreeSet::from([1]));
+        assert_eq!(sets[&MacAddr::from_u64(3)], BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn span_histogram_matches() {
+        // MAC2 spans 1 floor, MAC1 spans 2, MAC3 spans 3.
+        assert_eq!(mac_floor_span_histogram(&building()), vec![1, 1, 1]);
+        assert_eq!(total_macs(&building()), 3);
+    }
+
+    #[test]
+    fn shared_matrix_symmetric_with_diagonal_counts() {
+        let m = floor_shared_mac_matrix(&building());
+        assert_eq!(m[0][0], 2); // floor 0 hears MACs 1 and 3
+        assert_eq!(m[1][1], 3);
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m[0][1], 2); // shares MACs 1 and 3
+        assert_eq!(m[0][2], 1); // shares only MAC 3
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn contrast_favors_adjacent() {
+        let (adj, far) = spillover_contrast(&building(), 2);
+        assert!(adj > far, "adjacent {adj} should exceed far {far}");
+    }
+}

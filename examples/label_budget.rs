@@ -1,0 +1,69 @@
+//! Label budget: what does the single label buy, and where can it come
+//! from? Compares (a) the bottom-floor anchor, (b) a top-floor anchor,
+//! (c) an arbitrary mid-floor anchor via the §VI extension, including the
+//! ambiguous middle-floor case.
+//!
+//! ```bash
+//! cargo run --release --example label_budget
+//! ```
+
+use fis_one::core::evaluate::score_prediction;
+use fis_one::{
+    identify_with_arbitrary_anchor, ArbitraryAnchorOutcome, BuildingConfig, FisOne, FisOneConfig,
+    FloorId,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let building = BuildingConfig::new("office-block", 5)
+        .samples_per_floor(80)
+        .aps_per_floor(12)
+        .seed(11)
+        .generate();
+    let fis = FisOne::new(FisOneConfig::default().seed(2));
+
+    // (a) The paper's core setting: bottom-floor anchor.
+    let bottom = building.bottom_anchor().expect("bottom surveyed");
+    let pred = fis.identify(building.samples(), building.floors(), bottom)?;
+    let res = score_prediction(&pred, &building)?;
+    println!(
+        "bottom anchor : ARI {:.3}  NMI {:.3}  edit {:.3}",
+        res.ari, res.nmi, res.edit
+    );
+
+    // (b) Top-floor anchor: same machinery, reversed orientation.
+    let top = building
+        .anchor_on(FloorId::from_index(building.floors() - 1))
+        .expect("top surveyed");
+    let pred = fis.identify(building.samples(), building.floors(), top)?;
+    let res = score_prediction(&pred, &building)?;
+    println!(
+        "top anchor    : ARI {:.3}  NMI {:.3}  edit {:.3}",
+        res.ari, res.nmi, res.edit
+    );
+
+    // (c) Arbitrary floors via the §VI extension. Floor 3 of 5 is the
+    // unresolvable middle (Case 1); the others resolve (Case 2).
+    for floor_idx in [1usize, 2, 3] {
+        let anchor = building
+            .anchor_on(FloorId::from_index(floor_idx))
+            .expect("floor surveyed");
+        match identify_with_arbitrary_anchor(&fis, building.samples(), building.floors(), anchor)?
+        {
+            ArbitraryAnchorOutcome::Resolved(pred) => {
+                let res = score_prediction(&pred, &building)?;
+                println!(
+                    "anchor on {}  : ARI {:.3}  NMI {:.3}  edit {:.3}  (resolved)",
+                    anchor.floor, res.ari, res.nmi, res.edit
+                );
+            }
+            ArbitraryAnchorOutcome::Ambiguous { order, .. } => {
+                println!(
+                    "anchor on {}  : ambiguous (middle floor of an odd building); \
+                     unoriented order {order:?}",
+                    anchor.floor
+                );
+            }
+        }
+    }
+    Ok(())
+}

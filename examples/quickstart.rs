@@ -1,0 +1,53 @@
+//! Quickstart: identify floors in a synthetic building with one label.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use fis_one::{evaluate_building, BuildingConfig, FisOne, FisOneConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-floor building with ~crowdsourced WiFi scans. In a real
+    // deployment these records come from phones; here the bundled
+    // propagation simulator generates them (see fis-synth).
+    let building = BuildingConfig::new("quickstart-tower", 4)
+        .samples_per_floor(80)
+        .aps_per_floor(12)
+        .seed(42)
+        .generate();
+
+    // The only supervision FIS-ONE needs: one labeled scan on the bottom
+    // floor.
+    let anchor = building.bottom_anchor().expect("bottom floor surveyed");
+    println!(
+        "building: {} floors, {} unlabeled scans, 1 labeled scan ({} on {})",
+        building.floors(),
+        building.len() - 1,
+        anchor.sample,
+        anchor.floor
+    );
+
+    let fis = FisOne::new(FisOneConfig::default().seed(1));
+    let prediction = fis.identify(building.samples(), building.floors(), anchor)?;
+
+    // Per-floor accuracy against the withheld ground truth.
+    let mut correct = 0;
+    for (pred, truth) in prediction.labels().iter().zip(building.ground_truth()) {
+        if pred == truth {
+            correct += 1;
+        }
+    }
+    println!(
+        "correctly labeled {correct}/{} scans ({:.1}%)",
+        building.len(),
+        100.0 * correct as f64 / building.len() as f64
+    );
+
+    // The paper's three metrics.
+    let result = evaluate_building(&fis, &building)?;
+    println!(
+        "ARI = {:.3}   NMI = {:.3}   edit distance = {:.3}",
+        result.ari, result.nmi, result.edit
+    );
+    Ok(())
+}

@@ -1,0 +1,181 @@
+//! `fis-one` command-line interface.
+//!
+//! ```text
+//! fis-one generate --floors 5 --samples 200 --seed 7 --out corpus.jsonl
+//! fis-one identify --corpus corpus.jsonl [--building NAME]
+//! fis-one evaluate --corpus corpus.jsonl
+//! fis-one stats    --corpus corpus.jsonl
+//! ```
+//!
+//! `generate` synthesizes a building corpus; `identify` runs the pipeline
+//! with each building's bottom-floor anchor and prints per-sample floors;
+//! `evaluate` scores against the stored ground truth; `stats` prints the
+//! spillover statistics behind Figure 1.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use fis_one::types::io;
+use fis_one::{evaluate_building, BuildingConfig, Dataset, FisOne, FisOneConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "identify" => cmd_identify(&opts),
+        "evaluate" => cmd_evaluate(&opts),
+        "stats" => cmd_stats(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fis-one generate --floors N --samples M [--seed S] [--name NAME] --out FILE
+  fis-one identify --corpus FILE [--building NAME] [--seed S]
+  fis-one evaluate --corpus FILE [--seed S]
+  fis-one stats    --corpus FILE";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{flag}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        map.insert(key.to_owned(), value.clone());
+    }
+    Ok(map)
+}
+
+fn get<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn load(opts: &HashMap<String, String>) -> Result<Dataset, String> {
+    let path = get(opts, "corpus")?;
+    io::load_jsonl(path).map_err(|e| e.to_string())
+}
+
+fn pipeline(opts: &HashMap<String, String>) -> Result<FisOne, String> {
+    let seed = opts
+        .get("seed")
+        .map(|s| parse::<u64>(s, "seed"))
+        .transpose()?
+        .unwrap_or(0);
+    Ok(FisOne::new(FisOneConfig::default().seed(seed)))
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let floors: usize = parse(get(opts, "floors")?, "floor count")?;
+    let samples: usize = parse(get(opts, "samples")?, "sample count")?;
+    let seed = opts
+        .get("seed")
+        .map(|s| parse::<u64>(s, "seed"))
+        .transpose()?
+        .unwrap_or(0);
+    let name = opts.get("name").cloned().unwrap_or_else(|| "building".into());
+    let out = get(opts, "out")?;
+    if floors == 0 || samples == 0 {
+        return Err("floors and samples must be positive".into());
+    }
+    let building = BuildingConfig::new(name, floors)
+        .samples_per_floor(samples)
+        .seed(seed)
+        .generate();
+    let ds = Dataset::new("cli", vec![building]);
+    io::save_jsonl(&ds, out).map_err(|e| e.to_string())?;
+    println!("wrote {out} ({floors} floors x {samples} samples)");
+    Ok(())
+}
+
+fn cmd_identify(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(opts)?;
+    let fis = pipeline(opts)?;
+    let wanted = opts.get("building");
+    for b in ds.buildings() {
+        if let Some(name) = wanted {
+            if b.name() != *name {
+                continue;
+            }
+        }
+        let anchor = b
+            .bottom_anchor()
+            .ok_or_else(|| format!("{} has no bottom-floor sample", b.name()))?;
+        let prediction = fis
+            .identify(b.samples(), b.floors(), anchor)
+            .map_err(|e| e.to_string())?;
+        println!("# {} ({} floors)", b.name(), b.floors());
+        for (sample, floor) in b.samples().iter().zip(prediction.labels()) {
+            println!("{} {floor}", sample.id());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(opts)?;
+    let fis = pipeline(opts)?;
+    println!("{:<20} {:>7} {:>7} {:>7}", "building", "ARI", "NMI", "edit");
+    for b in ds.buildings() {
+        let r = evaluate_building(&fis, b).map_err(|e| e.to_string())?;
+        println!(
+            "{:<20} {:>7.3} {:>7.3} {:>7.3}",
+            b.name(),
+            r.ari,
+            r.nmi,
+            r.edit
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(opts)?;
+    for b in ds.buildings() {
+        let hist = fis_one::types::stats::mac_floor_span_histogram(b);
+        let (adj, far) = fis_one::types::stats::spillover_contrast(b, 3);
+        println!(
+            "{}: {} floors, {} samples, {} MACs, span histogram {:?}, \
+             shared MACs adjacent {:.1} vs distant {:.1}",
+            b.name(),
+            b.floors(),
+            b.len(),
+            fis_one::types::stats::total_macs(b),
+            hist,
+            adj,
+            far
+        );
+    }
+    Ok(())
+}
