@@ -1,6 +1,6 @@
 //! The computation tape: forward ops and reverse-mode accumulation.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fis_linalg::func;
 use fis_linalg::Matrix;
@@ -29,17 +29,17 @@ enum Op {
     Ln(Var),
     Square(Var),
     L2NormRows(Var),
-    GatherRows(Var, Rc<Vec<usize>>),
+    GatherRows(Var, Arc<Vec<usize>>),
     /// Per-output-row weighted sum of input rows:
     /// `out[i] = Σ_j w_ij * input[idx_ij]`.
-    Aggregate(Var, Rc<Vec<Vec<(usize, f64)>>>),
+    Aggregate(Var, Arc<Vec<Vec<(usize, f64)>>>),
     RowwiseDot(Var, Var),
     NegLogSigmoid(Var),
     SumAll(Var),
     MeanAll(Var),
     /// DEC-style clustering KL loss between the Student-t soft assignment of
     /// embeddings `z` to centroids `mu` and a fixed target distribution `p`.
-    DecLoss(Var, Var, Rc<Matrix>),
+    DecLoss(Var, Var, Arc<Matrix>),
 }
 
 #[derive(Debug)]
@@ -225,7 +225,7 @@ impl Tape {
     }
 
     /// Gathers rows `indices` of `a` (repeats allowed) into a new matrix.
-    pub fn gather_rows(&mut self, a: Var, indices: Rc<Vec<usize>>) -> Var {
+    pub fn gather_rows(&mut self, a: Var, indices: Arc<Vec<usize>>) -> Var {
         let v = self.nodes[a.0].value.gather_rows(&indices);
         self.push(v, Op::GatherRows(a, indices))
     }
@@ -237,7 +237,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if any referenced row index is out of bounds.
-    pub fn aggregate(&mut self, a: Var, groups: Rc<Vec<Vec<(usize, f64)>>>) -> Var {
+    pub fn aggregate(&mut self, a: Var, groups: Arc<Vec<Vec<(usize, f64)>>>) -> Var {
         let av = &self.nodes[a.0].value;
         let d = av.cols();
         let mut out = Matrix::zeros(groups.len(), d);
@@ -282,7 +282,10 @@ impl Tape {
     ///
     /// Panics if `a` is empty.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        assert!(!self.nodes[a.0].value.is_empty(), "mean_all of empty matrix");
+        assert!(
+            !self.nodes[a.0].value.is_empty(),
+            "mean_all of empty matrix"
+        );
         let v = Matrix::from_rows(&[&[self.nodes[a.0].value.mean()]]);
         self.push(v, Op::MeanAll(a))
     }
@@ -310,7 +313,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if shapes are inconsistent or `p` rows are not distributions.
-    pub fn dec_loss(&mut self, z: Var, mu: Var, p: Rc<Matrix>) -> Var {
+    pub fn dec_loss(&mut self, z: Var, mu: Var, p: Arc<Matrix>) -> Var {
         let zv = &self.nodes[z.0].value;
         let muv = &self.nodes[mu.0].value;
         let (n, d) = zv.shape();
@@ -502,7 +505,11 @@ impl Tape {
                 }
                 Op::DecLoss(z, mu, p) => {
                     let g = grad[(0, 0)];
-                    let q = self.nodes[i].aux.as_ref().expect("DecLoss aux missing").clone();
+                    let q = self.nodes[i]
+                        .aux
+                        .as_ref()
+                        .expect("DecLoss aux missing")
+                        .clone();
                     let zv = self.nodes[z.0].value.clone();
                     let muv = self.nodes[mu.0].value.clone();
                     let (n, d) = zv.shape();
@@ -513,12 +520,10 @@ impl Tape {
                     // (KL(P||Q) gradient; dmu is the negative scatter.)
                     for ii in 0..n {
                         for j in 0..k {
-                            let diff: Vec<f64> = (0..d)
-                                .map(|c| zv[(ii, c)] - muv[(j, c)])
-                                .collect();
+                            let diff: Vec<f64> =
+                                (0..d).map(|c| zv[(ii, c)] - muv[(j, c)]).collect();
                             let dist_sq: f64 = diff.iter().map(|x| x * x).sum();
-                            let coef =
-                                2.0 * (p[(ii, j)] - q[(ii, j)]) / (1.0 + dist_sq) * g;
+                            let coef = 2.0 * (p[(ii, j)] - q[(ii, j)]) / (1.0 + dist_sq) * g;
                             for c in 0..d {
                                 dz[(ii, c)] += coef * diff[c];
                                 dmu[(j, c)] -= coef * diff[c];
@@ -562,6 +567,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn tape_is_send_and_sync() {
+        // The tape's op payloads are Arc-shared, so whole tapes (and the
+        // models built on them) can cross thread boundaries in the
+        // parallel engine.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tape>();
+        assert_send_sync::<Var>();
+    }
+
+    #[test]
     fn leaf_value_round_trip() {
         let mut t = Tape::new();
         let m = Matrix::from_rows(&[&[1.0, 2.0]]);
@@ -580,7 +595,10 @@ mod tests {
         let c = t.matmul(a, b);
         let loss = t.sum_all(c);
         t.backward(loss);
-        assert_eq!(t.grad(a), &Matrix::from_rows(&[&[11.0, 15.0], &[11.0, 15.0]]));
+        assert_eq!(
+            t.grad(a),
+            &Matrix::from_rows(&[&[11.0, 15.0], &[11.0, 15.0]])
+        );
         assert_eq!(t.grad(b), &Matrix::from_rows(&[&[4.0, 4.0], &[6.0, 6.0]]));
     }
 
@@ -611,7 +629,7 @@ mod tests {
     fn gather_rows_scatters_gradient() {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]));
-        let g = t.gather_rows(x, Rc::new(vec![0, 0, 2]));
+        let g = t.gather_rows(x, Arc::new(vec![0, 0, 2]));
         let loss = t.sum_all(g);
         t.backward(loss);
         assert_eq!(
@@ -624,7 +642,7 @@ mod tests {
     fn aggregate_forward_and_backward() {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
-        let groups = Rc::new(vec![vec![(0, 0.25), (1, 0.75)]]);
+        let groups = Arc::new(vec![vec![(0, 0.25), (1, 0.75)]]);
         let agg = t.aggregate(x, groups);
         assert_eq!(t.value(agg), &Matrix::from_rows(&[&[0.25, 0.75]]));
         let loss = t.sum_all(agg);
@@ -731,7 +749,7 @@ mod tests {
         let z = t.leaf(Matrix::from_rows(&[&[0.0, 0.0], &[4.0, 4.0]]));
         let mu = t.leaf(Matrix::from_rows(&[&[0.0, 0.0], &[4.0, 4.0]]));
         let q = student_t_assignment(t.value(z), t.value(mu));
-        let loss = t.dec_loss(z, mu, Rc::new(q));
+        let loss = t.dec_loss(z, mu, Arc::new(q));
         assert!(t.scalar(loss).abs() < 1e-12);
     }
 

@@ -1,6 +1,6 @@
 //! Property-based finite-difference verification of every tape operation.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fis_autograd::gradcheck::check_gradients;
 use fis_autograd::tape::student_t_assignment;
@@ -14,7 +14,11 @@ fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 }
 
 /// Runs a gradient check for a loss expressed over two leaf matrices.
-fn check2(a: &Matrix, b: &Matrix, build: impl Fn(&mut Tape, fis_autograd::Var, fis_autograd::Var) -> fis_autograd::Var) -> bool {
+fn check2(
+    a: &Matrix,
+    b: &Matrix,
+    build: impl Fn(&mut Tape, fis_autograd::Var, fis_autograd::Var) -> fis_autograd::Var,
+) -> bool {
     let params = vec![a.clone(), b.clone()];
     let reports = check_gradients(&params, 1e-6, |p| {
         let mut t = Tape::new();
@@ -99,12 +103,12 @@ proptest! {
 
     #[test]
     fn aggregate_grad(a in mat(4, 3), b in mat(2, 3)) {
-        let groups = Rc::new(vec![
+        let groups = Arc::new(vec![
             vec![(0usize, 0.3), (1, 0.7)],
             vec![(2usize, 0.5), (3, 0.25), (0, 0.25)],
         ]);
         let ok = check2(&a, &b, move |t, x, y| {
-            let agg = t.aggregate(x, Rc::clone(&groups));
+            let agg = t.aggregate(x, Arc::clone(&groups));
             t.mul(agg, y)
         });
         prop_assert!(ok);
@@ -112,9 +116,9 @@ proptest! {
 
     #[test]
     fn gather_rows_grad(a in mat(4, 2), b in mat(3, 2)) {
-        let idx = Rc::new(vec![0usize, 2, 2]);
+        let idx = Arc::new(vec![0usize, 2, 2]);
         let ok = check2(&a, &b, move |t, x, y| {
-            let g = t.gather_rows(x, Rc::clone(&idx));
+            let g = t.gather_rows(x, Arc::clone(&idx));
             t.mul(g, y)
         });
         prop_assert!(ok);
@@ -144,13 +148,13 @@ proptest! {
         // Target distribution: sharpened soft assignment at the initial point,
         // held fixed during the check (as in DEC training).
         let q = student_t_assignment(&z0, &mu0);
-        let p = Rc::new(sharpen(&q));
+        let p = Arc::new(sharpen(&q));
         let params = vec![z0, mu0];
         let reports = check_gradients(&params, 1e-6, |pr| {
             let mut t = Tape::new();
             let z = t.leaf(pr[0].clone());
             let mu = t.leaf(pr[1].clone());
-            let loss = t.dec_loss(z, mu, Rc::clone(&p));
+            let loss = t.dec_loss(z, mu, Arc::clone(&p));
             t.backward(loss);
             (t.scalar(loss), vec![t.grad(z).clone(), t.grad(mu).clone()])
         });

@@ -18,7 +18,7 @@
 //!    whose centroid-quality sensitivity is precisely why the paper's
 //!    multi-modal per-floor RF distributions hurt it (§V-B).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fis_autograd::tape::student_t_assignment;
 use fis_autograd::{Adam, Tape};
@@ -81,13 +81,13 @@ impl Daegc {
     ) -> fis_autograd::Var {
         let (pi, pj): (Vec<usize>, Vec<usize>) = pos.iter().copied().unzip();
         let (ni, nj): (Vec<usize>, Vec<usize>) = neg.iter().copied().unzip();
-        let zi = tape.gather_rows(z, Rc::new(pi));
-        let zj = tape.gather_rows(z, Rc::new(pj));
+        let zi = tape.gather_rows(z, Arc::new(pi));
+        let zj = tape.gather_rows(z, Arc::new(pj));
         let pos_scores = tape.rowwise_dot(zi, zj);
         let pos_losses = tape.neg_log_sigmoid(pos_scores);
         let pos_sum = tape.sum_all(pos_losses);
-        let wi = tape.gather_rows(z, Rc::new(ni));
-        let wj = tape.gather_rows(z, Rc::new(nj));
+        let wi = tape.gather_rows(z, Arc::new(ni));
+        let wj = tape.gather_rows(z, Arc::new(nj));
         let neg_scores = tape.rowwise_dot(wi, wj);
         let flipped = tape.scale(neg_scores, -1.0);
         let neg_losses = tape.neg_log_sigmoid(flipped);
@@ -114,8 +114,7 @@ impl BaselineClusterer for Daegc {
         // sample–MAC edges. Spillover MACs connect samples of adjacent
         // floors with the same strength as same-floor MACs (DAEGC has no
         // RSS attention over them), which is what costs it accuracy here.
-        let graph = fis_graph::BipartiteGraph::from_samples(samples)
-            .map_err(|e| e.to_string())?;
+        let graph = fis_graph::BipartiteGraph::from_samples(samples).map_err(|e| e.to_string())?;
         let n = samples.len();
         let total_nodes = graph.n_nodes();
 
@@ -131,7 +130,8 @@ impl BaselineClusterer for Daegc {
         // output; tanh keeps them bounded like the original's activations.
         let mut w = init::xavier_uniform(total_nodes, self.dim, self.seed ^ 0xDA);
         let mut opt = Adam::new(self.learning_rate);
-        let embed = |w: &Matrix| -> Matrix { w.map(f64::tanh).gather_rows(&(0..n).collect::<Vec<_>>()) };
+        let embed =
+            |w: &Matrix| -> Matrix { w.map(f64::tanh).gather_rows(&(0..n).collect::<Vec<_>>()) };
 
         // Phase 1: structure-reconstruction pretraining.
         for _ in 0..self.pretrain_epochs {
@@ -151,11 +151,11 @@ impl BaselineClusterer for Daegc {
         let mut mu = centroids(&z0, &init_assign, k);
 
         // Phase 2: joint reconstruction + KL self-training.
-        let mut p = Rc::new(sharpen(&student_t_assignment(&z0, &mu)));
+        let mut p = Arc::new(sharpen(&student_t_assignment(&z0, &mu)));
         for epoch in 0..self.train_epochs {
             if epoch > 0 && epoch % self.refresh_interval == 0 {
                 let z = embed(&w);
-                p = Rc::new(sharpen(&student_t_assignment(&z, &mu)));
+                p = Arc::new(sharpen(&student_t_assignment(&z, &mu)));
             }
             let neg = self.draw_negatives(&mut rng, total_nodes, edges.len());
             let mut tape = Tape::new();
@@ -164,8 +164,8 @@ impl BaselineClusterer for Daegc {
             let z = tape.tanh(wv);
             let recon = Self::recon_loss(&mut tape, z, &edges, &neg);
             let sample_idx: Vec<usize> = (0..n).collect();
-            let z_samples = tape.gather_rows(z, Rc::new(sample_idx));
-            let kl = tape.dec_loss(z_samples, muv, Rc::clone(&p));
+            let z_samples = tape.gather_rows(z, Arc::new(sample_idx));
+            let kl = tape.dec_loss(z_samples, muv, Arc::clone(&p));
             let kl_scaled = tape.scale(kl, self.gamma / n as f64);
             let loss = tape.add(recon, kl_scaled);
             tape.backward(loss);
@@ -183,12 +183,7 @@ impl BaselineClusterer for Daegc {
 }
 
 impl Daegc {
-    fn draw_negatives(
-        &self,
-        rng: &mut ChaCha8Rng,
-        n: usize,
-        edges: usize,
-    ) -> Vec<(usize, usize)> {
+    fn draw_negatives(&self, rng: &mut ChaCha8Rng, n: usize, edges: usize) -> Vec<(usize, usize)> {
         (0..edges * self.negatives_per_edge)
             .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
             .filter(|&(a, b)| a != b)

@@ -133,22 +133,25 @@ mod tests {
 
     #[test]
     fn dense_matrix_fills_missing() {
-        let samples = vec![
-            sample(0, &[(1, -60.0)]),
-            sample(1, &[(2, -50.0)]),
-        ];
+        let samples = vec![sample(0, &[(1, -60.0)]), sample(1, &[(2, -50.0)])];
         let (x, macs) = dense_matrix(&samples);
         assert_eq!(x.shape(), (2, 2));
         assert_eq!(macs.len(), 2);
         // Sample 0 misses mac 2.
-        let mac2_col = macs.iter().position(|&m| m == MacAddr::from_u64(2)).unwrap();
+        let mac2_col = macs
+            .iter()
+            .position(|&m| m == MacAddr::from_u64(2))
+            .unwrap();
         assert_eq!(x[(0, mac2_col)], MISSING_DBM);
         assert_eq!(x[(1, mac2_col)], -50.0);
     }
 
     #[test]
     fn normalized_features_in_unit_interval() {
-        let samples = vec![sample(0, &[(1, -60.0), (2, 0.0)]), sample(1, &[(1, -119.0)])];
+        let samples = vec![
+            sample(0, &[(1, -60.0), (2, 0.0)]),
+            sample(1, &[(1, -119.0)]),
+        ];
         let f = normalized_features(&samples);
         assert!(f.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert!((f[(0, 0)] - 0.5).abs() < 1e-12); // -60 -> 0.5

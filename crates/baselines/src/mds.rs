@@ -158,11 +158,11 @@ mod tests {
         let sym = Matrix::from_fn(8, 8, |i, j| 0.5 * (raw[(i, j)] + raw[(j, i)]));
         let exact = symmetric_eigen(&sym, 1e-12, 100);
         let (_, values) = top_eigenpairs(&sym, 3, 200);
-        for k in 0..3 {
+        for (k, &value) in values.iter().enumerate().take(3) {
             assert!(
-                (values[k] - exact.values[k]).abs() < 1e-6,
+                (value - exact.values[k]).abs() < 1e-6,
                 "k={k}: {} vs {}",
-                values[k],
+                value,
                 exact.values[k]
             );
         }

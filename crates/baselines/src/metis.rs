@@ -85,8 +85,7 @@ impl BaselineClusterer for Metis {
         let mut levels = vec![base];
         while levels.last().expect("non-empty").adj.len() > self.coarsen_target.max(4 * k) {
             let coarse = coarsen(levels.last_mut().expect("non-empty"), &mut rng);
-            let shrunk = coarse.adj.len()
-                < levels.last().expect("non-empty").adj.len() * 95 / 100;
+            let shrunk = coarse.adj.len() < levels.last().expect("non-empty").adj.len() * 95 / 100;
             levels.push(coarse);
             if !shrunk {
                 break;
@@ -269,6 +268,7 @@ fn region_grow(level: &Level, k: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
             );
         }
     }
+    #[allow(clippy::needless_range_loop)] // part is mutated inside the loop
     for v in 0..n {
         if part[v] == usize::MAX {
             let p = (0..k)
@@ -310,9 +310,7 @@ fn refine(level: &Level, part: &mut [usize], k: usize, balance: f64, passes: usi
                     best = (p, gain);
                 }
             }
-            if best.0 != current
-                && weight[current] - level.node_weight[v] > 0.0
-            {
+            if best.0 != current && weight[current] - level.node_weight[v] > 0.0 {
                 weight[current] -= level.node_weight[v];
                 weight[best.0] += level.node_weight[v];
                 part[v] = best.0;
@@ -428,7 +426,10 @@ mod tests {
             let base = u64::from(i / 100) * 50;
             samples.push(sample(
                 i,
-                &[base + u64::from(i % 5) + 1, base + u64::from((i + 1) % 5) + 1],
+                &[
+                    base + u64::from(i % 5) + 1,
+                    base + u64::from((i + 1) % 5) + 1,
+                ],
             ));
         }
         let labels = Metis::new().seed(1).cluster(&samples, 2).unwrap();

@@ -19,7 +19,7 @@
 //!
 //! The final assignment is the argmax of `Q`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fis_autograd::tape::student_t_assignment;
 use fis_autograd::{Adam, Tape};
@@ -118,11 +118,11 @@ impl BaselineClusterer for Sdcn {
         let mut mu = centroids(&z0, &init_assign, k);
 
         // Phase 2: joint reconstruction + self-supervised clustering.
-        let mut p = Rc::new(sharpen(&student_t_assignment(&z0, &mu)));
+        let mut p = Arc::new(sharpen(&student_t_assignment(&z0, &mu)));
         for epoch in 0..self.train_epochs {
             if epoch > 0 && epoch % self.refresh_interval == 0 {
                 let z = embed(&w1);
-                p = Rc::new(sharpen(&student_t_assignment(&z, &mu)));
+                p = Arc::new(sharpen(&student_t_assignment(&z, &mu)));
             }
             let mut tape = Tape::new();
             let xv = tape.leaf(x_smooth.clone());
@@ -136,7 +136,7 @@ impl BaselineClusterer for Sdcn {
             let diff = tape.sub(xhat, xv);
             let sq = tape.square(diff);
             let recon = tape.mean_all(sq);
-            let kl = tape.dec_loss(z, muv, Rc::clone(&p));
+            let kl = tape.dec_loss(z, muv, Arc::clone(&p));
             let kl_scaled = tape.scale(kl, self.alpha / n as f64);
             let loss = tape.add(recon, kl_scaled);
             tape.backward(loss);
@@ -149,9 +149,7 @@ impl BaselineClusterer for Sdcn {
         let z = embed(&w1);
         let q = student_t_assignment(&z, &mu);
         let assignment: Vec<usize> = (0..n)
-            .map(|i| {
-                fis_linalg::vec_ops::argmax(q.row(i)).expect("k >= 1 columns")
-            })
+            .map(|i| fis_linalg::vec_ops::argmax(q.row(i)).expect("k >= 1 columns"))
             .collect();
         Ok(fis_cluster::relabel_compact(&assignment))
     }
@@ -166,9 +164,9 @@ pub(crate) fn centroids(z: &Matrix, assignment: &[usize], k: usize) -> Matrix {
         counts[c.min(k - 1)] += 1;
         fis_linalg::vec_ops::axpy(mu.row_mut(c.min(k - 1)), 1.0, z.row(i));
     }
-    for c in 0..k {
-        if counts[c] > 0 {
-            fis_linalg::vec_ops::scale(mu.row_mut(c), 1.0 / counts[c] as f64);
+    for (c, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            fis_linalg::vec_ops::scale(mu.row_mut(c), 1.0 / count as f64);
         }
     }
     mu

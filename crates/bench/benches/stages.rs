@@ -73,6 +73,23 @@ fn bench_clustering(c: &mut Criterion) {
             .unwrap()
         })
     });
+    // Headline speedup of this workspace: the O(n²) nearest-neighbor
+    // chain vs the seed's O(n³) closest-pair rescan, at a corpus-sized
+    // input. Expect >= 2x (typically 10x+) at n = 500.
+    let big: Vec<Vec<f64>> = (0..500)
+        .map(|i| {
+            vec![
+                ((i * 37) % 101) as f64 * 0.1 + (i % 5) as f64 * 20.0,
+                ((i * 53) % 97) as f64 * 0.1,
+            ]
+        })
+        .collect();
+    group.bench_function("nnchain(500, k=5)", |bench| {
+        bench.iter(|| fis_cluster::average_linkage(std::hint::black_box(&big), 5).unwrap())
+    });
+    group.bench_function("naive_o_n3(500, k=5)", |bench| {
+        bench.iter(|| fis_cluster::average_linkage_naive(std::hint::black_box(&big), 5).unwrap())
+    });
     group.finish();
 }
 
@@ -82,7 +99,13 @@ fn bench_tsp(c: &mut Criterion) {
         let sim: Vec<Vec<f64>> = (0..n)
             .map(|i: usize| {
                 (0..n)
-                    .map(|j: usize| if i == j { 1.0 } else { 1.0 / (1.0 + i.abs_diff(j) as f64) })
+                    .map(|j: usize| {
+                        if i == j {
+                            1.0
+                        } else {
+                            1.0 / (1.0 + i.abs_diff(j) as f64)
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -106,6 +129,80 @@ fn bench_similarity(c: &mut Criterion) {
     c.bench_function("similarity/plain_jaccard", |bench| {
         bench.iter(|| plain_jaccard(std::hint::black_box(&profiles[0]), &profiles[1]))
     });
+    // Whole-matrix benches: a wide profile set (32 pseudo-clusters over a
+    // dense mall) with the parallel row fan-out vs a forced 1-thread
+    // budget. The parallel variant should win by ~the core count.
+    let wide = BuildingConfig::new("bench-wide", 8)
+        .samples_per_floor(120)
+        .aps_per_floor(24)
+        .atrium_aps(4)
+        .seed(7)
+        .generate();
+    let pseudo: Vec<usize> = (0..wide.len()).map(|i| i % 32).collect();
+    let wide_profiles = ClusterMacProfile::from_assignment(wide.samples(), &pseudo, 32);
+    c.bench_function("similarity/matrix(32 profiles, parallel)", |bench| {
+        bench.iter(|| {
+            fis_core::similarity::similarity_matrix(
+                fis_core::SimilarityMethod::AdaptedJaccard,
+                std::hint::black_box(&wide_profiles),
+            )
+        })
+    });
+    c.bench_function("similarity/matrix(32 profiles, 1 thread)", |bench| {
+        bench.iter(|| {
+            fis_parallel::set_thread_budget(1);
+            let m = fis_core::similarity::similarity_matrix(
+                fis_core::SimilarityMethod::AdaptedJaccard,
+                std::hint::black_box(&wide_profiles),
+            );
+            fis_parallel::set_thread_budget(0);
+            m
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // Multi-building batch: the engine on all cores vs a 1-thread budget.
+    let corpus = fis_types::Dataset::new(
+        "bench",
+        (0..6)
+            .map(|i| {
+                BuildingConfig::new(format!("b{i}"), 3)
+                    .samples_per_floor(30)
+                    .aps_per_floor(8)
+                    .seed(40 + i as u64)
+                    .generate()
+            })
+            .collect(),
+    );
+    let config = {
+        let mut config = fis_core::FisOneConfig::default().seed(1);
+        config.gnn = RfGnnConfig::new(8)
+            .epochs(2)
+            .walks_per_node(2)
+            .neighbor_samples(vec![5, 3])
+            .seed(1);
+        config
+    };
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("evaluate_corpus(6 buildings, parallel)", |bench| {
+        bench.iter(|| {
+            fis_core::FisEngine::new(fis_core::EngineConfig::default().pipeline(config.clone()))
+                .evaluate_corpus(std::hint::black_box(&corpus))
+        })
+    });
+    group.bench_function("evaluate_corpus(6 buildings, 1 thread)", |bench| {
+        bench.iter(|| {
+            fis_core::FisEngine::new(
+                fis_core::EngineConfig::default()
+                    .pipeline(config.clone())
+                    .threads(1),
+            )
+            .evaluate_corpus(std::hint::black_box(&corpus))
+        })
+    });
+    group.finish();
 }
 
 fn bench_metrics(c: &mut Criterion) {
@@ -115,8 +212,9 @@ fn bench_metrics(c: &mut Criterion) {
         bench.iter(|| fis_metrics::adjusted_rand_index(std::hint::black_box(&pred), &truth))
     });
     c.bench_function("metrics/nmi(1000)", |bench| {
-        bench
-            .iter(|| fis_metrics::normalized_mutual_information(std::hint::black_box(&pred), &truth))
+        bench.iter(|| {
+            fis_metrics::normalized_mutual_information(std::hint::black_box(&pred), &truth)
+        })
     });
 }
 
@@ -128,6 +226,7 @@ criterion_group!(
     bench_clustering,
     bench_tsp,
     bench_similarity,
+    bench_engine,
     bench_metrics
 );
 criterion_main!(benches);

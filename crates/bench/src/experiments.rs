@@ -80,9 +80,10 @@ pub fn baseline_names() -> [&'static str; 4] {
 /// Default pipeline configuration for experiments at a given embedding
 /// dimension.
 pub fn experiment_config(dim: usize, seed: u64) -> FisOneConfig {
-    let mut config = FisOneConfig::default();
-    config.gnn = fis_gnn::RfGnnConfig::new(dim).seed(seed);
-    config
+    FisOneConfig {
+        gnn: fis_gnn::RfGnnConfig::new(dim).seed(seed),
+        ..FisOneConfig::default()
+    }
 }
 
 /// Runs every method and ablation on one building, sharing embeddings
@@ -172,18 +173,29 @@ fn baseline_set(dim: usize, seed: u64) -> Vec<Box<dyn BaselineClusterer>> {
 }
 
 /// Evaluates the full corpus cache at the ambient scale.
+///
+/// Buildings are processed concurrently across the `fis_parallel`
+/// thread budget; every building derives its seed from its corpus
+/// position, so the cache is identical for any thread count.
 pub fn build_cache(dim: usize) -> Vec<BuildingRow> {
     let (ms, ours) = corpora();
-    let mut rows = Vec::new();
-    for (i, b) in ms.buildings().iter().enumerate() {
-        eprintln!("[cache] Microsoft {}/{}", i + 1, ms.len());
-        rows.push(evaluate_building_all(b, "Microsoft", dim, i as u64));
-    }
-    for (i, b) in ours.buildings().iter().enumerate() {
-        eprintln!("[cache] Ours {}/{}", i + 1, ours.len());
-        rows.push(evaluate_building_all(b, "Ours", dim, 100 + i as u64));
-    }
-    rows
+    let jobs: Vec<(&'static str, u64, &Building)> = ms
+        .buildings()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| ("Microsoft", i as u64, b))
+        .chain(
+            ours.buildings()
+                .iter()
+                .enumerate()
+                .map(|(i, b)| ("Ours", 100 + i as u64, b)),
+        )
+        .collect();
+    let total = jobs.len();
+    fis_parallel::par_map(&jobs, 1, |i, &(dataset, seed, building)| {
+        eprintln!("[cache] {dataset} {}/{total}", i + 1);
+        evaluate_building_all(building, dataset, dim, seed)
+    })
 }
 
 fn accumulate(
@@ -231,7 +243,8 @@ pub fn table1(rows: &[BuildingRow]) {
 
 /// Figures 8 and 9: the four ablations, reported per corpus.
 pub fn fig8_fig9(rows: &[BuildingRow]) {
-    let variants: [(&str, &dyn Fn(&BuildingRow) -> Option<EvalResult>); 5] = [
+    type Getter<'a> = &'a dyn Fn(&BuildingRow) -> Option<EvalResult>;
+    let variants: [(&str, Getter); 5] = [
         ("FIS-ONE (full)", &|r| Some(r.fis)),
         ("without attention [Fig 8ab]", &|r| Some(r.no_attention)),
         ("K-means clustering [Fig 8cd]", &|r| Some(r.kmeans)),
@@ -273,13 +286,7 @@ pub fn fig12(rows: &[BuildingRow]) {
             continue;
         }
         let (a, n, e) = acc.cells();
-        table.push(vec![
-            floors.to_string(),
-            acc.ari.len().to_string(),
-            a,
-            n,
-            e,
-        ]);
+        table.push(vec![floors.to_string(), acc.ari.len().to_string(), a, n, e]);
     }
     print_table(
         "Figure 12: FIS-ONE by building floor count (both corpora)",

@@ -3,7 +3,7 @@
 
 use fis_baselines::BaselineClusterer;
 use fis_core::evaluate::score_prediction;
-use fis_core::{EvalResult, FisOne, FisOneConfig};
+use fis_core::{CorpusRun, EngineConfig, EvalResult, FisEngine, FisOne, FisOneConfig};
 use fis_metrics::MeanStd;
 use fis_synth::Scale;
 use fis_types::{Building, Dataset};
@@ -29,6 +29,24 @@ pub fn corpora() -> (Dataset, Dataset) {
 pub fn run_fis(config: &FisOneConfig, building: &Building) -> EvalResult {
     fis_core::evaluate_building(&FisOne::new(config.clone()), building)
         .unwrap_or_else(|e| panic!("FIS-ONE failed on {}: {e}", building.name()))
+}
+
+/// Evaluates a whole corpus through the parallel [`FisEngine`] and
+/// returns the per-building report (timings included).
+///
+/// All experiment corpora share one pipeline seed per run, so the batch
+/// is bit-identical to evaluating the buildings one by one.
+///
+/// # Panics
+///
+/// Panics if any building fails, mirroring [`run_fis`].
+pub fn run_corpus(config: &FisOneConfig, corpus: &Dataset) -> CorpusRun {
+    let engine = FisEngine::new(EngineConfig::default().pipeline(config.clone()));
+    let report = engine.evaluate_corpus(corpus);
+    if let Some((run, e)) = report.failures().next() {
+        panic!("FIS-ONE failed on {}: {e}", run.building);
+    }
+    report
 }
 
 /// Runs a baseline clusterer followed by FIS-ONE's indexing (the paper's
@@ -131,6 +149,42 @@ mod tests {
         let (a2, b2) = corpora();
         assert_eq!(a1, a2);
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn run_corpus_matches_run_fis() {
+        // Small corpus + tiny GNN config so the batch-vs-solo comparison
+        // stays cheap; the full-scale equivalence is the same code path.
+        let corpus = Dataset::new(
+            "tiny",
+            (0..2)
+                .map(|i| {
+                    fis_synth::BuildingConfig::new(format!("t{i}"), 3)
+                        .samples_per_floor(20)
+                        .aps_per_floor(8)
+                        .seed(CORPUS_SEED + i as u64)
+                        .generate()
+                })
+                .collect(),
+        );
+        let mut config = FisOneConfig::default().seed(7);
+        config.gnn = fis_gnn::RfGnnConfig::new(8)
+            .epochs(3)
+            .walks_per_node(2)
+            .neighbor_samples(vec![5, 3])
+            .seed(7);
+        let report = run_corpus(&config, &corpus);
+        assert_eq!(report.runs.len(), corpus.len());
+        for (run, outcome) in report.successes() {
+            let building = corpus
+                .buildings()
+                .iter()
+                .find(|b| b.name() == run.building)
+                .unwrap();
+            let solo = run_fis(&config, building);
+            let batch = outcome.eval.unwrap();
+            assert_eq!(solo, batch, "batch result differs for {}", run.building);
+        }
     }
 
     #[test]

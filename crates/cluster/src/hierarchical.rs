@@ -1,11 +1,19 @@
 //! Agglomerative hierarchical clustering with average linkage.
 //!
-//! Implemented with the Lance–Williams update on a full distance matrix:
-//! each merge recomputes distances to the merged cluster in O(n), and the
-//! next closest pair is found over active clusters. Complexity is O(n²)
-//! memory and O(n³) worst-case time, which is comfortable at the corpus
-//! sizes used here (hundreds to a few thousand samples per building);
-//! a nearest-neighbor cache brings typical time close to O(n²).
+//! [`average_linkage`] uses the **nearest-neighbor-chain** algorithm:
+//! follow nearest-neighbor links until a reciprocal pair is found, merge
+//! it, and continue from the remaining chain. Average linkage (UPGMA) is
+//! *reducible*, so merging a reciprocal pair never invalidates the chain
+//! below it and the full dendrogram is built in O(n²) time on top of an
+//! O(n²) distance matrix (computed in parallel) — versus the O(n³)
+//! closest-pair rescan of [`average_linkage_naive`], which is kept as the
+//! reference implementation for tests and benchmarks.
+//!
+//! Both implementations produce identical partitions whenever pairwise
+//! dissimilarities are distinct (ties can be merged in a different order,
+//! which may change the cut only when equal distances exist).
+
+use fis_parallel::par_row_chunks_mut;
 
 /// Average-linkage agglomerative clustering down to `k` clusters.
 ///
@@ -23,20 +31,85 @@ pub fn average_linkage(points: &[Vec<f64>], k: usize) -> Result<Vec<usize>, Stri
         return Ok((0..n).collect());
     }
 
-    // Flat upper-triangular-ish full matrix of cluster distances. Inactive
-    // clusters keep stale entries that are simply never read.
-    let mut dist = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = euclidean(&points[i], &points[j]);
-            dist[i * n + j] = d;
-            dist[j * n + i] = d;
-        }
-    }
+    let mut dist = pairwise_distances(points);
     let mut active: Vec<bool> = vec![true; n];
     let mut size: Vec<usize> = vec![1; n];
-    // Union-find style assignment: every point starts as its own cluster;
-    // merges fold cluster j into cluster i.
+    let mut assignment: Vec<usize> = (0..n).collect();
+
+    // Build the FULL dendrogram with the nearest-neighbor chain. The
+    // chain discovers reciprocal pairs out of height order, so the
+    // partition at k clusters is recovered afterwards by replaying the
+    // n - k lowest merges — exactly the greedy closest-pair cut.
+    let mut merges: Vec<(f64, usize, usize)> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    while merges.len() < n - 1 {
+        if chain.is_empty() {
+            let seed = active
+                .iter()
+                .position(|&a| a)
+                .expect("at least one cluster remains");
+            chain.push(seed);
+        }
+        loop {
+            let c = *chain.last().expect("chain is non-empty");
+            let prev = chain.len().checked_sub(2).map(|i| chain[i]);
+            let nn = nearest_active(&dist, &active, n, c, prev);
+            if prev == Some(nn) {
+                // Reciprocal nearest neighbors: merge and resume from the
+                // shortened chain.
+                chain.pop();
+                chain.pop();
+                merges.push((dist[c * n + nn], c.min(nn), c.max(nn)));
+                merge(c, nn, &mut dist, &mut active, &mut size, &mut assignment, n);
+                break;
+            }
+            chain.push(nn);
+        }
+    }
+
+    // Cut the dendrogram: apply the n - k smallest merges. For reducible
+    // linkages the chain finds the same merge set as the greedy
+    // algorithm, so this reproduces the greedy partition whenever merge
+    // heights are distinct (stable sort fixes the order on exact ties).
+    merges.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite linkage heights"));
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for &(_, a, b) in merges.iter().take(n - k) {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        // Root at the smaller index so labels mirror fold-into-min.
+        let (lo, hi) = (ra.min(rb), ra.max(rb));
+        parent[hi] = lo;
+    }
+    let labels: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+    Ok(crate::partition::relabel_compact(&labels))
+}
+
+/// The seed O(n³) implementation: rescan all active pairs for the global
+/// closest pair before every merge.
+///
+/// Retained as the reference the nearest-neighbor-chain implementation is
+/// validated against (they agree whenever pairwise distances are
+/// distinct) and as the baseline for the `cluster` benchmarks.
+///
+/// # Errors
+///
+/// Same conditions as [`average_linkage`].
+pub fn average_linkage_naive(points: &[Vec<f64>], k: usize) -> Result<Vec<usize>, String> {
+    validate(points, k)?;
+    let n = points.len();
+    if k == n {
+        return Ok((0..n).collect());
+    }
+
+    let mut dist = pairwise_distances(points);
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<usize> = vec![1; n];
     let mut assignment: Vec<usize> = (0..n).collect();
 
     let mut clusters_left = n;
@@ -60,29 +133,102 @@ pub fn average_linkage(points: &[Vec<f64>], k: usize) -> Result<Vec<usize>, Stri
             }
         }
         debug_assert!(bi != usize::MAX, "no active pair found");
-
-        // Lance-Williams for average linkage (UPGMA):
-        // d(i∪j, l) = (|i| d(i,l) + |j| d(j,l)) / (|i| + |j|)
-        let (si, sj) = (size[bi] as f64, size[bj] as f64);
-        for l in 0..n {
-            if !active[l] || l == bi || l == bj {
-                continue;
-            }
-            let d_new = (si * dist[bi * n + l] + sj * dist[bj * n + l]) / (si + sj);
-            dist[bi * n + l] = d_new;
-            dist[l * n + bi] = d_new;
-        }
-        active[bj] = false;
-        size[bi] += size[bj];
-        for a in assignment.iter_mut() {
-            if *a == bj {
-                *a = bi;
-            }
-        }
+        merge(
+            bi,
+            bj,
+            &mut dist,
+            &mut active,
+            &mut size,
+            &mut assignment,
+            n,
+        );
         clusters_left -= 1;
     }
 
     Ok(crate::partition::relabel_compact(&assignment))
+}
+
+/// Full symmetric pairwise Euclidean distance matrix, rows computed in
+/// parallel across the thread budget.
+fn pairwise_distances(points: &[Vec<f64>]) -> Vec<f64> {
+    let n = points.len();
+    let mut dist = vec![0.0f64; n * n];
+    // Each worker owns whole rows, recomputing the symmetric entry
+    // rather than sharing writes; every element is produced by exactly
+    // one worker with serial arithmetic order, so the matrix is
+    // bit-identical for any thread count.
+    par_row_chunks_mut(&mut dist, n, 4096 / n.max(1), |first_row, chunk| {
+        for (k, row) in chunk.chunks_mut(n).enumerate() {
+            let i = first_row + k;
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = euclidean(&points[i], &points[j]);
+            }
+        }
+    });
+    dist
+}
+
+/// Nearest active cluster to `c` (excluding itself), scanning in index
+/// order with ties broken toward `prefer` first and then the smallest
+/// index — deterministic regardless of thread budget.
+fn nearest_active(
+    dist: &[f64],
+    active: &[bool],
+    n: usize,
+    c: usize,
+    prefer: Option<usize>,
+) -> usize {
+    let row = &dist[c * n..(c + 1) * n];
+    let mut nn = usize::MAX;
+    let mut best = f64::INFINITY;
+    if let Some(p) = prefer {
+        if active[p] {
+            nn = p;
+            best = row[p];
+        }
+    }
+    for (j, (&d, &a)) in row.iter().zip(active.iter()).enumerate() {
+        if !a || j == c {
+            continue;
+        }
+        if d < best || (d == best && j < nn && Some(nn) != prefer) {
+            best = d;
+            nn = j;
+        }
+    }
+    debug_assert!(nn != usize::MAX, "no active neighbor found");
+    nn
+}
+
+/// Merges clusters `a` and `b` into `min(a, b)` with the Lance–Williams
+/// average-linkage (UPGMA) distance update:
+/// `d(a∪b, l) = (|a| d(a,l) + |b| d(b,l)) / (|a| + |b|)`.
+fn merge(
+    a: usize,
+    b: usize,
+    dist: &mut [f64],
+    active: &mut [bool],
+    size: &mut [usize],
+    assignment: &mut [usize],
+    n: usize,
+) {
+    let (target, other) = if a < b { (a, b) } else { (b, a) };
+    let (st, so) = (size[target] as f64, size[other] as f64);
+    for l in 0..n {
+        if !active[l] || l == target || l == other {
+            continue;
+        }
+        let d_new = (st * dist[target * n + l] + so * dist[other * n + l]) / (st + so);
+        dist[target * n + l] = d_new;
+        dist[l * n + target] = d_new;
+    }
+    active[other] = false;
+    size[target] += size[other];
+    for slot in assignment.iter_mut() {
+        if *slot == other {
+            *slot = target;
+        }
+    }
 }
 
 fn euclidean(a: &[f64], b: &[f64]) -> f64 {
@@ -108,7 +254,10 @@ fn validate(points: &[Vec<f64>], k: usize) -> Result<(), String> {
         return Err("points must have at least one dimension".to_owned());
     }
     if let Some(bad) = points.iter().position(|p| p.len() != d) {
-        return Err(format!("point {bad} has dimension {} != {d}", points[bad].len()));
+        return Err(format!(
+            "point {bad} has dimension {} != {d}",
+            points[bad].len()
+        ));
     }
     Ok(())
 }
@@ -148,7 +297,9 @@ mod tests {
 
     #[test]
     fn exact_cluster_count() {
-        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i / 10) as f64 * 10.0 + (i % 10) as f64 * 0.01]).collect();
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i / 10) as f64 * 10.0 + (i % 10) as f64 * 0.01])
+            .collect();
         for k in 1..=5 {
             let labels = average_linkage(&pts, k).unwrap();
             let mut distinct: Vec<usize> = labels.clone();
@@ -187,10 +338,50 @@ mod tests {
 
     #[test]
     fn rejects_invalid_input() {
-        assert!(average_linkage(&[], 1).is_err());
-        assert!(average_linkage(&[vec![1.0]], 0).is_err());
-        assert!(average_linkage(&[vec![1.0]], 2).is_err());
-        assert!(average_linkage(&[vec![1.0], vec![1.0, 2.0]], 1).is_err());
-        assert!(average_linkage(&[vec![]], 1).is_err());
+        for f in [average_linkage, average_linkage_naive] {
+            assert!(f(&[], 1).is_err());
+            assert!(f(&[vec![1.0]], 0).is_err());
+            assert!(f(&[vec![1.0]], 2).is_err());
+            assert!(f(&[vec![1.0], vec![1.0, 2.0]], 1).is_err());
+            assert!(f(&[vec![]], 1).is_err());
+        }
+    }
+
+    /// Deterministic pseudo-random points with effectively distinct
+    /// pairwise distances (so the chain and naive dendrograms coincide).
+    fn scattered_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (0..d).map(|_| next() * 10.0 - 5.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn chain_matches_naive_reference() {
+        for (n, d, seed) in [(24usize, 2usize, 1u64), (40, 3, 2), (65, 4, 3)] {
+            let pts = scattered_points(n, d, seed);
+            for k in [1usize, 2, 3, 5, 8] {
+                let fast = average_linkage(&pts, k).unwrap();
+                let slow = average_linkage_naive(&pts, k).unwrap();
+                assert_eq!(fast, slow, "n={n} d={d} seed={seed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_deterministic_across_thread_budgets() {
+        let pts = scattered_points(80, 3, 7);
+        fis_parallel::set_thread_budget(1);
+        let serial = average_linkage(&pts, 4).unwrap();
+        fis_parallel::set_thread_budget(4);
+        let parallel = average_linkage(&pts, 4).unwrap();
+        fis_parallel::set_thread_budget(0);
+        assert_eq!(serial, parallel);
     }
 }

@@ -66,10 +66,10 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<Vec<usize>, 
     let mut labels = vec![0usize; points.len()];
 
     for _ in 0..config.max_iters {
-        // Assignment step.
-        for (i, p) in points.iter().enumerate() {
-            labels[i] = nearest(p, &centroids).0;
-        }
+        // Assignment step, parallel over points: each label depends only
+        // on its own point and the shared centroids, so the result is
+        // identical for any thread budget.
+        labels = fis_parallel::par_map(points, PAR_MIN_POINTS, |_, p| nearest(p, &centroids).0);
         // Update step.
         let mut sums = vec![vec![0.0; d]; k];
         let mut counts = vec![0usize; k];
@@ -108,11 +108,12 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<Vec<usize>, 
             break;
         }
     }
-    for (i, p) in points.iter().enumerate() {
-        labels[i] = nearest(p, &centroids).0;
-    }
+    labels = fis_parallel::par_map(points, PAR_MIN_POINTS, |_, p| nearest(p, &centroids).0);
     Ok(crate::partition::relabel_compact(&labels))
 }
+
+/// Minimum points per worker before the assignment step fans out.
+const PAR_MIN_POINTS: usize = 256;
 
 fn labels_nearest(p: &[f64], centroids: &[Vec<f64>]) -> usize {
     nearest(p, centroids).0
@@ -130,20 +131,14 @@ fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
 }
 
 fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 fn plus_plus_init<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
     while centroids.len() < k {
-        let weights: Vec<f64> = points
-            .iter()
-            .map(|p| nearest(p, &centroids).1)
-            .collect();
+        let weights: Vec<f64> = points.iter().map(|p| nearest(p, &centroids).1).collect();
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
             // All points coincide with existing centroids; any choice works.
@@ -185,7 +180,9 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
         let a = kmeans(&pts, &KMeansConfig::new(3).seed(5)).unwrap();
         let b = kmeans(&pts, &KMeansConfig::new(3).seed(5)).unwrap();
         assert_eq!(a, b);

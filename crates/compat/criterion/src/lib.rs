@@ -1,0 +1,215 @@
+//! Offline micro-benchmark harness with a `criterion`-compatible surface.
+//!
+//! Implements the subset of criterion's API the workspace benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! [`BenchmarkId`], [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark is warmed up briefly, then
+//! timed over enough iterations to fill a small measurement window;
+//! mean and best iteration times are printed to stdout.
+//!
+//! Set `CRITERION_QUICK=1` to shrink the measurement window (useful in
+//! CI where only "does it run" matters).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, preventing the result from being
+    /// optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn measurement_window() -> Duration {
+    if std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1") {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(400)
+    }
+}
+
+fn run_bench(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Calibration: grow the iteration count until one batch takes a
+    // measurable slice of the window.
+    let window = measurement_window();
+    let mut iters = 1u64;
+    let mut batch;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        batch = b.elapsed;
+        if batch >= window / 20 || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    // Measurement: repeat batches until the window is filled.
+    let mut samples = vec![batch.as_secs_f64() / iters as f64];
+    let started = Instant::now();
+    while started.elapsed() < window && samples.len() < 50 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "bench {name:<44} mean {:>12}  best {:>12}  ({} samples x {iters} iters)",
+        format_time(mean),
+        format_time(best),
+        samples.len()
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    let mut s = String::new();
+    if secs >= 1.0 {
+        let _ = write!(s, "{secs:.3} s");
+    } else if secs >= 1e-3 {
+        let _ = write!(s, "{:.3} ms", secs * 1e3);
+    } else if secs >= 1e-6 {
+        let _ = write!(s, "{:.3} us", secs * 1e6);
+    } else {
+        let _ = write!(s, "{:.1} ns", secs * 1e9);
+    }
+    s
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` display form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark immediately.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under this group's prefix.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.full), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("shim/self_test", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        let input = vec![1u64, 2, 3];
+        g.bench_with_input(BenchmarkId::new("sum", input.len()), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2e-6).ends_with("us"));
+        assert!(format_time(2e-9).ends_with("ns"));
+    }
+}

@@ -83,8 +83,7 @@ pub fn identify_with_arbitrary_anchor(
     }
 
     // Similarity over the anchor-free clusters.
-    let other_samples: Vec<SignalSample> =
-        others.iter().map(|&i| samples[i].clone()).collect();
+    let other_samples: Vec<SignalSample> = others.iter().map(|&i| samples[i].clone()).collect();
     let profiles = ClusterMacProfile::from_assignment(&other_samples, &other_assignment, floors);
     let sim = similarity_matrix(fis.config().similarity, &profiles);
 
@@ -150,12 +149,7 @@ pub fn identify_with_arbitrary_anchor(
 
 /// Mean Euclidean distance from the embedding of `target` to the members
 /// of `cluster` (§VI's `d(r, C_i)`), `+inf` for an empty cluster.
-fn mean_distance(
-    embeddings: &Matrix,
-    target: usize,
-    assignment: &[usize],
-    cluster: usize,
-) -> f64 {
+fn mean_distance(embeddings: &Matrix, target: usize, assignment: &[usize], cluster: usize) -> f64 {
     let r = embeddings.row(target);
     let mut sum = 0.0;
     let mut count = 0usize;
@@ -220,13 +214,9 @@ mod tests {
     fn second_floor_anchor_resolves_four_floor_building() {
         let b = easy_building(4, 21);
         let anchor = b.anchor_on(FloorId::from_index(1)).unwrap();
-        let outcome = identify_with_arbitrary_anchor(
-            &quick_pipeline(1),
-            b.samples(),
-            b.floors(),
-            anchor,
-        )
-        .unwrap();
+        let outcome =
+            identify_with_arbitrary_anchor(&quick_pipeline(1), b.samples(), b.floors(), anchor)
+                .unwrap();
         let pred = outcome.prediction().expect("case 2 must resolve");
         let correct = pred
             .labels()
@@ -243,13 +233,9 @@ mod tests {
     fn middle_floor_of_odd_building_is_ambiguous() {
         let b = easy_building(3, 22);
         let anchor = b.anchor_on(FloorId::from_index(1)).unwrap();
-        let outcome = identify_with_arbitrary_anchor(
-            &quick_pipeline(2),
-            b.samples(),
-            b.floors(),
-            anchor,
-        )
-        .unwrap();
+        let outcome =
+            identify_with_arbitrary_anchor(&quick_pipeline(2), b.samples(), b.floors(), anchor)
+                .unwrap();
         match outcome {
             ArbitraryAnchorOutcome::Ambiguous { order, assignment } => {
                 assert_eq!(order.len(), 3);
@@ -263,13 +249,9 @@ mod tests {
     fn bottom_anchor_matches_core_pipeline_quality() {
         let b = easy_building(3, 23);
         let anchor = b.bottom_anchor().unwrap();
-        let outcome = identify_with_arbitrary_anchor(
-            &quick_pipeline(3),
-            b.samples(),
-            b.floors(),
-            anchor,
-        )
-        .unwrap();
+        let outcome =
+            identify_with_arbitrary_anchor(&quick_pipeline(3), b.samples(), b.floors(), anchor)
+                .unwrap();
         let pred = outcome.prediction().expect("bottom anchor resolves");
         let correct = pred
             .labels()
@@ -287,12 +269,9 @@ mod tests {
             sample: fis_types::SampleId(u32::MAX),
             floor: FloorId::BOTTOM,
         };
-        assert!(identify_with_arbitrary_anchor(
-            &quick_pipeline(4),
-            b.samples(),
-            b.floors(),
-            bogus
-        )
-        .is_err());
+        assert!(
+            identify_with_arbitrary_anchor(&quick_pipeline(4), b.samples(), b.floors(), bogus)
+                .is_err()
+        );
     }
 }

@@ -17,6 +17,17 @@
 //! [`extension`], and [`evaluate`] scores predictions with ARI / NMI /
 //! Jaro–Winkler edit distance against ground truth.
 //!
+//! # Batch execution
+//!
+//! [`engine::FisEngine`] runs the pipeline over a whole corpus with
+//! buildings dispatched concurrently across a configurable thread budget
+//! (`FIS_THREADS`, [`fis_parallel::set_thread_budget`], or
+//! [`engine::EngineConfig::threads`]). The workspace-wide determinism
+//! contract applies: the tape is `Send + Sync`, every parallel kernel
+//! partitions independent outputs without reassociating floating-point
+//! reductions, and every building owns its seeded RNG — so a fixed seed
+//! yields bit-identical predictions for 1 or N threads.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -31,6 +42,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod engine;
 pub mod error;
 pub mod evaluate;
 pub mod extension;
@@ -38,9 +50,10 @@ pub mod indexing;
 pub mod pipeline;
 pub mod similarity;
 
+pub use engine::{BuildingOutcome, BuildingRun, CorpusRun, EngineConfig, FisEngine};
 pub use error::FisError;
 pub use evaluate::{evaluate_building, EvalResult};
-pub use extension::{ArbitraryAnchorOutcome, identify_with_arbitrary_anchor};
+pub use extension::{identify_with_arbitrary_anchor, ArbitraryAnchorOutcome};
 pub use indexing::{index_clusters, ClusterIndexing, TspSolver};
 pub use pipeline::{ClusteringMethod, FisOne, FisOneConfig, FloorPrediction};
 pub use similarity::{ClusterMacProfile, SimilarityMethod};

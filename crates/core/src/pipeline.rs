@@ -182,8 +182,8 @@ impl FisOne {
     ///
     /// Returns [`FisError::Graph`] or [`FisError::Training`].
     pub fn embed(&self, samples: &[SignalSample]) -> Result<Matrix, FisError> {
-        let graph = BipartiteGraph::from_samples(samples)
-            .map_err(|e| FisError::Graph(e.to_string()))?;
+        let graph =
+            BipartiteGraph::from_samples(samples).map_err(|e| FisError::Graph(e.to_string()))?;
         let model = RfGnn::train(&graph, &self.config.gnn).map_err(FisError::Training)?;
         Ok(model.embed_samples(&graph))
     }
@@ -195,7 +195,11 @@ impl FisOne {
     ///
     /// Returns [`FisError::Clustering`] if the clusterer fails or produces
     /// fewer than `k` non-empty clusters.
-    pub fn cluster_embeddings(&self, embeddings: &Matrix, k: usize) -> Result<Vec<usize>, FisError> {
+    pub fn cluster_embeddings(
+        &self,
+        embeddings: &Matrix,
+        k: usize,
+    ) -> Result<Vec<usize>, FisError> {
         let points: Vec<Vec<f64>> = (0..embeddings.rows())
             .map(|r| embeddings.row(r).to_vec())
             .collect();
@@ -208,10 +212,18 @@ impl FisOne {
                     .map_err(FisError::Clustering)?
             }
         };
-        let found = assignment.iter().copied().max().map_or(0, |m| m + 1);
-        if found != k {
+        // Count distinct non-empty clusters: `max + 1` would accept
+        // assignments with empty *middle* clusters (e.g. labels {0, 2}
+        // for k = 3), which the indexing stage cannot handle.
+        let mut seen = assignment.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        let found = seen.len();
+        if found != k || seen.last() != Some(&(k - 1)) {
             return Err(FisError::Clustering(format!(
-                "clustering produced {found} clusters, expected {k}"
+                "clustering produced {found} non-empty clusters \
+                 (labels 0..={}), expected exactly {k}",
+                seen.last().copied().unwrap_or(0)
             )));
         }
         Ok(assignment)

@@ -58,12 +58,12 @@ impl ClusterMacProfile {
     /// # Panics
     ///
     /// Panics if `assignment.len() != samples.len()` or a label is `>= k`.
-    pub fn from_assignment(
-        samples: &[SignalSample],
-        assignment: &[usize],
-        k: usize,
-    ) -> Vec<Self> {
-        assert_eq!(samples.len(), assignment.len(), "assignment length mismatch");
+    pub fn from_assignment(samples: &[SignalSample], assignment: &[usize], k: usize) -> Vec<Self> {
+        assert_eq!(
+            samples.len(),
+            assignment.len(),
+            "assignment length mismatch"
+        );
         let mut profiles = vec![Self::default(); k];
         for (sample, &cluster) in samples.iter().zip(assignment.iter()) {
             assert!(cluster < k, "cluster label {cluster} out of range");
@@ -157,13 +157,26 @@ pub fn cluster_similarity(
 }
 
 /// Full pairwise similarity matrix over cluster profiles.
-pub fn similarity_matrix(method: SimilarityMethod, profiles: &[ClusterMacProfile]) -> Vec<Vec<f64>> {
+///
+/// The upper triangle is computed row-parallel across the
+/// [`fis_parallel`] thread budget (each worker owns whole rows) and
+/// mirrored afterwards, so the matrix is exactly symmetric and identical
+/// for any thread count.
+pub fn similarity_matrix(
+    method: SimilarityMethod,
+    profiles: &[ClusterMacProfile],
+) -> Vec<Vec<f64>> {
     let k = profiles.len();
+    let uppers: Vec<Vec<f64>> = fis_parallel::par_map(profiles, 2, |i, pi| {
+        (i + 1..k)
+            .map(|j| cluster_similarity(method, pi, &profiles[j]))
+            .collect()
+    });
     let mut m = vec![vec![0.0; k]; k];
-    for i in 0..k {
+    for (i, upper) in uppers.into_iter().enumerate() {
         m[i][i] = 1.0;
-        for j in (i + 1)..k {
-            let s = cluster_similarity(method, &profiles[i], &profiles[j]);
+        for (offset, s) in upper.into_iter().enumerate() {
+            let j = i + 1 + offset;
             m[i][j] = s;
             m[j][i] = s;
         }
@@ -280,10 +293,10 @@ mod tests {
             profile(&[sample(0, &[3, 4])]),
         ];
         let m = similarity_matrix(SimilarityMethod::AdaptedJaccard, &profiles);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..3 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
             }
         }
         // Adjacent overlap beats no overlap.

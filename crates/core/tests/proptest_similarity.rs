@@ -1,9 +1,7 @@
 //! Property-based tests for the spillover similarity and cluster indexing.
 
 use fis_core::indexing::{index_clusters, TspSolver};
-use fis_core::similarity::{
-    adapted_jaccard, plain_jaccard, similarity_matrix, ClusterMacProfile,
-};
+use fis_core::similarity::{adapted_jaccard, plain_jaccard, similarity_matrix, ClusterMacProfile};
 use fis_core::SimilarityMethod;
 use fis_types::{MacAddr, Rssi, SignalSample};
 use proptest::prelude::*;

@@ -95,7 +95,10 @@ impl RfGnnConfig {
     /// Panics if `sizes` is empty or contains zero.
     pub fn neighbor_samples(mut self, sizes: Vec<usize>) -> Self {
         assert!(!sizes.is_empty(), "need at least one hop");
-        assert!(sizes.iter().all(|&s| s > 0), "sample sizes must be positive");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "sample sizes must be positive"
+        );
         self.hops = sizes.len();
         self.neighbor_samples = sizes;
         self

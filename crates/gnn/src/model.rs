@@ -1,7 +1,7 @@
 //! The RF-GNN encoder: K-hop sampled, RSS-attention-weighted aggregation.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fis_autograd::{Tape, Var};
 use fis_graph::BipartiteGraph;
@@ -36,8 +36,7 @@ impl RfGnn {
     /// Initializes an untrained model for `graph` (used by the trainer).
     pub(crate) fn init(graph: &BipartiteGraph, config: &RfGnnConfig) -> Self {
         let d = config.dim;
-        let features =
-            init::uniform_matrix(graph.n_nodes(), d, -0.5, 0.5, config.seed ^ 0xFEED);
+        let features = init::uniform_matrix(graph.n_nodes(), d, -0.5, 0.5, config.seed ^ 0xFEED);
         let weights = (0..config.hops)
             .map(|k| init::xavier_uniform(2 * d, d, config.seed ^ (0xBEEF + k as u64)))
             .collect();
@@ -91,7 +90,7 @@ impl RfGnn {
         depth: usize,
     ) -> Var {
         if depth == 0 {
-            return tape.gather_rows(vars.features, Rc::new(nodes.to_vec()));
+            return tape.gather_rows(vars.features, Arc::new(nodes.to_vec()));
         }
         let hop_index = self.config.hops - depth; // 0 = outermost sampling
         let sample_size = self.config.neighbor_samples[hop_index];
@@ -120,8 +119,8 @@ impl RfGnn {
         let child_reps = self.layer(tape, graph, rng, vars, &child_list, depth - 1);
         // Nodes occupy the first positions of child_list by construction.
         let self_idx: Vec<usize> = (0..nodes.len()).collect();
-        let self_reps = tape.gather_rows(child_reps, Rc::new(self_idx));
-        let agg = tape.aggregate(child_reps, Rc::new(groups));
+        let self_reps = tape.gather_rows(child_reps, Arc::new(self_idx));
+        let agg = tape.aggregate(child_reps, Arc::new(groups));
         let cat = tape.hcat(self_reps, agg);
         let lin = tape.matmul(cat, vars.weights[hop_index]);
         // σ(·) on the inner hops only. The outermost hop (hop_index 0) stays

@@ -1,6 +1,6 @@
 //! Unsupervised training of RF-GNN on random-walk co-occurrence pairs.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fis_autograd::{Adam, Tape};
 use fis_graph::{cooccurrence_pairs, random_walks, BipartiteGraph, NegativeSampler, WalkStrategy};
@@ -60,7 +60,13 @@ impl RfGnn {
         } else {
             WalkStrategy::Uniform
         };
-        let walks = random_walks(graph, &mut rng, config.walks_per_node, config.walk_length, strategy);
+        let walks = random_walks(
+            graph,
+            &mut rng,
+            config.walks_per_node,
+            config.walk_length,
+            strategy,
+        );
         let mut pairs = cooccurrence_pairs(&walks, config.walk_length);
         if pairs.is_empty() {
             return Err("no co-occurrence pairs: graph has no edges".to_owned());
@@ -104,8 +110,9 @@ impl RfGnn {
         // forward pass shared by anchors, positives, and negatives.
         let mut uniq: Vec<usize> = Vec::new();
         let mut index_of = std::collections::HashMap::new();
-        let intern = |node: usize, uniq: &mut Vec<usize>,
-                          index_of: &mut std::collections::HashMap<usize, usize>| {
+        let intern = |node: usize,
+                      uniq: &mut Vec<usize>,
+                      index_of: &mut std::collections::HashMap<usize, usize>| {
             *index_of.entry(node).or_insert_with(|| {
                 uniq.push(node);
                 uniq.len() - 1
@@ -131,14 +138,14 @@ impl RfGnn {
         let vars = self.leaves(&mut tape);
         let reps = self.forward(&mut tape, graph, rng, &vars, &uniq);
 
-        let ri = tape.gather_rows(reps, Rc::new(idx_i));
-        let rj = tape.gather_rows(reps, Rc::new(idx_j));
+        let ri = tape.gather_rows(reps, Arc::new(idx_i));
+        let rj = tape.gather_rows(reps, Arc::new(idx_j));
         let pos_scores = tape.rowwise_dot(ri, rj);
         let pos_losses = tape.neg_log_sigmoid(pos_scores);
         let pos_sum = tape.sum_all(pos_losses);
 
-        let ri_rep = tape.gather_rows(reps, Rc::new(idx_i_rep));
-        let rz = tape.gather_rows(reps, Rc::new(idx_z));
+        let ri_rep = tape.gather_rows(reps, Arc::new(idx_i_rep));
+        let rz = tape.gather_rows(reps, Arc::new(idx_z));
         let neg_scores = tape.rowwise_dot(ri_rep, rz);
         let neg_flipped = tape.scale(neg_scores, -1.0);
         let neg_losses = tape.neg_log_sigmoid(neg_flipped);

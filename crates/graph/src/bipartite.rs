@@ -231,7 +231,9 @@ impl BipartiteGraph {
         if nbrs.is_empty() {
             return Vec::new();
         }
-        (0..k).map(|_| nbrs[rng.gen_range(0..nbrs.len())].0).collect()
+        (0..k)
+            .map(|_| nbrs[rng.gen_range(0..nbrs.len())].0)
+            .collect()
     }
 
     /// Connected-component id for every node (BFS). Isolated sample nodes

@@ -119,7 +119,9 @@ mod tests {
     fn isolated_nodes_never_sampled() {
         let r = Rssi::new(-50.0).unwrap();
         let samples = vec![
-            SignalSample::builder(0).reading(MacAddr::from_u64(1), r).build(),
+            SignalSample::builder(0)
+                .reading(MacAddr::from_u64(1), r)
+                .build(),
             SignalSample::builder(1).build(), // isolated
         ];
         let g = BipartiteGraph::from_samples(&samples).unwrap();

@@ -39,9 +39,7 @@ pub fn random_walks<R: Rng + ?Sized>(
             let mut current = start;
             for _ in 0..length {
                 let next = match strategy {
-                    WalkStrategy::Weighted => {
-                        graph.sample_neighbors_weighted(rng, current, 1)
-                    }
+                    WalkStrategy::Weighted => graph.sample_neighbors_weighted(rng, current, 1),
                     WalkStrategy::Uniform => graph.sample_neighbors_uniform(rng, current, 1),
                 };
                 match next.first() {
@@ -91,7 +89,10 @@ mod tests {
         let m = MacAddr::from_u64;
         let samples = vec![
             SignalSample::builder(0).reading(m(1), r).build(),
-            SignalSample::builder(1).reading(m(1), r).reading(m(2), r).build(),
+            SignalSample::builder(1)
+                .reading(m(1), r)
+                .reading(m(2), r)
+                .build(),
             SignalSample::builder(2).reading(m(2), r).build(),
         ];
         BipartiteGraph::from_samples(&samples).unwrap()
@@ -166,8 +167,8 @@ mod tests {
         let walks = random_walks(&g, &mut rng, 3000, 1, WalkStrategy::Weighted);
         let from_s0: Vec<&Vec<usize>> = walks.iter().filter(|w| w[0] == 0).collect();
         let strong_node = g.mac_node(g.mac_id(MacAddr::from_u64(1)).unwrap());
-        let frac = from_s0.iter().filter(|w| w[1] == strong_node).count() as f64
-            / from_s0.len() as f64;
+        let frac =
+            from_s0.iter().filter(|w| w[1] == strong_node).count() as f64 / from_s0.len() as f64;
         // Weight ratio 80:30 -> ~0.727
         assert!((frac - 80.0 / 110.0).abs() < 0.05, "frac={frac}");
     }

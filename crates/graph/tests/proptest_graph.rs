@@ -65,7 +65,7 @@ proptest! {
     #[test]
     fn cooccurrence_pairs_are_within_window(walks_len in 2usize..8, window in 1usize..6) {
         let walk: Vec<usize> = (0..walks_len).collect();
-        let pairs = cooccurrence_pairs(&[walk.clone()], window);
+        let pairs = cooccurrence_pairs(std::slice::from_ref(&walk), window);
         for (a, b) in pairs {
             let pa = walk.iter().position(|&x| x == a).unwrap();
             let pb = walk.iter().position(|&x| x == b).unwrap();

@@ -151,7 +151,11 @@ mod tests {
                 }
             }
         }
-        assert!(a.max_abs_diff(&recon) < 1e-8, "diff={}", a.max_abs_diff(&recon));
+        assert!(
+            a.max_abs_diff(&recon) < 1e-8,
+            "diff={}",
+            a.max_abs_diff(&recon)
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ mod tests {
         let w = he_normal(100, 50, 2);
         let std = (w.as_slice().iter().map(|x| x * x).sum::<f64>() / w.len() as f64).sqrt();
         let expect = (2.0f64 / 100.0).sqrt();
-        assert!((std - expect).abs() / expect < 0.2, "std={std} expect={expect}");
+        assert!(
+            (std - expect).abs() / expect < 0.2,
+            "std={std} expect={expect}"
+        );
     }
 
     #[test]

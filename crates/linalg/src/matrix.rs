@@ -82,6 +82,21 @@ impl Matrix {
         m
     }
 
+    /// Parallel [`Matrix::from_fn`] for pure element functions: rows are
+    /// filled concurrently across the [`fis_parallel`] thread budget.
+    ///
+    /// Each element is still produced by exactly one `f(r, c)` call, so
+    /// the result is identical to `from_fn` for any thread count.
+    pub fn par_from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        par_rows_mut(&mut m.data, cols, par_min_rows(cols), |r, row| {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = f(r, c);
+            }
+        });
+        m
+    }
+
     /// Creates a matrix from row slices.
     ///
     /// # Panics
@@ -197,7 +212,10 @@ impl Matrix {
     /// Matrix product `self * rhs`.
     ///
     /// Uses the classic i-k-j loop order so the innermost loop walks both
-    /// operands contiguously.
+    /// operands contiguously. Output rows are computed in parallel across
+    /// the [`fis_parallel`] thread budget when the product is large
+    /// enough; every element is produced with the serial accumulation
+    /// order, so results are bit-identical for any thread count.
     ///
     /// # Panics
     ///
@@ -209,23 +227,28 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
+        let min_rows = par_min_rows(self.cols * rhs.cols);
+        let out_cols = rhs.cols;
+        par_rows_mut(&mut out.data, out_cols, min_rows, |i, out_row| {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let b_row = &rhs.data[k * out_cols..(k + 1) * out_cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
             }
-        }
+        });
         out
     }
 
     /// Matrix product `self^T * rhs` without materializing the transpose.
+    ///
+    /// Parallel over output rows; for every output element the additions
+    /// run in ascending `k` just like the serial i-k-j order, so the
+    /// result is bit-identical for any thread count.
     ///
     /// # Panics
     ///
@@ -237,23 +260,27 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &a) in a_row.iter().enumerate() {
+        let min_rows = par_min_rows(self.rows * rhs.cols);
+        let out_cols = rhs.cols;
+        par_rows_mut(&mut out.data, out_cols, min_rows, |i, out_row| {
+            for k in 0..self.rows {
+                let a = self.data[k * self.cols + i];
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                let b_row = &rhs.data[k * out_cols..(k + 1) * out_cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
             }
-        }
+        });
         out
     }
 
     /// Matrix product `self * rhs^T` without materializing the transpose.
+    ///
+    /// Parallel over output rows with serial per-element dot products, so
+    /// the result is bit-identical for any thread count.
     ///
     /// # Panics
     ///
@@ -265,17 +292,19 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
+        let min_rows = par_min_rows(self.cols * rhs.rows);
+        let out_cols = rhs.rows;
+        par_rows_mut(&mut out.data, out_cols, min_rows, |i, out_row| {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
+            for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
                 let mut acc = 0.0;
                 for (&a, &b) in a_row.iter().zip(b_row.iter()) {
                     acc += a * b;
                 }
-                out.data[i * rhs.rows + j] = acc;
+                *o = acc;
             }
-        }
+        });
         out
     }
 
@@ -302,7 +331,11 @@ impl Matrix {
 
     /// Returns a new matrix with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&x| f(x)).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&x| f(x)).collect(),
+        )
     }
 
     /// Applies `f` to every element in place.
@@ -434,18 +467,45 @@ impl Matrix {
     }
 }
 
+/// Minimum rows per thread so a parallel region amortizes its spawn
+/// cost: aim for at least ~64k flops of work per worker.
+fn par_min_rows(work_per_row: usize) -> usize {
+    (65_536 / work_per_row.max(1)).max(1)
+}
+
+/// Runs `f(row_index, row_slice)` over every row of a flat row-major
+/// buffer, splitting rows across the thread budget.
+fn par_rows_mut(
+    data: &mut [f64],
+    cols: usize,
+    min_rows_per_thread: usize,
+    f: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    fis_parallel::par_row_chunks_mut(data, cols, min_rows_per_thread, |first_row, chunk| {
+        for (k, row) in chunk.chunks_mut(cols).enumerate() {
+            f(first_row + k, row);
+        }
+    });
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -585,7 +645,10 @@ mod tests {
     fn hadamard_and_scale() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[2.0, 0.5], &[1.0, 0.25]]);
-        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[2.0, 1.0], &[3.0, 1.0]]));
+        assert_eq!(
+            a.hadamard(&b),
+            Matrix::from_rows(&[&[2.0, 1.0], &[3.0, 1.0]])
+        );
         assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]));
     }
 
@@ -613,7 +676,10 @@ mod tests {
     fn gather_rows_repeats_allowed() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let g = a.gather_rows(&[1, 1, 0]);
-        assert_eq!(g, Matrix::from_rows(&[&[3.0, 4.0], &[3.0, 4.0], &[1.0, 2.0]]));
+        assert_eq!(
+            g,
+            Matrix::from_rows(&[&[3.0, 4.0], &[3.0, 4.0], &[1.0, 2.0]])
+        );
     }
 
     #[test]
@@ -648,6 +714,31 @@ mod tests {
         let mut c = a.clone();
         c += &b;
         assert_eq!(c, Matrix::filled(2, 2, 4.0));
+    }
+
+    #[test]
+    fn parallel_products_bit_identical_to_serial() {
+        // Large enough to cross the parallel threshold. Serial reference
+        // is obtained by forcing a budget of one thread.
+        let a = Matrix::from_fn(120, 90, |r, c| ((r * 31 + c * 17) % 97) as f64 / 7.0 - 3.0);
+        let b = Matrix::from_fn(90, 110, |r, c| ((r * 13 + c * 29) % 89) as f64 / 5.0 - 4.0);
+        fis_parallel::set_thread_budget(1);
+        let serial = (a.matmul(&b), a.t_matmul(&a), a.matmul_t(&a));
+        fis_parallel::set_thread_budget(4);
+        let parallel = (a.matmul(&b), a.t_matmul(&a), a.matmul_t(&a));
+        fis_parallel::set_thread_budget(0);
+        // Bit-identical, not merely close.
+        assert_eq!(serial.0.as_slice(), parallel.0.as_slice());
+        assert_eq!(serial.1.as_slice(), parallel.1.as_slice());
+        assert_eq!(serial.2.as_slice(), parallel.2.as_slice());
+    }
+
+    #[test]
+    fn par_from_fn_matches_from_fn() {
+        let f = |r: usize, c: usize| (r * 1000 + c) as f64 * 0.5;
+        let serial = Matrix::from_fn(200, 40, f);
+        let parallel = Matrix::par_from_fn(200, 40, f);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

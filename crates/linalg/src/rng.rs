@@ -52,7 +52,10 @@ impl SplitMix64 {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 

@@ -40,10 +40,7 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "euclidean_sq length mismatch");
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 /// Cosine similarity in `[-1, 1]`; returns `0.0` when either vector is

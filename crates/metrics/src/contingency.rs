@@ -58,8 +58,9 @@ impl ContingencyTable {
             counts[p][t] += 1;
         }
         let row_sums: Vec<usize> = counts.iter().map(|r| r.iter().sum()).collect();
-        let col_sums: Vec<usize> =
-            (0..n_true).map(|j| counts.iter().map(|r| r[j]).sum()).collect();
+        let col_sums: Vec<usize> = (0..n_true)
+            .map(|j| counts.iter().map(|r| r[j]).sum())
+            .collect();
         Ok(Self {
             counts,
             row_sums,

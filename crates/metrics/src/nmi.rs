@@ -59,10 +59,7 @@ pub fn mutual_information(predicted: &[usize], truth: &[usize]) -> Result<f64, S
 /// assert!((nmi - 1.0).abs() < 1e-12);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn normalized_mutual_information(
-    predicted: &[usize],
-    truth: &[usize],
-) -> Result<f64, String> {
+pub fn normalized_mutual_information(predicted: &[usize], truth: &[usize]) -> Result<f64, String> {
     let mi = mutual_information(predicted, truth)?;
     let hx = entropy(predicted)?;
     let hy = entropy(truth)?;

@@ -81,7 +81,10 @@ impl BuildingConfig {
 
     /// Floor plate dimensions in metres.
     pub fn footprint(mut self, width_m: f64, length_m: f64) -> Self {
-        assert!(width_m > 0.0 && length_m > 0.0, "footprint must be positive");
+        assert!(
+            width_m > 0.0 && length_m > 0.0,
+            "footprint must be positive"
+        );
         self.width_m = width_m;
         self.length_m = length_m;
         self
@@ -235,7 +238,11 @@ impl BuildingConfig {
             let dz = ap.floor.abs_diff(floor) as f64 * self.floor_height_m;
             let d3 = ((ap.x - x).powi(2) + (ap.y - y).powi(2) + dz * dz).sqrt();
             let floors_crossed = ap.floor.abs_diff(floor);
-            let model = if ap.atrium { &self.atrium_model } else { &self.model };
+            let model = if ap.atrium {
+                &self.atrium_model
+            } else {
+                &self.model
+            };
             if rng.gen::<f64>() < self.scan_dropout {
                 continue;
             }

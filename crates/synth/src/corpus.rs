@@ -75,10 +75,7 @@ pub fn microsoft_like(scale: Scale, seed: u64) -> Dataset {
             .samples_per_floor(scale.samples_per_floor())
             .aps_per_floor(12)
             .atrium_aps(if floors >= 6 { 2 } else { 1 })
-            .footprint(
-                rng.gen_range(50.0..110.0),
-                rng.gen_range(40.0..90.0),
-            )
+            .footprint(rng.gen_range(50.0..110.0), rng.gen_range(40.0..90.0))
             .seed(seed.wrapping_mul(1_000_003).wrapping_add(i as u64))
             .generate();
         buildings.push(b);

@@ -160,8 +160,11 @@ mod tests {
             .filter_map(|_| m.sample_rss(&mut rng, 5.0, 0))
             .collect();
         let mean = readings.iter().sum::<f64>() / readings.len() as f64;
-        let var =
-            readings.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / readings.len() as f64;
+        let var = readings
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
+            / readings.len() as f64;
         let sd = var.sqrt();
         assert!(
             (sd - m.shadowing_sigma_db).abs() < 1.0,

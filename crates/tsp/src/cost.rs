@@ -117,8 +117,7 @@ mod tests {
 
     #[test]
     fn asymmetric_detected() {
-        let m =
-            CostMatrix::from_vec(2, vec![0.0, 1.0, 2.0, 0.0]).unwrap();
+        let m = CostMatrix::from_vec(2, vec![0.0, 1.0, 2.0, 0.0]).unwrap();
         assert!(!m.is_symmetric(0.5));
         assert!(m.is_symmetric(1.5));
     }

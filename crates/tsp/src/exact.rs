@@ -68,9 +68,9 @@ pub fn held_karp_fixed_start(cost: &CostMatrix, start: usize) -> Result<PathSolu
     }
     // Free endpoint: best over all terminal nodes.
     let (mut best_j, mut best) = (0usize, f64::INFINITY);
-    for j in 0..m {
-        if dp[full][j] < best {
-            best = dp[full][j];
+    for (j, &cost_j) in dp[full].iter().enumerate() {
+        if cost_j < best {
+            best = cost_j;
             best_j = j;
         }
     }

@@ -44,9 +44,6 @@ pub struct PathSolution {
 impl PathSolution {
     /// Recomputes the path cost against a matrix (sanity helper).
     pub fn recompute_cost(&self, cost: &CostMatrix) -> f64 {
-        self.order
-            .windows(2)
-            .map(|w| cost.get(w[0], w[1]))
-            .sum()
+        self.order.windows(2).map(|w| cost.get(w[0], w[1])).sum()
     }
 }

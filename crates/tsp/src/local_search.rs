@@ -63,8 +63,8 @@ fn nearest_neighbor_order(cost: &CostMatrix, start: usize) -> Vec<usize> {
     let mut current = start;
     for _ in 1..n {
         let mut best = (usize::MAX, f64::INFINITY);
-        for cand in 0..n {
-            if !visited[cand] {
+        for (cand, &seen) in visited.iter().enumerate() {
+            if !seen {
                 let c = cost.get(current, cand);
                 if c < best.1 {
                     best = (cand, c);

@@ -1,16 +1,15 @@
 //! Buildings: collections of samples with ground-truth floor labels.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TypeError;
 use crate::floor::FloorId;
+use crate::json::{FromJson, Json, ToJson};
 use crate::sample::{SampleId, SignalSample};
 
 /// The single floor-labeled sample FIS-ONE is allowed to use.
 ///
 /// The paper's core setting anchors the TSP ordering at the bottom floor;
 /// §VI relaxes this to an arbitrary floor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LabeledAnchor {
     /// Which sample carries the label.
     pub sample: SampleId,
@@ -31,7 +30,7 @@ pub struct LabeledAnchor {
 /// - sample ids are dense: `samples[i].id().index() == i`
 ///
 /// These are enforced by [`Building::new`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Building {
     name: String,
     floors: usize,
@@ -176,6 +175,52 @@ impl Building {
     }
 }
 
+impl ToJson for Building {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("floors", Json::Num(self.floors as f64)),
+            (
+                "samples",
+                Json::Arr(self.samples.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "labels",
+                Json::Arr(self.labels.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Building {
+    fn from_json(value: &Json) -> Result<Self, TypeError> {
+        let name = value
+            .field("name")?
+            .as_str()
+            .ok_or_else(|| TypeError::Io("building name must be a string".to_owned()))?;
+        let floors = value.field("floors")?.as_usize().ok_or_else(|| {
+            TypeError::Io("floor count must be a non-negative integer".to_owned())
+        })?;
+        let samples = value
+            .field("samples")?
+            .as_arr()
+            .ok_or_else(|| TypeError::Io("samples must be an array".to_owned()))?
+            .iter()
+            .map(SignalSample::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let labels = value
+            .field("labels")?
+            .as_arr()
+            .ok_or_else(|| TypeError::Io("labels must be an array".to_owned()))?
+            .iter()
+            .map(FloorId::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        // Building::new re-validates every structural invariant, so a
+        // hand-edited corpus cannot smuggle in inconsistent data.
+        Building::new(name, floors, samples, labels)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,10 +314,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let b = small_building();
-        let json = serde_json::to_string(&b).unwrap();
-        let back: Building = serde_json::from_str(&json).unwrap();
+        let json = b.to_json_string();
+        let back = Building::from_json_str(&json).unwrap();
         assert_eq!(back, b);
+    }
+
+    #[test]
+    fn json_load_revalidates_invariants() {
+        // A corpus whose labels exceed the floor count must be rejected.
+        let bad = r#"{"name":"x","floors":1,"samples":[{"id":0,"readings":[]}],"labels":[3]}"#;
+        assert!(Building::from_json_str(bad).is_err());
     }
 }

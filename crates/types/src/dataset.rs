@@ -1,7 +1,5 @@
 //! Named corpora of buildings.
 
-use serde::{Deserialize, Serialize};
-
 use crate::building::Building;
 
 /// A named collection of buildings (a corpus).
@@ -18,7 +16,7 @@ use crate::building::Building;
 /// assert!(ds.is_empty());
 /// assert!(ds.floor_histogram(3, 10).iter().all(|&c| c == 0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     name: String,
     buildings: Vec<Building>,
@@ -151,7 +149,10 @@ mod tests {
 
     #[test]
     fn totals_and_means() {
-        let ds = Dataset::new("d", vec![tiny_building("a", 2, 3), tiny_building("b", 4, 3)]);
+        let ds = Dataset::new(
+            "d",
+            vec![tiny_building("a", 2, 3), tiny_building("b", 4, 3)],
+        );
         assert_eq!(ds.total_samples(), 18);
         assert!((ds.mean_samples_per_floor() - 3.0).abs() < 1e-12);
         assert_eq!(Dataset::new("e", vec![]).mean_samples_per_floor(), 0.0);
@@ -159,7 +160,10 @@ mod tests {
 
     #[test]
     fn filtered_removes_small_buildings() {
-        let ds = Dataset::new("d", vec![tiny_building("a", 2, 5), tiny_building("b", 4, 5)]);
+        let ds = Dataset::new(
+            "d",
+            vec![tiny_building("a", 2, 5), tiny_building("b", 4, 5)],
+        );
         let f = ds.filtered(1, 3);
         assert_eq!(f.len(), 1);
         assert_eq!(f.buildings()[0].name(), "b");

@@ -39,12 +39,6 @@ impl From<std::io::Error> for TypeError {
     }
 }
 
-impl From<serde_json::Error> for TypeError {
-    fn from(e: serde_json::Error) -> Self {
-        TypeError::Io(e.to_string())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

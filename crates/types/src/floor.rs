@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::error::TypeError;
+use crate::json::{FromJson, Json, ToJson};
 
 /// A floor within a building, counted from the bottom floor upward.
 ///
@@ -20,10 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(f.index(), 2);
 /// assert_eq!(f.number(), 3);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FloorId(usize);
 
 impl FloorId {
@@ -68,6 +66,21 @@ impl FloorId {
     /// The floor directly below, or `None` at the bottom.
     pub fn below(&self) -> Option<FloorId> {
         self.0.checked_sub(1).map(FloorId)
+    }
+}
+
+impl ToJson for FloorId {
+    fn to_json(&self) -> Json {
+        Json::Num(self.0 as f64)
+    }
+}
+
+impl FromJson for FloorId {
+    fn from_json(value: &Json) -> Result<Self, TypeError> {
+        value
+            .as_usize()
+            .map(FloorId)
+            .ok_or_else(|| TypeError::Io("floor id must be a non-negative integer".to_owned()))
     }
 }
 

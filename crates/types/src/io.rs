@@ -10,6 +10,7 @@ use std::path::Path;
 use crate::building::Building;
 use crate::dataset::Dataset;
 use crate::error::TypeError;
+use crate::json::{FromJson, Json, ToJson};
 
 /// Writes a dataset as JSON Lines: a one-line header object followed by one
 /// building object per line.
@@ -20,11 +21,13 @@ use crate::error::TypeError;
 pub fn save_jsonl(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), TypeError> {
     let file = File::create(path.as_ref())?;
     let mut w = BufWriter::new(file);
-    let header = serde_json::json!({ "name": dataset.name(), "buildings": dataset.len() });
+    let header = Json::obj([
+        ("name", Json::Str(dataset.name().to_owned())),
+        ("buildings", Json::Num(dataset.len() as f64)),
+    ]);
     writeln!(w, "{header}").map_err(TypeError::from)?;
     for b in dataset.buildings() {
-        let line = serde_json::to_string(b)?;
-        writeln!(w, "{line}").map_err(TypeError::from)?;
+        writeln!(w, "{}", b.to_json()).map_err(TypeError::from)?;
     }
     w.flush().map_err(TypeError::from)
 }
@@ -41,7 +44,7 @@ pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Dataset, TypeError> {
     let header_line = lines
         .next()
         .ok_or_else(|| TypeError::Io("empty dataset file".into()))??;
-    let header: serde_json::Value = serde_json::from_str(&header_line)?;
+    let header = Json::parse(&header_line)?;
     let name = header
         .get("name")
         .and_then(|v| v.as_str())
@@ -53,8 +56,7 @@ pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Dataset, TypeError> {
         if line.trim().is_empty() {
             continue;
         }
-        let b: Building = serde_json::from_str(&line)?;
-        buildings.push(b);
+        buildings.push(Building::from_json_str(&line)?);
     }
     Ok(Dataset::new(name, buildings))
 }

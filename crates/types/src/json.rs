@@ -1,0 +1,462 @@
+//! Minimal JSON value type, parser, and writer.
+//!
+//! The dataset (de)serialization layer used to lean on `serde_json`; the
+//! build environment vendors no external crates, so this module provides
+//! the small JSON subset the JSONL corpus format needs. Numbers are
+//! `f64` and are written with Rust's shortest-round-trip `Display`, so
+//! `f64` values survive a save/load cycle bit-for-bit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::TypeError;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys are sorted (BTreeMap) so output is deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses one JSON document, rejecting trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::Io`] describing the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, TypeError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Fetches a required object field, with a descriptive error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::Io`] naming the missing field.
+    pub fn field(&self, key: &str) -> Result<&Json, TypeError> {
+        self.get(key)
+            .ok_or_else(|| TypeError::Io(format!("missing field `{key}`")))
+    }
+
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+}
+
+fn err(pos: usize, msg: &str) -> TypeError {
+    TypeError::Io(format!("json error at byte {pos}: {msg}"))
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), TypeError> {
+    if *pos < bytes.len() && bytes[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, &format!("expected `{}`", ch as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, TypeError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, TypeError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, &format!("expected `{lit}`")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, TypeError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "bad utf-8"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err(start, &format!("invalid number `{text}`")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, TypeError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escape = bytes
+                    .get(*pos)
+                    .ok_or_else(|| err(*pos, "unterminated escape"))?;
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let code = parse_hex4(bytes, pos)?;
+                        let scalar = if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: a \uXXXX low surrogate must
+                            // follow (standard JSON pair encoding).
+                            if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u')
+                            {
+                                return Err(err(*pos, "high surrogate not followed by \\u"));
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(err(*pos, "invalid low surrogate"));
+                            }
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..0xE000).contains(&code) {
+                            return Err(err(*pos, "unpaired low surrogate"));
+                        } else {
+                            code
+                        };
+                        out.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| err(*pos, "invalid unicode escape"))?,
+                        );
+                    }
+                    other => return Err(err(*pos, &format!("bad escape `\\{}`", *other as char))),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "bad utf-8 in string"))?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, TypeError> {
+    let hex = bytes
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+    let hex = std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| err(*pos, "bad \\u escape"))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, TypeError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]` in array")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, TypeError> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}` in object")),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Rust's Display for f64 is shortest-round-trip.
+                    write!(f, "{n}")
+                } else {
+                    // JSON has no Inf/NaN; degrade to null like serde_json.
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for ch in s.chars() {
+        match ch {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// Converts to a JSON value.
+    fn to_json(&self) -> Json;
+
+    /// Serializes to a compact JSON string.
+    fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// Types that can be reconstructed from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Parses from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::Io`] when the value has the wrong shape and
+    /// domain-specific errors when validation fails.
+    fn from_json(value: &Json) -> Result<Self, TypeError>;
+
+    /// Parses from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// See [`FromJson::from_json`].
+    fn from_json_str(text: &str) -> Result<Self, TypeError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(
+            Json::parse("\"a\\nb\"").unwrap(),
+            Json::Str("a\nb".to_owned())
+        );
+    }
+
+    #[test]
+    fn parse_nested_structures() {
+        let v = Json::parse(r#"{"name":"x","items":[1,2,{"k":true}],"empty":[]}"#).unwrap();
+        assert_eq!(v.field("name").unwrap().as_str(), Some("x"));
+        let items = v.field("items").unwrap().as_arr().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[1].as_usize(), Some(2));
+        assert_eq!(items[2].get("k"), Some(&Json::Bool(true)));
+        assert_eq!(v.field("empty").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("not json").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = r#"{"a":[1,2.5,-3],"b":"he said \"hi\"","c":null,"d":false}"#;
+        let v = Json::parse(text).unwrap();
+        let printed = v.to_string();
+        assert_eq!(Json::parse(&printed).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for x in [0.1, -119.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let printed = Json::Num(x).to_string();
+            let back = Json::parse(&printed).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} reprinted as {printed}");
+        }
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let v = Json::Str("héllo ✓".to_owned());
+        let back = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+        // \u escapes parse too.
+        assert_eq!(
+            Json::parse("\"\\u0041\"").unwrap(),
+            Json::Str("A".to_owned())
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_error() {
+        // 😀 U+1F600 encoded the standard JSON way.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("😀".to_owned())
+        );
+        assert!(Json::parse("\"\\ud83d\"").is_err()); // unpaired high
+        assert!(Json::parse("\"\\ude00\"").is_err()); // unpaired low
+        assert!(Json::parse("\"\\ud83dx\"").is_err()); // high + garbage
+    }
+
+    #[test]
+    fn as_usize_guards_fractions_and_negatives() {
+        assert_eq!(Json::Num(3.0).as_usize(), Some(3));
+        assert_eq!(Json::Num(3.5).as_usize(), None);
+        assert_eq!(Json::Num(-1.0).as_usize(), None);
+    }
+}

@@ -33,6 +33,7 @@ pub mod dataset;
 pub mod error;
 pub mod floor;
 pub mod io;
+pub mod json;
 pub mod mac;
 pub mod rssi;
 pub mod sample;

@@ -3,9 +3,8 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
 use crate::error::TypeError;
+use crate::json::{FromJson, Json, ToJson};
 
 /// A 48-bit media access control address identifying one AP radio.
 ///
@@ -76,8 +75,7 @@ impl FromStr for MacAddr {
         }
         let mut octets = [0u8; 6];
         for (i, p) in parts.iter().enumerate() {
-            octets[i] =
-                u8::from_str_radix(p, 16).map_err(|_| TypeError::ParseMac(s.to_owned()))?;
+            octets[i] = u8::from_str_radix(p, 16).map_err(|_| TypeError::ParseMac(s.to_owned()))?;
         }
         Ok(Self(octets))
     }
@@ -89,16 +87,18 @@ impl From<[u8; 6]> for MacAddr {
     }
 }
 
-impl Serialize for MacAddr {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
+impl ToJson for MacAddr {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for MacAddr {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse().map_err(serde::de::Error::custom)
+impl FromJson for MacAddr {
+    fn from_json(value: &Json) -> Result<Self, TypeError> {
+        value
+            .as_str()
+            .ok_or_else(|| TypeError::Io("MAC address must be a JSON string".to_owned()))?
+            .parse()
     }
 }
 
@@ -144,11 +144,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mac = MacAddr::from_u64(0xA1B2C3D4E5F6);
-        let json = serde_json::to_string(&mac).unwrap();
+        let json = mac.to_json_string();
         assert_eq!(json, "\"a1:b2:c3:d4:e5:f6\"");
-        let back: MacAddr = serde_json::from_str(&json).unwrap();
+        let back = MacAddr::from_json_str(&json).unwrap();
         assert_eq!(back, mac);
     }
 }

@@ -2,9 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TypeError;
+use crate::json::{FromJson, Json, ToJson};
 
 /// Default offset `c` of the edge-weight transform `f(RSS) = RSS + c`.
 ///
@@ -34,8 +33,7 @@ pub const MAX_DBM: f64 = 0.0;
 /// assert_eq!(r.edge_weight(), 60.0); // -60 + 120
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Rssi(f64);
 
 impl Rssi {
@@ -84,8 +82,27 @@ impl Rssi {
     /// which would violate the sampling-probability construction.
     pub fn edge_weight_with_offset(&self, c: f64) -> f64 {
         let w = self.0 + c;
-        debug_assert!(w > 0.0, "edge weight must be positive (rss={}, c={c})", self.0);
+        debug_assert!(
+            w > 0.0,
+            "edge weight must be positive (rss={}, c={c})",
+            self.0
+        );
         w
+    }
+}
+
+impl ToJson for Rssi {
+    fn to_json(&self) -> Json {
+        Json::Num(self.0)
+    }
+}
+
+impl FromJson for Rssi {
+    fn from_json(value: &Json) -> Result<Self, TypeError> {
+        let dbm = value
+            .as_f64()
+            .ok_or_else(|| TypeError::Io("RSSI must be a JSON number".to_owned()))?;
+        Rssi::new(dbm)
     }
 }
 
@@ -135,10 +152,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_is_transparent() {
+    fn json_is_transparent() {
         let r = Rssi::new(-77.5).unwrap();
-        assert_eq!(serde_json::to_string(&r).unwrap(), "-77.5");
-        let back: Rssi = serde_json::from_str("-77.5").unwrap();
+        assert_eq!(r.to_json_string(), "-77.5");
+        let back = Rssi::from_json_str("-77.5").unwrap();
         assert_eq!(back, r);
+        // Out-of-range values are rejected on load too.
+        assert!(Rssi::from_json_str("7.0").is_err());
     }
 }

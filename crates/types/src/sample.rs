@@ -1,15 +1,12 @@
 //! Crowdsourced RF signal samples (records).
 
-use serde::{Deserialize, Serialize};
-
+use crate::error::TypeError;
+use crate::json::{FromJson, Json, ToJson};
 use crate::mac::MacAddr;
 use crate::rssi::Rssi;
 
 /// Identifier of a signal sample within a building, dense from zero.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SampleId(pub u32);
 
 impl SampleId {
@@ -48,7 +45,7 @@ impl std::fmt::Display for SampleId {
 /// assert_eq!(s.rssi_of(m2), Some(Rssi::new(-60.0)?));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SignalSample {
     id: SampleId,
     readings: Vec<(MacAddr, Rssi)>,
@@ -126,6 +123,46 @@ impl SignalSample {
     pub fn with_id(mut self, id: u32) -> SignalSample {
         self.id = SampleId(id);
         self
+    }
+}
+
+impl ToJson for SignalSample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Num(f64::from(self.id.0))),
+            (
+                "readings",
+                Json::Arr(
+                    self.readings
+                        .iter()
+                        .map(|(mac, rssi)| Json::Arr(vec![mac.to_json(), rssi.to_json()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SignalSample {
+    fn from_json(value: &Json) -> Result<Self, TypeError> {
+        let id = value
+            .field("id")?
+            .as_usize()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| TypeError::Io("sample id must be a u32".to_owned()))?;
+        let mut builder = SignalSample::builder(id);
+        for pair in value
+            .field("readings")?
+            .as_arr()
+            .ok_or_else(|| TypeError::Io("readings must be an array".to_owned()))?
+        {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| TypeError::Io("reading must be a [mac, rssi] pair".to_owned()))?;
+            builder = builder.reading(MacAddr::from_json(&pair[0])?, Rssi::from_json(&pair[1])?);
+        }
+        Ok(builder.build())
     }
 }
 
@@ -227,12 +264,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let s = SignalSample::builder(3)
             .reading(MacAddr::from_u64(9), rssi(-66.0))
+            .reading(MacAddr::from_u64(2), rssi(-41.5))
             .build();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: SignalSample = serde_json::from_str(&json).unwrap();
+        let json = s.to_json_string();
+        let back = SignalSample::from_json_str(&json).unwrap();
         assert_eq!(back, s);
     }
 

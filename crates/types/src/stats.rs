@@ -68,6 +68,7 @@ pub fn floor_shared_mac_matrix(building: &Building) -> Vec<Vec<usize>> {
 /// Returns `(mean_adjacent, mean_far)`. A corpus with realistic spillover
 /// has `mean_adjacent > mean_far`. Returns zeros when the building is too
 /// short for the requested distance.
+#[allow(clippy::needless_range_loop)] // triangular index walk reads best as-is
 pub fn spillover_contrast(building: &Building, far: usize) -> (f64, f64) {
     let matrix = floor_shared_mac_matrix(building);
     let f = building.floors();
@@ -84,8 +85,16 @@ pub fn spillover_contrast(building: &Building, far: usize) -> (f64, f64) {
             }
         }
     }
-    let adj = if adj_n == 0 { 0.0 } else { adj_sum as f64 / adj_n as f64 };
-    let farv = if far_n == 0 { 0.0 } else { far_sum as f64 / far_n as f64 };
+    let adj = if adj_n == 0 {
+        0.0
+    } else {
+        adj_sum as f64 / adj_n as f64
+    };
+    let farv = if far_n == 0 {
+        0.0
+    } else {
+        far_sum as f64 / far_n as f64
+    };
     (adj, farv)
 }
 
@@ -102,7 +111,10 @@ mod tests {
         let r = Rssi::new(-60.0).unwrap();
         let mk = MacAddr::from_u64;
         let samples = vec![
-            SignalSample::builder(0).reading(mk(1), r).reading(mk(3), r).build(),
+            SignalSample::builder(0)
+                .reading(mk(1), r)
+                .reading(mk(3), r)
+                .build(),
             SignalSample::builder(1)
                 .reading(mk(1), r)
                 .reading(mk(2), r)
@@ -141,9 +153,9 @@ mod tests {
         assert_eq!(m[2][2], 1);
         assert_eq!(m[0][1], 2); // shares MACs 1 and 3
         assert_eq!(m[0][2], 1); // shares only MAC 3
-        for i in 0..3 {
-            for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
             }
         }
     }

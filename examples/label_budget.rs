@@ -47,8 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let anchor = building
             .anchor_on(FloorId::from_index(floor_idx))
             .expect("floor surveyed");
-        match identify_with_arbitrary_anchor(&fis, building.samples(), building.floors(), anchor)?
-        {
+        match identify_with_arbitrary_anchor(&fis, building.samples(), building.floors(), anchor)? {
             ArbitraryAnchorOutcome::Resolved(pred) => {
                 let res = score_prediction(&pred, &building)?;
                 println!(

@@ -15,8 +15,9 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use fis_one::core::{EngineConfig, FisEngine};
 use fis_one::types::io;
-use fis_one::{evaluate_building, BuildingConfig, Dataset, FisOne, FisOneConfig};
+use fis_one::{BuildingConfig, Dataset, FisOneConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,10 +53,15 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  fis-one generate --floors N --samples M [--seed S] [--name NAME] --out FILE
-  fis-one identify --corpus FILE [--building NAME] [--seed S]
-  fis-one evaluate --corpus FILE [--seed S]
-  fis-one stats    --corpus FILE";
+  fis-one generate --floors N --samples M [--seed S] [--name NAME] \
+[--buildings B] --out FILE
+  fis-one identify --corpus FILE [--building NAME] [--seed S] [--threads T]
+  fis-one evaluate --corpus FILE [--seed S] [--threads T]
+  fis-one stats    --corpus FILE
+
+identify and evaluate run all buildings of the corpus concurrently;
+--threads (or FIS_THREADS) caps the worker budget, default = all cores.
+Predictions are bit-identical for any thread count at a fixed seed.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -87,13 +93,22 @@ fn load(opts: &HashMap<String, String>) -> Result<Dataset, String> {
     io::load_jsonl(path).map_err(|e| e.to_string())
 }
 
-fn pipeline(opts: &HashMap<String, String>) -> Result<FisOne, String> {
+fn engine(opts: &HashMap<String, String>) -> Result<FisEngine, String> {
     let seed = opts
         .get("seed")
         .map(|s| parse::<u64>(s, "seed"))
         .transpose()?
         .unwrap_or(0);
-    Ok(FisOne::new(FisOneConfig::default().seed(seed)))
+    let threads = opts
+        .get("threads")
+        .map(|s| parse::<usize>(s, "thread count"))
+        .transpose()?
+        .unwrap_or(0);
+    Ok(FisEngine::new(
+        EngineConfig::default()
+            .pipeline(FisOneConfig::default().seed(seed))
+            .threads(threads),
+    ))
 }
 
 fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -104,58 +119,117 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| parse::<u64>(s, "seed"))
         .transpose()?
         .unwrap_or(0);
-    let name = opts.get("name").cloned().unwrap_or_else(|| "building".into());
+    let name = opts
+        .get("name")
+        .cloned()
+        .unwrap_or_else(|| "building".into());
+    let count: usize = opts
+        .get("buildings")
+        .map(|s| parse(s, "building count"))
+        .transpose()?
+        .unwrap_or(1);
     let out = get(opts, "out")?;
-    if floors == 0 || samples == 0 {
-        return Err("floors and samples must be positive".into());
+    if floors == 0 || samples == 0 || count == 0 {
+        return Err("floors, samples, and buildings must be positive".into());
     }
-    let building = BuildingConfig::new(name, floors)
-        .samples_per_floor(samples)
-        .seed(seed)
-        .generate();
-    let ds = Dataset::new("cli", vec![building]);
+    let buildings = (0..count)
+        .map(|i| {
+            let building_name = if count == 1 {
+                name.clone()
+            } else {
+                format!("{name}-{i}")
+            };
+            BuildingConfig::new(building_name, floors)
+                .samples_per_floor(samples)
+                .seed(seed.wrapping_add(i as u64))
+                .generate()
+        })
+        .collect();
+    let ds = Dataset::new("cli", buildings);
     io::save_jsonl(&ds, out).map_err(|e| e.to_string())?;
-    println!("wrote {out} ({floors} floors x {samples} samples)");
+    println!("wrote {out} ({count} buildings x {floors} floors x {samples} samples)");
     Ok(())
 }
 
 fn cmd_identify(opts: &HashMap<String, String>) -> Result<(), String> {
     let ds = load(opts)?;
-    let fis = pipeline(opts)?;
     let wanted = opts.get("building");
-    for b in ds.buildings() {
-        if let Some(name) = wanted {
-            if b.name() != *name {
-                continue;
+    let selected: Dataset = match wanted {
+        None => ds,
+        Some(name) => {
+            let picked: Vec<_> = ds
+                .buildings()
+                .iter()
+                .filter(|b| b.name() == *name)
+                .cloned()
+                .collect();
+            if picked.is_empty() {
+                return Err(format!("no building named `{name}` in the corpus"));
             }
+            Dataset::new(ds.name(), picked)
         }
-        let anchor = b
-            .bottom_anchor()
-            .ok_or_else(|| format!("{} has no bottom-floor sample", b.name()))?;
-        let prediction = fis
-            .identify(b.samples(), b.floors(), anchor)
-            .map_err(|e| e.to_string())?;
-        println!("# {} ({} floors)", b.name(), b.floors());
-        for (sample, floor) in b.samples().iter().zip(prediction.labels()) {
+    };
+    let engine = engine(opts)?;
+    let report = engine.identify_corpus(&selected);
+    // Runs are in corpus order, so pair by position — names need not be
+    // unique in a concatenated corpus.
+    for (building, run) in selected.buildings().iter().zip(report.runs.iter()) {
+        let Ok(outcome) = &run.outcome else { continue };
+        println!("# {} ({} floors)", run.building, run.floors);
+        for (sample, floor) in building.samples().iter().zip(outcome.prediction.labels()) {
             println!("{} {floor}", sample.id());
         }
+    }
+    for (run, err) in report.failures() {
+        eprintln!("# {} FAILED: {err}", run.building);
+    }
+    eprintln!(
+        "# {} buildings in {:.2?} on {} threads",
+        report.runs.len(),
+        report.wall,
+        report.threads
+    );
+    if report.failures().count() > 0 {
+        return Err("some buildings failed; see stderr".to_owned());
     }
     Ok(())
 }
 
 fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
     let ds = load(opts)?;
-    let fis = pipeline(opts)?;
-    println!("{:<20} {:>7} {:>7} {:>7}", "building", "ARI", "NMI", "edit");
-    for b in ds.buildings() {
-        let r = evaluate_building(&fis, b).map_err(|e| e.to_string())?;
-        println!(
-            "{:<20} {:>7.3} {:>7.3} {:>7.3}",
-            b.name(),
-            r.ari,
-            r.nmi,
-            r.edit
-        );
+    let engine = engine(opts)?;
+    let report = engine.evaluate_corpus(&ds);
+    println!(
+        "{:<20} {:>7} {:>7} {:>7} {:>10}",
+        "building", "ARI", "NMI", "edit", "time"
+    );
+    for run in &report.runs {
+        match &run.outcome {
+            Ok(outcome) => {
+                let r = outcome.eval.expect("evaluate_corpus scores every success");
+                println!(
+                    "{:<20} {:>7.3} {:>7.3} {:>7.3} {:>10.2?}",
+                    run.building, r.ari, r.nmi, r.edit, run.elapsed
+                );
+            }
+            Err(e) => println!("{:<20} FAILED: {e}", run.building),
+        }
+    }
+    let mean = report.mean_eval();
+    println!(
+        "{:<20} {:>7.3} {:>7.3} {:>7.3} {:>10.2?}",
+        "mean", mean.ari, mean.nmi, mean.edit, report.wall
+    );
+    eprintln!(
+        "# wall {:.2?} vs cpu {:.2?} on {} threads (speedup {:.2}x)",
+        report.wall,
+        report.cpu_time(),
+        report.threads,
+        report.cpu_time().as_secs_f64() / report.wall.as_secs_f64().max(1e-9)
+    );
+    // A partially failed evaluation must not exit 0 — CI gates on it.
+    if report.failures().count() > 0 {
+        return Err("some buildings failed; see the table above".to_owned());
     }
     Ok(())
 }

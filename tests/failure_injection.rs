@@ -2,14 +2,15 @@
 //! errors (or well-defined degraded behaviour), never panics.
 
 use fis_one::{
-    BuildingConfig, FisError, FisOne, FisOneConfig, FloorId, LabeledAnchor, MacAddr, Rssi,
-    RfGnnConfig, SignalSample,
+    BuildingConfig, FisError, FisOne, FisOneConfig, FloorId, LabeledAnchor, MacAddr, RfGnnConfig,
+    Rssi, SignalSample,
 };
 
 fn quick() -> FisOne {
-    let mut config = FisOneConfig::default();
-    config.gnn = RfGnnConfig::new(8).epochs(2).walks_per_node(2);
-    FisOne::new(config)
+    FisOne::new(FisOneConfig {
+        gnn: RfGnnConfig::new(8).epochs(2).walks_per_node(2),
+        ..FisOneConfig::default()
+    })
 }
 
 fn anchor0() -> LabeledAnchor {
@@ -112,5 +113,8 @@ fn duplicate_macs_within_scan_are_collapsed() {
         .reading(MacAddr::from_u64(1), Rssi::new(-40.0).unwrap())
         .build();
     assert_eq!(s.len(), 1);
-    assert_eq!(s.rssi_of(MacAddr::from_u64(1)), Some(Rssi::new(-40.0).unwrap()));
+    assert_eq!(
+        s.rssi_of(MacAddr::from_u64(1)),
+        Some(Rssi::new(-40.0).unwrap())
+    );
 }

@@ -71,8 +71,7 @@ fn arbitrary_anchor_extension_resolves_even_building() {
     let b = building(4, 5);
     let anchor = b.anchor_on(FloorId::from_index(2)).unwrap();
     let outcome =
-        identify_with_arbitrary_anchor(&test_pipeline(5), b.samples(), b.floors(), anchor)
-            .unwrap();
+        identify_with_arbitrary_anchor(&test_pipeline(5), b.samples(), b.floors(), anchor).unwrap();
     let pred = outcome.prediction().expect("even building resolves");
     assert_eq!(pred.labels()[anchor.sample.index()], anchor.floor);
     let res = score_prediction(pred, &b).unwrap();
@@ -84,8 +83,7 @@ fn arbitrary_anchor_middle_of_odd_building_is_ambiguous() {
     let b = building(5, 6);
     let anchor = b.anchor_on(FloorId::from_index(2)).unwrap();
     let outcome =
-        identify_with_arbitrary_anchor(&test_pipeline(6), b.samples(), b.floors(), anchor)
-            .unwrap();
+        identify_with_arbitrary_anchor(&test_pipeline(6), b.samples(), b.floors(), anchor).unwrap();
     assert!(matches!(outcome, ArbitraryAnchorOutcome::Ambiguous { .. }));
 }
 
