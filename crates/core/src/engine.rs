@@ -27,6 +27,7 @@ use fis_types::{Building, Dataset};
 
 use crate::error::FisError;
 use crate::evaluate::{mean_result, score_prediction, EvalResult};
+use crate::model::FittedModel;
 use crate::pipeline::{FisOne, FisOneConfig, FloorPrediction};
 
 /// Configuration of the batch engine.
@@ -125,6 +126,49 @@ impl CorpusRun {
     }
 }
 
+/// Result of fitting one building into a serving artifact.
+#[derive(Debug)]
+pub struct BuildingFit {
+    /// The building's name.
+    pub building: String,
+    /// Number of floors in the building.
+    pub floors: usize,
+    /// Number of training scans.
+    pub samples: usize,
+    /// The fitted model, or the pipeline error. One failing building
+    /// never aborts the rest of the batch.
+    pub outcome: Result<FittedModel, FisError>,
+    /// Wall-clock time spent fitting this building.
+    pub elapsed: Duration,
+}
+
+/// Result of fitting a whole corpus.
+#[derive(Debug)]
+pub struct CorpusFit {
+    /// Per-building fits, in corpus order.
+    pub fits: Vec<BuildingFit>,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Thread budget the batch actually used.
+    pub threads: usize,
+}
+
+impl CorpusFit {
+    /// Iterates over buildings that fitted successfully.
+    pub fn successes(&self) -> impl Iterator<Item = (&BuildingFit, &FittedModel)> {
+        self.fits
+            .iter()
+            .filter_map(|f| f.outcome.as_ref().ok().map(|m| (f, m)))
+    }
+
+    /// Iterates over buildings that failed to fit, with their errors.
+    pub fn failures(&self) -> impl Iterator<Item = (&BuildingFit, &FisError)> {
+        self.fits
+            .iter()
+            .filter_map(|f| f.outcome.as_ref().err().map(|e| (f, e)))
+    }
+}
+
 /// Batch engine running [`FisOne`] over whole corpora in parallel.
 ///
 /// See the [module docs](self) for the determinism contract.
@@ -169,6 +213,40 @@ impl FisEngine {
         self.run(corpus, true)
     }
 
+    /// Fits every building of the corpus into a [`FittedModel`]
+    /// concurrently — the batch entry point of the fit-once /
+    /// serve-forever path (see [`crate::model`]).
+    pub fn fit_corpus(&self, corpus: &Dataset) -> CorpusFit {
+        let threads = self.threads();
+        let started = Instant::now();
+        let _budget_guard =
+            (self.config.threads != 0).then(|| BudgetGuard::set(self.config.threads));
+        let fits = fis_parallel::par_map(corpus.buildings(), 1, |_, building| {
+            let fit_started = Instant::now();
+            let fis = FisOne::new(self.config.pipeline.clone());
+            let outcome = bottom_anchor_or_err(building).and_then(|anchor| {
+                fis.fit(
+                    building.name(),
+                    building.samples(),
+                    building.floors(),
+                    anchor,
+                )
+            });
+            BuildingFit {
+                building: building.name().to_owned(),
+                floors: building.floors(),
+                samples: building.len(),
+                outcome,
+                elapsed: fit_started.elapsed(),
+            }
+        });
+        CorpusFit {
+            fits,
+            wall: started.elapsed(),
+            threads,
+        }
+    }
+
     fn run(&self, corpus: &Dataset, score: bool) -> CorpusRun {
         let threads = self.threads();
         let started = Instant::now();
@@ -196,14 +274,7 @@ impl FisEngine {
         let outcome = if score {
             evaluate_with_prediction(&fis, building)
         } else {
-            building
-                .bottom_anchor()
-                .ok_or_else(|| {
-                    FisError::Anchor(format!(
-                        "building {} has no sample on the bottom floor",
-                        building.name()
-                    ))
-                })
+            bottom_anchor_or_err(building)
                 .and_then(|anchor| fis.identify(building.samples(), building.floors(), anchor))
                 .map(|prediction| BuildingOutcome {
                     prediction,
@@ -220,16 +291,28 @@ impl FisEngine {
     }
 }
 
+/// The building's single labeled anchor, or the engine's canonical error
+/// when the bottom floor was never surveyed (shared by the identify and
+/// fit batch paths so both report identically).
+fn bottom_anchor_or_err(building: &Building) -> Result<fis_types::LabeledAnchor, FisError> {
+    building.bottom_anchor().ok_or_else(|| {
+        FisError::Anchor(format!(
+            "building {} has no sample on the bottom floor",
+            building.name()
+        ))
+    })
+}
+
 /// RAII override of the global thread budget: holds a process-wide lock
 /// so two explicit-budget engines cannot clobber each other, and
 /// restores the previous override even if a building panics.
-struct BudgetGuard {
+pub(crate) struct BudgetGuard {
     previous: usize,
     _lock: std::sync::MutexGuard<'static, ()>,
 }
 
 impl BudgetGuard {
-    fn set(threads: usize) -> Self {
+    pub(crate) fn set(threads: usize) -> Self {
         static BUDGET_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
         let lock = BUDGET_LOCK
             .lock()
@@ -369,6 +452,25 @@ mod tests {
         assert_eq!(engine.threads(), 2);
         let _ = engine.evaluate_corpus(&corpus);
         assert_eq!(fis_parallel::thread_budget(), before);
+    }
+
+    #[test]
+    fn fit_corpus_fits_every_building() {
+        let corpus = tiny_corpus();
+        let engine = FisEngine::new(EngineConfig::default().pipeline(quick_config(6)));
+        let fit = engine.fit_corpus(&corpus);
+        assert_eq!(fit.fits.len(), 3);
+        assert_eq!(fit.successes().count(), 3);
+        for (run, model) in fit.successes() {
+            assert_eq!(model.building(), run.building);
+            assert_eq!(model.floors(), run.floors);
+            assert_eq!(model.training_labels().len(), run.samples);
+        }
+        // Fitted labels agree with the identify path at the same seed.
+        let report = engine.identify_corpus(&corpus);
+        for ((_, model), (_, outcome)) in fit.successes().zip(report.successes()) {
+            assert_eq!(model.training_labels(), outcome.prediction.labels());
+        }
     }
 
     #[test]

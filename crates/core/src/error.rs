@@ -19,6 +19,12 @@ pub enum FisError {
     Anchor(String),
     /// Evaluation inputs were inconsistent.
     Evaluation(String),
+    /// A fitted-model artifact failed to load or validate (corrupt JSON,
+    /// schema mismatch, inconsistent shapes).
+    Model(String),
+    /// Streaming inference against a fitted model failed (e.g. the scan
+    /// heard no MAC known to the model).
+    Inference(String),
 }
 
 impl fmt::Display for FisError {
@@ -30,6 +36,8 @@ impl fmt::Display for FisError {
             FisError::Indexing(s) => write!(f, "cluster indexing failed: {s}"),
             FisError::Anchor(s) => write!(f, "invalid labeled anchor: {s}"),
             FisError::Evaluation(s) => write!(f, "evaluation failed: {s}"),
+            FisError::Model(s) => write!(f, "fitted-model artifact invalid: {s}"),
+            FisError::Inference(s) => write!(f, "streaming inference failed: {s}"),
         }
     }
 }

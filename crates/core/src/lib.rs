@@ -28,6 +28,14 @@
 //! reductions, and every building owns its seeded RNG — so a fixed seed
 //! yields bit-identical predictions for 1 or N threads.
 //!
+//! # Serving
+//!
+//! [`model::FittedModel`] is the fit-once / serve-forever artifact:
+//! [`FisOne::fit`] (or [`engine::FisEngine::fit_corpus`]) captures the
+//! trained encoder, MAC vocabulary, centroids, and floor ordering into a
+//! single JSON document, and [`model::FittedModel::assign`] labels new
+//! scans without refitting.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -47,13 +55,17 @@ pub mod error;
 pub mod evaluate;
 pub mod extension;
 pub mod indexing;
+pub mod model;
 pub mod pipeline;
 pub mod similarity;
 
-pub use engine::{BuildingOutcome, BuildingRun, CorpusRun, EngineConfig, FisEngine};
+pub use engine::{
+    BuildingFit, BuildingOutcome, BuildingRun, CorpusFit, CorpusRun, EngineConfig, FisEngine,
+};
 pub use error::FisError;
 pub use evaluate::{evaluate_building, EvalResult};
 pub use extension::{identify_with_arbitrary_anchor, ArbitraryAnchorOutcome};
 pub use indexing::{index_clusters, ClusterIndexing, TspSolver};
+pub use model::{FittedModel, MODEL_SCHEMA, MODEL_SCHEMA_VERSION};
 pub use pipeline::{ClusteringMethod, FisOne, FisOneConfig, FloorPrediction};
 pub use similarity::{ClusterMacProfile, SimilarityMethod};

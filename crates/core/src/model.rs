@@ -1,0 +1,855 @@
+//! Fitted-model artifact and streaming inference.
+//!
+//! [`FisOne::identify`] refits a whole building from scratch on every
+//! call, yet the paper's stated reason for an *inductive* RF-GNN is that
+//! crowdsourced signals keep arriving. This module closes that gap with a
+//! fit-once / serve-forever path:
+//!
+//! 1. [`FisOne::fit`] runs the full pipeline once and captures everything
+//!    inference needs into a [`FittedModel`]: the trained GNN encoder, the
+//!    MAC vocabulary and training scans (which rebuild the bipartite
+//!    graph), per-cluster centroids in the *inference* embedding space,
+//!    and the cluster → floor ordering from indexing.
+//! 2. [`FittedModel::save`] / [`FittedModel::load`] persist the whole
+//!    model as one JSON artifact via `fis_types::json`. The codec writes
+//!    `f64` with shortest-round-trip precision and sorted object keys, so
+//!    save → load → save is **byte-identical**.
+//! 3. [`FittedModel::assign`] labels a new scan without refitting: it
+//!    attaches the scan to the MAC nodes it heard, embeds it with the
+//!    tape-free [`fis_gnn::RfGnn::infer_scan`] pass, and returns the
+//!    cluster of the nearest *reference* embedding (the training scans'
+//!    own inference embeddings, stored in the artifact).
+//!    [`FittedModel::assign_by_centroid`] is the O(floors) nearest-centroid
+//!    approximation of the same decision.
+//!    [`FittedModel::assign_stream`] fans a batch out over
+//!    [`fis_parallel`].
+//!
+//! # Determinism contract
+//!
+//! Each scan's inference RNG is seeded from the model seed and the scan's
+//! *content* alone, so an assignment depends only on `(model, scan)` —
+//! never on batch order, batch size, or thread count. The reference
+//! embeddings and centroids are computed through the *same* content-seeded
+//! inference path at fit time, so a training scan re-embeds **bit-identically**
+//! to its stored reference (distance exactly zero). That is what makes
+//! `fit` + `assign` reproduce `identify`'s labels exactly on the training
+//! corpus — a guarantee nearest-centroid alone cannot give on cluster-boundary
+//! scans — and it is locked by `tests/golden_fixtures.rs`.
+//!
+//! # Artifact schema (version 1)
+//!
+//! One JSON object with sorted keys:
+//!
+//! ```json
+//! {
+//!   "schema": "fis-one/fitted-model", "version": 1,
+//!   "building": "hq", "floors": 4,
+//!   "config": {"clustering": "...", "similarity": "...", "solver": "..."},
+//!   "gnn": {"config": {...}, "features": {...}, "weights": [...]},
+//!   "macs": ["aa:bb:cc:dd:ee:01", ...],
+//!   "samples": [{"id": 0, "readings": [...]}, ...],
+//!   "references": [[...], ...],
+//!   "centroids": [[...], ...],
+//!   "floor_of_cluster": [...], "cluster_order": [...],
+//!   "assignment": [...]
+//! }
+//! ```
+//!
+//! Compatibility policy: loaders accept exactly the schema versions they
+//! know (currently `1`) and reject anything else with a typed
+//! [`FisError::Model`]; any change to the serialized geometry or the
+//! content-seed derivation must bump [`MODEL_SCHEMA_VERSION`].
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use fis_gnn::RfGnn;
+use fis_graph::BipartiteGraph;
+use fis_types::json::{FromJson, Json, ToJson};
+use fis_types::{FloorId, LabeledAnchor, MacAddr, SignalSample};
+
+use crate::engine::BudgetGuard;
+use crate::error::FisError;
+use crate::indexing::TspSolver;
+use crate::pipeline::{ClusteringMethod, FisOne, FisOneConfig};
+use crate::similarity::SimilarityMethod;
+
+/// Identifier of the fitted-model artifact format.
+pub const MODEL_SCHEMA: &str = "fis-one/fitted-model";
+
+/// Current artifact schema version; see the module docs for the policy.
+pub const MODEL_SCHEMA_VERSION: usize = 1;
+
+/// Everything needed to label new scans for one building without
+/// refitting; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    building: String,
+    floors: usize,
+    config: FisOneConfig,
+    gnn: RfGnn,
+    macs: Vec<MacAddr>,
+    samples: Vec<SignalSample>,
+    /// Inference embeddings of the training scans (all-zero rows for
+    /// scans that heard nothing); the 1-NN references of `assign`.
+    references: Vec<Vec<f64>>,
+    centroids: Vec<Vec<f64>>,
+    floor_of_cluster: Vec<usize>,
+    cluster_order: Vec<usize>,
+    assignment: Vec<usize>,
+    /// Rebuilt from `samples` at fit/load time; never serialized twice.
+    graph: BipartiteGraph,
+    /// O(1) MAC → interned index lookup for streaming scans.
+    mac_index: HashMap<MacAddr, usize>,
+}
+
+impl FisOne {
+    /// Fits a model on a building's corpus: runs the full pipeline
+    /// (graph → RF-GNN → clustering → indexing) once, then precomputes
+    /// the reference embeddings and per-cluster centroids in the
+    /// content-seeded inference embedding space so [`FittedModel::assign`]
+    /// can label new scans without refitting (one 1-NN scan over the
+    /// references per query; [`FittedModel::assign_by_centroid`] for the
+    /// O(floors) variant).
+    ///
+    /// `anchor` must label a bottom- or top-floor sample, exactly like
+    /// [`FisOne::identify`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`FisOne::identify`] for any pipeline
+    /// stage failure.
+    pub fn fit(
+        &self,
+        building: &str,
+        samples: &[SignalSample],
+        floors: usize,
+        anchor: LabeledAnchor,
+    ) -> Result<FittedModel, FisError> {
+        // Same up-front gating as `identify`: reject bad inputs before the
+        // expensive training stages, with identical errors.
+        self.validate_anchor(samples, floors, anchor)?;
+        self.validate_endpoint_anchor(floors, anchor)?;
+        let (graph, gnn) = self.train_model(samples)?;
+        let embeddings = gnn.embed_samples(&graph);
+        let assignment = self.cluster_embeddings(&embeddings, floors)?;
+        let prediction = self.index_assignment(samples, &assignment, floors, anchor)?;
+
+        let mac_index: HashMap<MacAddr, usize> = graph
+            .macs()
+            .iter()
+            .enumerate()
+            .map(|(j, &m)| (m, j))
+            .collect();
+        let seed = self.config().gnn.seed;
+        // Re-embed every training scan through the exact inference path a
+        // streaming scan will take (virtual node + content seed). One scan
+        // per work item with its own RNG, so the centroids are
+        // bit-identical for any thread count.
+        let inference: Vec<Option<Vec<f64>>> = fis_parallel::par_map(samples, 1, |_, scan| {
+            let nbrs = known_neighbors(&graph, &mac_index, scan);
+            if nbrs.is_empty() {
+                return None;
+            }
+            gnn.infer_scan(&graph, &nbrs, scan_seed(seed, scan)).ok()
+        });
+        let dim = gnn.dim();
+        let mut centroids = vec![vec![0.0; dim]; floors];
+        let mut counts = vec![0usize; floors];
+        let mut references = Vec::with_capacity(samples.len());
+        for (i, emb) in inference.into_iter().enumerate() {
+            match emb {
+                Some(emb) => {
+                    let c = assignment[i];
+                    for (slot, x) in centroids[c].iter_mut().zip(&emb) {
+                        *slot += x;
+                    }
+                    counts[c] += 1;
+                    references.push(emb);
+                }
+                // A scan that heard nothing has no inference embedding;
+                // an all-zero row keeps the reference list aligned and is
+                // excluded from the 1-NN search (see `assign`).
+                None => references.push(vec![0.0; dim]),
+            }
+        }
+        for (centroid, &n) in centroids.iter_mut().zip(&counts) {
+            if n > 0 {
+                for x in centroid.iter_mut() {
+                    *x /= n as f64;
+                }
+            }
+        }
+
+        Ok(FittedModel {
+            building: building.to_owned(),
+            floors,
+            config: self.config().clone(),
+            gnn,
+            macs: graph.macs().to_vec(),
+            samples: samples.to_vec(),
+            references,
+            centroids,
+            floor_of_cluster: prediction.floor_of_cluster().to_vec(),
+            cluster_order: prediction.cluster_order().to_vec(),
+            assignment,
+            graph,
+            mac_index,
+        })
+    }
+}
+
+impl FittedModel {
+    /// The building this model was fitted on.
+    pub fn building(&self) -> &str {
+        &self.building
+    }
+
+    /// Number of floors (= clusters = centroids).
+    pub fn floors(&self) -> usize {
+        self.floors
+    }
+
+    /// The pipeline configuration the model was fitted with.
+    pub fn config(&self) -> &FisOneConfig {
+        &self.config
+    }
+
+    /// The trained RF-GNN encoder.
+    pub fn gnn(&self) -> &RfGnn {
+        &self.gnn
+    }
+
+    /// The MAC vocabulary in interned (first-seen) order.
+    pub fn macs(&self) -> &[MacAddr] {
+        &self.macs
+    }
+
+    /// The training scans the model was fitted on.
+    pub fn samples(&self) -> &[SignalSample] {
+        &self.samples
+    }
+
+    /// Inference embeddings of the training scans, in sample order.
+    pub fn references(&self) -> &[Vec<f64>] {
+        &self.references
+    }
+
+    /// Per-cluster centroids in the inference embedding space.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Zero-based floor index assigned to each cluster.
+    pub fn floor_of_cluster(&self) -> &[usize] {
+        &self.floor_of_cluster
+    }
+
+    /// Clusters in visiting order along the indexed path.
+    pub fn cluster_order(&self) -> &[usize] {
+        &self.cluster_order
+    }
+
+    /// Cluster id of every training scan.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Floor labels of the training scans, in sample order — the same
+    /// labels [`FisOne::identify`] produced during fitting.
+    pub fn training_labels(&self) -> Vec<FloorId> {
+        self.assignment
+            .iter()
+            .map(|&c| FloorId::from_index(self.floor_of_cluster[c]))
+            .collect()
+    }
+
+    /// The model's RNG seed (drives the content-seeded inference passes).
+    pub fn seed(&self) -> u64 {
+        self.config.gnn.seed
+    }
+
+    /// Labels one scan: embeds it through the inductive inference pass and
+    /// returns the cluster of the nearest stored reference embedding
+    /// (1-NN over the training scans).
+    ///
+    /// Deterministic in `(model, scan)` alone, and **exact** on the
+    /// training corpus: a training scan re-embeds bit-identically to its
+    /// stored reference (distance zero), so it always receives the label
+    /// `identify` gave it at fit time — see the [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FisError::Inference`] when the scan contains no MAC known
+    /// to the model (nothing to attach to) or the embedding fails.
+    pub fn assign(&self, scan: &SignalSample) -> Result<FloorId, FisError> {
+        let emb = self.infer_embedding(scan)?;
+        let mut best = None;
+        let mut best_d = f64::INFINITY;
+        for (i, reference) in self.references.iter().enumerate() {
+            // Empty training scans have no real embedding; their all-zero
+            // placeholder rows are not valid neighbors.
+            if self.samples[i].is_empty() {
+                continue;
+            }
+            let d = fis_linalg::vec_ops::euclidean(&emb, reference);
+            // Strict `<` keeps the lowest sample index on exact ties.
+            if d < best_d {
+                best = Some(i);
+                best_d = d;
+            }
+        }
+        let best = best.ok_or_else(|| {
+            FisError::Inference("model has no non-empty training scan to compare against".into())
+        })?;
+        Ok(FloorId::from_index(
+            self.floor_of_cluster[self.assignment[best]],
+        ))
+    }
+
+    /// Nearest-centroid variant of [`FittedModel::assign`]: O(floors)
+    /// distance computations instead of O(samples). Same determinism
+    /// contract, but on cluster-boundary scans it may disagree with the
+    /// 1-NN decision (and therefore with `identify` on the training
+    /// corpus); use it when serving latency matters more than exactness.
+    ///
+    /// # Errors
+    ///
+    /// See [`FittedModel::assign`].
+    pub fn assign_by_centroid(&self, scan: &SignalSample) -> Result<FloorId, FisError> {
+        let emb = self.infer_embedding(scan)?;
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            let d = fis_linalg::vec_ops::euclidean(&emb, centroid);
+            // Strict `<` keeps the lowest cluster id on exact ties.
+            if d < best_d {
+                best = c;
+                best_d = d;
+            }
+        }
+        Ok(FloorId::from_index(self.floor_of_cluster[best]))
+    }
+
+    /// Embeds one scan through the content-seeded inference pass.
+    fn infer_embedding(&self, scan: &SignalSample) -> Result<Vec<f64>, FisError> {
+        let nbrs = known_neighbors(&self.graph, &self.mac_index, scan);
+        if nbrs.is_empty() {
+            return Err(FisError::Inference(format!(
+                "scan {} heard {} MAC(s), none known to the model for {}",
+                scan.id(),
+                scan.len(),
+                self.building
+            )));
+        }
+        self.gnn
+            .infer_scan(&self.graph, &nbrs, scan_seed(self.seed(), scan))
+            .map_err(FisError::Inference)
+    }
+
+    /// Labels a batch of scans, fanned out across `threads` workers
+    /// (`0` = the global [`fis_parallel::thread_budget`]). One scan per
+    /// work item with a content-seeded RNG, so the output is bit-identical
+    /// for any thread count and in input order. Per-scan failures land in
+    /// their slot; they never abort the batch.
+    pub fn assign_stream(
+        &self,
+        scans: &[SignalSample],
+        threads: usize,
+    ) -> Vec<Result<FloorId, FisError>> {
+        let _budget_guard = (threads != 0).then(|| BudgetGuard::set(threads));
+        fis_parallel::par_map(scans, 1, |_, scan| self.assign(scan))
+    }
+
+    /// Serializes the whole model into one JSON artifact string (single
+    /// line, no trailing newline).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parses a model from an artifact string and revalidates every
+    /// invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FisError::Model`] describing the first problem.
+    pub fn from_json_str(text: &str) -> Result<Self, FisError> {
+        let json = Json::parse(text).map_err(|e| FisError::Model(e.to_string()))?;
+        Self::from_json(&json)
+    }
+
+    /// Writes the artifact to `path` (the JSON line plus a trailing
+    /// newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FisError::Model`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FisError> {
+        let mut text = self.to_json_string();
+        text.push('\n');
+        std::fs::write(path.as_ref(), text)
+            .map_err(|e| FisError::Model(format!("writing {}: {e}", path.as_ref().display())))
+    }
+
+    /// Reads and validates an artifact written by [`FittedModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FisError::Model`] if the file is unreadable, the JSON is
+    /// corrupt, or any schema/shape invariant fails.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, FisError> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| FisError::Model(format!("reading {}: {e}", path.as_ref().display())))?;
+        Self::from_json_str(text.trim_end_matches('\n'))
+    }
+
+    fn from_json(json: &Json) -> Result<Self, FisError> {
+        let model_err = |msg: String| FisError::Model(msg);
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| model_err("missing `schema` marker".into()))?;
+        if schema != MODEL_SCHEMA {
+            return Err(model_err(format!(
+                "unknown schema `{schema}` (expected `{MODEL_SCHEMA}`)"
+            )));
+        }
+        let version = json
+            .get("version")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| model_err("missing `version`".into()))?;
+        if version != MODEL_SCHEMA_VERSION {
+            return Err(model_err(format!(
+                "unsupported artifact version {version} (this build reads {MODEL_SCHEMA_VERSION})"
+            )));
+        }
+        let field = |key: &str| {
+            json.get(key)
+                .ok_or_else(|| model_err(format!("missing field `{key}`")))
+        };
+        let building = field("building")?
+            .as_str()
+            .ok_or_else(|| model_err("`building` must be a string".into()))?
+            .to_owned();
+        let floors = field("floors")?
+            .as_usize()
+            .filter(|&f| f > 0)
+            .ok_or_else(|| model_err("`floors` must be a positive integer".into()))?;
+
+        let gnn = RfGnn::from_json(field("gnn")?).map_err(|e| model_err(e.to_string()))?;
+        let config = pipeline_config_from_json(field("config")?, gnn.config().clone())?;
+
+        let macs = usize_like_array(field("macs")?, "macs", |v| {
+            MacAddr::from_json(v).map_err(|e| model_err(e.to_string()))
+        })?;
+        let samples = usize_like_array(field("samples")?, "samples", |v| {
+            SignalSample::from_json(v).map_err(|e| model_err(e.to_string()))
+        })?;
+        let graph = BipartiteGraph::from_samples(&samples)
+            .map_err(|e| model_err(format!("training scans do not rebuild a graph: {e}")))?;
+        if graph.macs() != macs.as_slice() {
+            return Err(model_err(format!(
+                "MAC vocabulary mismatch: artifact lists {} MACs, training scans intern {}",
+                macs.len(),
+                graph.n_macs()
+            )));
+        }
+        if gnn.features().rows() != graph.n_nodes() {
+            return Err(model_err(format!(
+                "feature matrix has {} rows, graph has {} nodes",
+                gnn.features().rows(),
+                graph.n_nodes()
+            )));
+        }
+
+        let references = float_rows(field("references")?, "references")?;
+        if references.len() != samples.len() {
+            return Err(model_err(format!(
+                "{} reference embeddings for {} training scans",
+                references.len(),
+                samples.len()
+            )));
+        }
+        if references.iter().any(|r| r.len() != gnn.dim()) {
+            return Err(model_err(format!(
+                "reference dimension disagrees with embedding dim {}",
+                gnn.dim()
+            )));
+        }
+
+        let centroids = float_rows(field("centroids")?, "centroids")?;
+        if centroids.len() != floors {
+            return Err(model_err(format!(
+                "floor-count mismatch: artifact declares {floors} floors but carries {} centroids",
+                centroids.len()
+            )));
+        }
+        if centroids.iter().any(|c| c.len() != gnn.dim()) {
+            return Err(model_err(format!(
+                "centroid dimension disagrees with embedding dim {}",
+                gnn.dim()
+            )));
+        }
+
+        let floor_of_cluster = index_array(field("floor_of_cluster")?, "floor_of_cluster")?;
+        let cluster_order = index_array(field("cluster_order")?, "cluster_order")?;
+        if floor_of_cluster.len() != floors || cluster_order.len() != floors {
+            return Err(model_err(format!(
+                "floor-count mismatch: {floors} floors vs {} floor assignments / {} path entries",
+                floor_of_cluster.len(),
+                cluster_order.len()
+            )));
+        }
+        let mut seen = floor_of_cluster.clone();
+        seen.sort_unstable();
+        if seen != (0..floors).collect::<Vec<_>>() {
+            return Err(model_err(
+                "`floor_of_cluster` is not a permutation of the floor indices".into(),
+            ));
+        }
+        for (pos, &cluster) in cluster_order.iter().enumerate() {
+            if cluster >= floors || floor_of_cluster[cluster] != pos {
+                return Err(model_err(
+                    "`cluster_order` is not the inverse of `floor_of_cluster`".into(),
+                ));
+            }
+        }
+
+        let assignment = index_array(field("assignment")?, "assignment")?;
+        if assignment.len() != samples.len() {
+            return Err(model_err(format!(
+                "assignment covers {} scans, corpus has {}",
+                assignment.len(),
+                samples.len()
+            )));
+        }
+        if assignment.iter().any(|&c| c >= floors) {
+            return Err(model_err(
+                "assignment references a cluster beyond the floor count".into(),
+            ));
+        }
+
+        let mac_index = macs.iter().enumerate().map(|(j, &m)| (m, j)).collect();
+        Ok(Self {
+            building,
+            floors,
+            config,
+            gnn,
+            macs,
+            samples,
+            references,
+            centroids,
+            floor_of_cluster,
+            cluster_order,
+            assignment,
+            graph,
+            mac_index,
+        })
+    }
+}
+
+impl ToJson for FittedModel {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(MODEL_SCHEMA.to_owned())),
+            ("version", Json::Num(MODEL_SCHEMA_VERSION as f64)),
+            ("building", Json::Str(self.building.clone())),
+            ("floors", Json::Num(self.floors as f64)),
+            ("config", pipeline_config_to_json(&self.config)),
+            ("gnn", self.gnn.to_json()),
+            (
+                "macs",
+                Json::Arr(self.macs.iter().map(|m| m.to_json()).collect()),
+            ),
+            (
+                "samples",
+                Json::Arr(self.samples.iter().map(|s| s.to_json()).collect()),
+            ),
+            ("references", float_rows_to_json(&self.references)),
+            ("centroids", float_rows_to_json(&self.centroids)),
+            (
+                "floor_of_cluster",
+                Json::Arr(
+                    self.floor_of_cluster
+                        .iter()
+                        .map(|&f| Json::Num(f as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "cluster_order",
+                Json::Arr(
+                    self.cluster_order
+                        .iter()
+                        .map(|&c| Json::Num(c as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "assignment",
+                Json::Arr(
+                    self.assignment
+                        .iter()
+                        .map(|&c| Json::Num(c as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Maps a scan's readings onto the model's MAC nodes with `f(RSS)`
+/// weights, dropping MACs outside the vocabulary.
+fn known_neighbors(
+    graph: &BipartiteGraph,
+    mac_index: &HashMap<MacAddr, usize>,
+    scan: &SignalSample,
+) -> Vec<(usize, f64)> {
+    scan.iter()
+        .filter_map(|(mac, rssi)| {
+            mac_index
+                .get(&mac)
+                .map(|&j| (graph.mac_node(j), rssi.edge_weight()))
+        })
+        .collect()
+}
+
+/// Derives the per-scan inference seed from the model seed and the scan's
+/// readings (FNV-1a over MAC/RSSI bits). Content-only on purpose: the
+/// same scan gets the same embedding no matter when, where, or next to
+/// which other scans it is served.
+fn scan_seed(model_seed: u64, scan: &SignalSample) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: [u8; 8]| {
+        for b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    eat(model_seed.to_le_bytes());
+    for (mac, rssi) in scan.iter() {
+        eat(mac.to_u64().to_le_bytes());
+        eat(rssi.dbm().to_bits().to_le_bytes());
+    }
+    h
+}
+
+fn float_rows_to_json(rows: &[Vec<f64>]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| Json::Arr(row.iter().map(|&x| Json::Num(x)).collect()))
+            .collect(),
+    )
+}
+
+fn float_rows(value: &Json, what: &str) -> Result<Vec<Vec<f64>>, FisError> {
+    usize_like_array(value, what, |v| {
+        let row = v
+            .as_arr()
+            .ok_or_else(|| FisError::Model(format!("`{what}` rows must be arrays")))?;
+        row.iter()
+            .map(|x| {
+                x.as_f64()
+                    .ok_or_else(|| FisError::Model(format!("`{what}` entries must be numbers")))
+            })
+            .collect::<Result<Vec<f64>, FisError>>()
+    })
+}
+
+fn usize_like_array<T>(
+    value: &Json,
+    what: &str,
+    parse: impl Fn(&Json) -> Result<T, FisError>,
+) -> Result<Vec<T>, FisError> {
+    value
+        .as_arr()
+        .ok_or_else(|| FisError::Model(format!("`{what}` must be an array")))?
+        .iter()
+        .map(parse)
+        .collect()
+}
+
+fn index_array(value: &Json, what: &str) -> Result<Vec<usize>, FisError> {
+    usize_like_array(value, what, |v| {
+        v.as_usize().ok_or_else(|| {
+            FisError::Model(format!("`{what}` entries must be non-negative integers"))
+        })
+    })
+}
+
+fn pipeline_config_to_json(config: &FisOneConfig) -> Json {
+    let clustering = match config.clustering {
+        ClusteringMethod::Hierarchical => "hierarchical",
+        ClusteringMethod::KMeans => "kmeans",
+    };
+    let similarity = match config.similarity {
+        SimilarityMethod::AdaptedJaccard => "adapted-jaccard",
+        SimilarityMethod::PlainJaccard => "plain-jaccard",
+    };
+    let solver = match config.solver {
+        TspSolver::Exact => "exact",
+        TspSolver::TwoOpt => "two-opt",
+    };
+    Json::obj([
+        ("clustering", Json::Str(clustering.to_owned())),
+        ("similarity", Json::Str(similarity.to_owned())),
+        ("solver", Json::Str(solver.to_owned())),
+    ])
+}
+
+/// The GNN config travels inside the `gnn` object (single source of
+/// truth); this reassembles the pipeline-level knobs around it.
+fn pipeline_config_from_json(
+    value: &Json,
+    gnn: fis_gnn::RfGnnConfig,
+) -> Result<FisOneConfig, FisError> {
+    let pick = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| FisError::Model(format!("config `{key}` must be a string")))
+    };
+    let clustering = match pick("clustering")? {
+        "hierarchical" => ClusteringMethod::Hierarchical,
+        "kmeans" => ClusteringMethod::KMeans,
+        other => {
+            return Err(FisError::Model(format!(
+                "unknown clustering method `{other}`"
+            )))
+        }
+    };
+    let similarity = match pick("similarity")? {
+        "adapted-jaccard" => SimilarityMethod::AdaptedJaccard,
+        "plain-jaccard" => SimilarityMethod::PlainJaccard,
+        other => {
+            return Err(FisError::Model(format!(
+                "unknown similarity method `{other}`"
+            )))
+        }
+    };
+    let solver = match pick("solver")? {
+        "exact" => TspSolver::Exact,
+        "two-opt" => TspSolver::TwoOpt,
+        other => return Err(FisError::Model(format!("unknown tsp solver `{other}`"))),
+    };
+    Ok(FisOneConfig {
+        gnn,
+        clustering,
+        similarity,
+        solver,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_gnn::RfGnnConfig;
+    use fis_synth::BuildingConfig;
+    use fis_types::Building;
+
+    fn quick_fit(seed: u64) -> (Building, FittedModel) {
+        let b = BuildingConfig::new("fit-test", 3)
+            .samples_per_floor(20)
+            .aps_per_floor(8)
+            .atrium_aps(0)
+            .seed(100 + seed)
+            .generate();
+        let mut config = FisOneConfig::default().seed(seed);
+        config.gnn = RfGnnConfig::new(8)
+            .epochs(3)
+            .walks_per_node(2)
+            .neighbor_samples(vec![5, 3])
+            .seed(seed);
+        let anchor = b.bottom_anchor().unwrap();
+        let model = FisOne::new(config)
+            .fit(b.name(), b.samples(), b.floors(), anchor)
+            .unwrap();
+        (b, model)
+    }
+
+    #[test]
+    fn fit_matches_identify_labels() {
+        let (b, model) = quick_fit(1);
+        let fis = FisOne::new(model.config().clone());
+        let pred = fis
+            .identify(b.samples(), b.floors(), b.bottom_anchor().unwrap())
+            .unwrap();
+        assert_eq!(model.training_labels(), pred.labels());
+        assert_eq!(model.assignment(), pred.assignment());
+        assert_eq!(model.floor_of_cluster(), pred.floor_of_cluster());
+    }
+
+    #[test]
+    fn assign_reproduces_training_labels_on_training_scans() {
+        let (b, model) = quick_fit(2);
+        let labels = model.training_labels();
+        for (scan, &expected) in b.samples().iter().zip(labels.iter()) {
+            assert_eq!(model.assign(scan).unwrap(), expected, "scan {}", scan.id());
+        }
+    }
+
+    #[test]
+    fn assign_stream_is_thread_invariant_and_ordered() {
+        let (b, model) = quick_fit(3);
+        let one = model.assign_stream(b.samples(), 1);
+        let four = model.assign_stream(b.samples(), 4);
+        assert_eq!(one.len(), b.len());
+        for (a, b) in one.iter().zip(four.iter()) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        let (_, model) = quick_fit(4);
+        let first = model.to_json_string();
+        let loaded = FittedModel::from_json_str(&first).unwrap();
+        assert_eq!(loaded.to_json_string(), first);
+        assert_eq!(loaded.building(), model.building());
+        assert_eq!(loaded.floors(), model.floors());
+    }
+
+    #[test]
+    fn loaded_model_assigns_identically() {
+        let (b, model) = quick_fit(5);
+        let loaded = FittedModel::from_json_str(&model.to_json_string()).unwrap();
+        for scan in b.samples().iter().take(10) {
+            assert_eq!(model.assign(scan).unwrap(), loaded.assign(scan).unwrap());
+        }
+    }
+
+    #[test]
+    fn unknown_macs_only_scan_is_typed_error() {
+        let (_, model) = quick_fit(6);
+        let alien = SignalSample::builder(0)
+            .reading(
+                MacAddr::from_u64(0xFFFF_FFFF_FF01),
+                fis_types::Rssi::new(-50.0).unwrap(),
+            )
+            .build();
+        assert!(matches!(
+            model.assign(&alien).unwrap_err(),
+            FisError::Inference(_)
+        ));
+        let empty = SignalSample::builder(1).build();
+        assert!(matches!(
+            model.assign(&empty).unwrap_err(),
+            FisError::Inference(_)
+        ));
+    }
+
+    #[test]
+    fn middle_anchor_rejected_by_fit() {
+        let b = BuildingConfig::new("mid", 3)
+            .samples_per_floor(15)
+            .aps_per_floor(6)
+            .atrium_aps(0)
+            .seed(9)
+            .generate();
+        let anchor = b.anchor_on(FloorId::from_index(1)).unwrap();
+        let err = FisOne::default()
+            .fit(b.name(), b.samples(), b.floors(), anchor)
+            .unwrap_err();
+        assert!(matches!(err, FisError::Anchor(_)));
+    }
+}

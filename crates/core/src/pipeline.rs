@@ -145,13 +145,7 @@ impl FisOne {
         anchor: LabeledAnchor,
     ) -> Result<FloorPrediction, FisError> {
         self.validate_anchor(samples, floors, anchor)?;
-        if anchor.floor != FloorId::BOTTOM && anchor.floor.index() != floors - 1 {
-            return Err(FisError::Anchor(format!(
-                "anchor on {} is neither bottom nor top of {floors} floors; \
-                 use identify_with_arbitrary_anchor",
-                anchor.floor
-            )));
-        }
+        self.validate_endpoint_anchor(floors, anchor)?;
         let (assignment, _embeddings) = self.cluster_samples(samples, floors)?;
         self.index_assignment(samples, &assignment, floors, anchor)
     }
@@ -182,10 +176,25 @@ impl FisOne {
     ///
     /// Returns [`FisError::Graph`] or [`FisError::Training`].
     pub fn embed(&self, samples: &[SignalSample]) -> Result<Matrix, FisError> {
+        let (graph, model) = self.train_model(samples)?;
+        Ok(model.embed_samples(&graph))
+    }
+
+    /// Builds the bipartite graph and trains the RF-GNN, returning both so
+    /// callers (e.g. [`FisOne::fit`]) can keep the trained encoder instead
+    /// of only its embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FisError::Graph`] or [`FisError::Training`].
+    pub fn train_model(
+        &self,
+        samples: &[SignalSample],
+    ) -> Result<(BipartiteGraph, RfGnn), FisError> {
         let graph =
             BipartiteGraph::from_samples(samples).map_err(|e| FisError::Graph(e.to_string()))?;
         let model = RfGnn::train(&graph, &self.config.gnn).map_err(FisError::Training)?;
-        Ok(model.embed_samples(&graph))
+        Ok((graph, model))
     }
 
     /// Stage 3 only: clusters embedding rows into `k` clusters with the
@@ -283,7 +292,25 @@ impl FisOne {
         ))
     }
 
-    fn validate_anchor(
+    /// Rejects anchors that are neither on the bottom nor the top floor —
+    /// the gate shared by [`FisOne::identify`] and [`FisOne::fit`], so
+    /// both report the identical error.
+    pub(crate) fn validate_endpoint_anchor(
+        &self,
+        floors: usize,
+        anchor: LabeledAnchor,
+    ) -> Result<(), FisError> {
+        if anchor.floor != FloorId::BOTTOM && anchor.floor.index() != floors - 1 {
+            return Err(FisError::Anchor(format!(
+                "anchor on {} is neither bottom nor top of {floors} floors; \
+                 use identify_with_arbitrary_anchor",
+                anchor.floor
+            )));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn validate_anchor(
         &self,
         samples: &[SignalSample],
         floors: usize,

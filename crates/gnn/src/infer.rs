@@ -1,0 +1,265 @@
+//! Inference-only forward passes: no tape, no gradient bookkeeping.
+//!
+//! Training and batch embedding ([`RfGnn::embed_nodes`]) run the K-hop
+//! forward through the autograd tape, which allocates a node (value +
+//! zeroed gradient) per operation. Serving only needs the values, so this
+//! module re-implements the recursion with plain [`Matrix`] ops in the
+//! exact same order — [`RfGnn::infer_nodes`] is **bit-identical** to
+//! [`RfGnn::embed_nodes`] (enforced by tests) while skipping every
+//! gradient allocation.
+//!
+//! It also extends the forward pass to **virtual scan nodes**: a new
+//! crowdsourced scan that was never part of the training graph is embedded
+//! by attaching it to the MAC nodes it heard ([`RfGnn::infer_scan`]). Its
+//! hop-0 representation is the `f(RSS)`-weighted mean of its known MACs'
+//! learned features; every deeper hop aggregates sampled neighborhoods of
+//! the training graph, exactly as the paper's inductive argument for
+//! choosing a GNN over static embeddings prescribes.
+
+use std::collections::HashMap;
+
+use fis_graph::BipartiteGraph;
+use fis_linalg::{func, vec_ops, Matrix};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::model::RfGnn;
+
+/// A scan attached to the training graph for inference: its known MAC
+/// neighbors (unified node indices) with positive `f(RSS)` weights, plus
+/// the synthesized hop-0 feature row.
+struct VirtualScan<'a> {
+    neighbors: &'a [(usize, f64)],
+    feature: Vec<f64>,
+}
+
+impl RfGnn {
+    /// Tape-free variant of [`RfGnn::embed_nodes`]: embeds an arbitrary
+    /// set of unified node indices with identical RNG consumption and
+    /// arithmetic order, so the result is bit-identical — only the
+    /// gradient bookkeeping is skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds for `graph`.
+    pub fn infer_nodes(&self, graph: &BipartiteGraph, nodes: &[usize]) -> Matrix {
+        for &n in nodes {
+            assert!(n < graph.n_nodes(), "node {n} out of bounds");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x1AFE1D);
+        let mut out = Matrix::zeros(nodes.len(), self.config.dim);
+        for _pass in 0..self.config.inference_passes {
+            for (chunk_start, chunk) in nodes.chunks(512).enumerate().map(|(i, c)| (i * 512, c)) {
+                let values = self.infer_layer(graph, &mut rng, None, chunk, self.config.hops);
+                for (i, _) in chunk.iter().enumerate() {
+                    vec_ops::axpy(out.row_mut(chunk_start + i), 1.0, values.row(i));
+                }
+            }
+        }
+        out.scale(1.0 / self.config.inference_passes as f64)
+            .l2_normalize_rows()
+    }
+
+    /// Embeds one scan that is *not* a node of `graph`.
+    ///
+    /// `neighbors` lists the unified indices of the MAC nodes the scan
+    /// heard, with their positive `f(RSS)` weights. The scan's hop-0
+    /// representation is the weight-normalized mean of those MACs' learned
+    /// features; K-hop aggregation then proceeds through the training
+    /// graph. Averages `inference_passes` stochastic passes seeded by
+    /// `seed` alone, so for a fixed `(model, scan, seed)` the embedding is
+    /// bit-identical regardless of batching or thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `neighbors` is empty (nothing known to attach
+    /// to), lists an out-of-bounds node, or carries a non-positive weight.
+    pub fn infer_scan(
+        &self,
+        graph: &BipartiteGraph,
+        neighbors: &[(usize, f64)],
+        seed: u64,
+    ) -> Result<Vec<f64>, String> {
+        if neighbors.is_empty() {
+            return Err("scan has no neighbors in the training graph".to_owned());
+        }
+        for &(n, w) in neighbors {
+            if n >= graph.n_nodes() {
+                return Err(format!("neighbor node {n} out of bounds"));
+            }
+            if !w.is_finite() || w <= 0.0 {
+                return Err(format!("neighbor weight {w} must be positive and finite"));
+            }
+        }
+        let total: f64 = neighbors.iter().map(|&(_, w)| w).sum();
+        let mut feature = vec![0.0; self.config.dim];
+        for &(n, w) in neighbors {
+            vec_ops::axpy(&mut feature, w / total, self.features.row(n));
+        }
+        let scan = VirtualScan { neighbors, feature };
+
+        let virt = graph.n_nodes();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut out = vec![0.0; self.config.dim];
+        for _pass in 0..self.config.inference_passes {
+            let values = self.infer_layer(graph, &mut rng, Some(&scan), &[virt], self.config.hops);
+            vec_ops::axpy(&mut out, 1.0, values.row(0));
+        }
+        vec_ops::scale(&mut out, 1.0 / self.config.inference_passes as f64);
+        let norm = out.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            vec_ops::scale(&mut out, 1.0 / norm);
+        }
+        Ok(out)
+    }
+
+    /// Value-only mirror of the tape `layer` recursion. Node index
+    /// `graph.n_nodes()` denotes the virtual scan node when `scan` is set.
+    fn infer_layer<R: Rng + ?Sized>(
+        &self,
+        graph: &BipartiteGraph,
+        rng: &mut R,
+        scan: Option<&VirtualScan<'_>>,
+        nodes: &[usize],
+        depth: usize,
+    ) -> Matrix {
+        let virt = graph.n_nodes();
+        if depth == 0 {
+            let mut out = Matrix::zeros(nodes.len(), self.config.dim);
+            for (i, &n) in nodes.iter().enumerate() {
+                let row = if n == virt {
+                    scan.expect("virtual index requires a scan")
+                        .feature
+                        .as_slice()
+                } else {
+                    self.features.row(n)
+                };
+                out.row_mut(i).copy_from_slice(row);
+            }
+            return out;
+        }
+        let hop_index = self.config.hops - depth;
+        let sample_size = self.config.neighbor_samples[hop_index];
+
+        let mut child_list: Vec<usize> = nodes.to_vec();
+        let mut child_index: HashMap<usize, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut groups: Vec<Vec<(usize, f64)>> = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            let nbrs: &[(usize, f64)] = if node == virt {
+                scan.expect("virtual index requires a scan").neighbors
+            } else {
+                graph.neighbors(node)
+            };
+            let sampled = self.sample_from(nbrs, rng, node, sample_size);
+            let total: f64 = sampled.iter().map(|&(_, w)| w).sum();
+            let mut group = Vec::with_capacity(sampled.len());
+            for (nbr, w) in sampled {
+                let idx = *child_index.entry(nbr).or_insert_with(|| {
+                    child_list.push(nbr);
+                    child_list.len() - 1
+                });
+                group.push((idx, w / total));
+            }
+            groups.push(group);
+        }
+
+        let child_reps = self.infer_layer(graph, rng, scan, &child_list, depth - 1);
+        // Nodes occupy the first positions of child_list by construction.
+        let self_reps = child_reps.gather_rows(&(0..nodes.len()).collect::<Vec<_>>());
+        let mut agg = Matrix::zeros(groups.len(), child_reps.cols());
+        for (i, group) in groups.iter().enumerate() {
+            for &(idx, w) in group {
+                vec_ops::axpy(agg.row_mut(i), w, child_reps.row(idx));
+            }
+        }
+        let lin = self_reps.hcat(&agg).matmul(&self.weights[hop_index]);
+        let act = if hop_index == 0 {
+            lin
+        } else {
+            lin.map(func::relu)
+        };
+        act.l2_normalize_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RfGnnConfig;
+    use fis_synth::BuildingConfig;
+
+    fn trained(seed: u64) -> (BipartiteGraph, RfGnn) {
+        let b = BuildingConfig::new("t", 3)
+            .samples_per_floor(20)
+            .aps_per_floor(6)
+            .atrium_aps(0)
+            .seed(seed)
+            .generate();
+        let graph = BipartiteGraph::from_samples(b.samples()).unwrap();
+        let config = RfGnnConfig::new(8)
+            .epochs(3)
+            .walks_per_node(2)
+            .neighbor_samples(vec![5, 3])
+            .seed(seed);
+        let model = RfGnn::train(&graph, &config).unwrap();
+        (graph, model)
+    }
+
+    #[test]
+    fn infer_nodes_bit_identical_to_tape_embedding() {
+        let (graph, model) = trained(11);
+        let nodes: Vec<usize> = (0..graph.n_samples()).collect();
+        let tape = model.embed_nodes(&graph, &nodes);
+        let free = model.infer_nodes(&graph, &nodes);
+        assert_eq!(tape.as_slice(), free.as_slice(), "forward paths diverged");
+    }
+
+    #[test]
+    fn infer_scan_is_deterministic_and_unit_norm() {
+        let (graph, model) = trained(12);
+        let nbrs: Vec<(usize, f64)> = (0..3)
+            .map(|j| (graph.mac_node(j), 40.0 + j as f64))
+            .collect();
+        let a = model.infer_scan(&graph, &nbrs, 99).unwrap();
+        let b = model.infer_scan(&graph, &nbrs, 99).unwrap();
+        assert_eq!(a, b);
+        let norm = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+        // A different seed draws different neighborhoods.
+        let c = model.infer_scan(&graph, &nbrs, 100).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn infer_scan_rejects_degenerate_inputs() {
+        let (graph, model) = trained(13);
+        assert!(model.infer_scan(&graph, &[], 1).is_err());
+        assert!(model
+            .infer_scan(&graph, &[(graph.n_nodes() + 5, 10.0)], 1)
+            .is_err());
+        assert!(model.infer_scan(&graph, &[(0, -3.0)], 1).is_err());
+        assert!(model.infer_scan(&graph, &[(0, f64::NAN)], 1).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_shapes() {
+        let (_, model) = trained(14);
+        let config = model.config().clone();
+        let ok = RfGnn::from_parts(
+            config.clone(),
+            model.features().clone(),
+            model.weights().to_vec(),
+        );
+        assert!(ok.is_ok());
+        let bad = RfGnn::from_parts(
+            config.clone(),
+            Matrix::zeros(4, 3),
+            model.weights().to_vec(),
+        );
+        assert!(bad.is_err());
+        let bad2 = RfGnn::from_parts(config, model.features().clone(), vec![]);
+        assert!(bad2.is_err());
+    }
+}

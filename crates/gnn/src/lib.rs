@@ -31,9 +31,12 @@
 //! ```
 
 pub mod config;
+pub mod infer;
 pub mod model;
+pub mod persist;
 pub mod train;
 
 pub use config::RfGnnConfig;
 pub use model::RfGnn;
+pub use persist::{matrix_from_json, matrix_to_json};
 pub use train::TrainReport;

@@ -47,6 +47,53 @@ impl RfGnn {
         }
     }
 
+    /// Reassembles a model from its persisted parts, validating shapes.
+    ///
+    /// This is the load-side counterpart of serializing the learned
+    /// `features` / `weights`; see `fis_gnn::persist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the config is inconsistent or any matrix shape
+    /// disagrees with it.
+    pub fn from_parts(
+        config: RfGnnConfig,
+        features: Matrix,
+        weights: Vec<Matrix>,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let d = config.dim;
+        if features.cols() != d {
+            return Err(format!(
+                "feature matrix is {}x{}, expected {d} columns",
+                features.rows(),
+                features.cols()
+            ));
+        }
+        if weights.len() != config.hops {
+            return Err(format!(
+                "{} weight matrices for {} hops",
+                weights.len(),
+                config.hops
+            ));
+        }
+        for (k, w) in weights.iter().enumerate() {
+            if w.shape() != (2 * d, d) {
+                return Err(format!(
+                    "weight matrix W{k} is {}x{}, expected {}x{d}",
+                    w.rows(),
+                    w.cols(),
+                    2 * d
+                ));
+            }
+        }
+        Ok(Self {
+            config,
+            features,
+            weights,
+        })
+    }
+
     /// The configuration this model was built with.
     pub fn config(&self) -> &RfGnnConfig {
         &self.config
@@ -55,6 +102,16 @@ impl RfGnn {
     /// Embedding dimension.
     pub fn dim(&self) -> usize {
         self.config.dim
+    }
+
+    /// The learned initial node features `r^0` (one row per graph node).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The learned per-hop weight matrices `W_k`, outermost hop first.
+    pub fn weights(&self) -> &[Matrix] {
+        &self.weights
     }
 
     /// Registers the model parameters as tape leaves.
@@ -147,7 +204,20 @@ impl RfGnn {
         node: usize,
         k: usize,
     ) -> Vec<(usize, f64)> {
-        let nbrs = graph.neighbors(node);
+        self.sample_from(graph.neighbors(node), rng, node, k)
+    }
+
+    /// [`RfGnn::sample_neighbors`] over an explicit adjacency list, so the
+    /// inference path can sample from a virtual scan node that is not part
+    /// of the training graph. Draw order and arithmetic are identical to
+    /// the training-time sampler.
+    pub(crate) fn sample_from<R: Rng + ?Sized>(
+        &self,
+        nbrs: &[(usize, f64)],
+        rng: &mut R,
+        node: usize,
+        k: usize,
+    ) -> Vec<(usize, f64)> {
         if nbrs.is_empty() {
             return vec![(node, 1.0)];
         }

@@ -169,6 +169,15 @@ impl BipartiteGraph {
         self.macs[j]
     }
 
+    /// The full MAC vocabulary in interned (first-seen) order.
+    ///
+    /// `macs()[j]` is the address of MAC node `mac_node(j)`. This is the
+    /// vocabulary a fitted model persists so streaming scans can be mapped
+    /// back onto the training graph.
+    pub fn macs(&self) -> &[MacAddr] {
+        &self.macs
+    }
+
     /// Looks up the interned index of a MAC address.
     pub fn mac_id(&self, mac: MacAddr) -> Option<usize> {
         self.macs.iter().position(|&m| m == mac)

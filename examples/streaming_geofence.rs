@@ -1,7 +1,13 @@
-//! Streaming geofence: train once, then label *new* incoming scans with
-//! the inductive RF-GNN — the dynamic-graph capability the paper gives as
-//! the reason to prefer a GNN over static embeddings (new RF signals keep
-//! arriving in crowdsourced deployments).
+//! Streaming geofence: fit once, serve forever.
+//!
+//! The paper's reason to prefer an inductive RF-GNN over static
+//! embeddings is that crowdsourced RF signals keep arriving. This example
+//! shows the first-class serve path: [`FisOne::fit`] builds a
+//! [`FittedModel`] artifact, the artifact round-trips through disk like a
+//! deployed model would, and live scans are labeled with
+//! [`FittedModel::assign_stream`] — a K-hop embedding plus a 1-NN lookup
+//! per scan instead of retraining the whole pipeline, with no reaching
+//! into pipeline internals.
 //!
 //! A geofence watches for devices entering a restricted floor.
 //!
@@ -9,10 +15,7 @@
 //! cargo run --release --example streaming_geofence
 //! ```
 
-use fis_one::cluster::cluster_members;
-use fis_one::graph::BipartiteGraph;
-use fis_one::linalg::vec_ops;
-use fis_one::{BuildingConfig, FisOne, FisOneConfig, FloorId};
+use fis_one::{BuildingConfig, FisOne, FisOneConfig, FittedModel, FloorId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Historical crowdsourced corpus for the building.
@@ -24,81 +27,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let anchor = building.bottom_anchor().expect("bottom surveyed");
     let restricted = FloorId::from_index(3);
 
-    // Offline phase: identify floors for the historical corpus.
+    // Offline phase: fit the pipeline once and persist the whole model
+    // (GNN weights, MAC vocabulary, centroids, floor ordering) as one
+    // JSON artifact.
     let fis = FisOne::new(FisOneConfig::default().seed(4));
-    let (assignment, embeddings) = fis.cluster_samples(building.samples(), building.floors())?;
-    let prediction =
-        fis.index_assignment(building.samples(), &assignment, building.floors(), anchor)?;
+    let model = fis.fit(
+        building.name(),
+        building.samples(),
+        building.floors(),
+        anchor,
+    )?;
+    let dir = std::env::temp_dir().join("fis_streaming_geofence");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("hq-model.json");
+    model.save(&path)?;
     println!(
-        "offline corpus labeled; restricted floor is {restricted} (cluster {})",
-        prediction
-            .floor_of_cluster()
-            .iter()
-            .position(|&f| f == restricted.index())
-            .expect("floor exists")
+        "fitted `{}`: {} floors, {} training scans, {} MACs -> {} ({} bytes)",
+        model.building(),
+        model.floors(),
+        model.samples().len(),
+        model.macs().len(),
+        path.display(),
+        std::fs::metadata(&path)?.len()
     );
 
-    let _ = embeddings; // offline embeddings served the clustering above
+    // A serving process starts by loading the artifact back; assignments
+    // are bit-identical to the in-memory model's.
+    let served = FittedModel::load(&path)?;
 
-    // Online phase: new scans stream in. We simulate them as a fresh
-    // batch from the same building, append them to the graph, and embed
-    // everything in one shared space with a model trained on the combined
-    // graph (the labels of the historical corpus are already fixed).
+    // Online phase: new scans stream in from the same building (same seed
+    // -> same AP placement, so the live MACs are in the vocabulary).
     let fresh = BuildingConfig::new("hq-live", 4)
         .samples_per_floor(5)
         .aps_per_floor(12)
-        .seed(21) // same building layout: the AP placement matches
+        .seed(21)
         .generate();
-
-    // Combine historical + new samples into one graph (new scans get new
-    // dense ids appended after the corpus).
-    let mut all = building.samples().to_vec();
-    for s in fresh.samples() {
-        all.push(s.clone().with_id(all.len() as u32));
-    }
-    let graph = BipartiteGraph::from_samples(&all)?;
-    let model = fis_one::RfGnn::train(&graph, &fis.config().gnn)?;
-
-    // Per-cluster centroids in the *combined* embedding space, computed
-    // from the historical samples whose floors we just identified.
-    let historical: Vec<usize> = (0..building.len()).collect();
-    let hist_emb = model.embed_nodes(&graph, &historical);
-    let members = cluster_members(prediction.assignment());
-    let centroids: Vec<Vec<f64>> = members
-        .iter()
-        .map(|m| {
-            let mut c = vec![0.0; hist_emb.cols()];
-            for &i in m {
-                vec_ops::axpy(&mut c, 1.0, hist_emb.row(i));
-            }
-            vec_ops::scale(&mut c, 1.0 / m.len().max(1) as f64);
-            c
-        })
-        .collect();
+    let results = served.assign_stream(fresh.samples(), 0);
 
     let mut alerts = 0;
-    for (offset, truth) in fresh.ground_truth().iter().enumerate() {
-        let node = building.len() + offset;
-        let emb = model.embed_nodes(&graph, &[node]);
-        let nearest = centroids
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                vec_ops::euclidean(emb.row(0), a)
-                    .partial_cmp(&vec_ops::euclidean(emb.row(0), b))
-                    .expect("finite distances")
-            })
-            .map(|(c, _)| c)
-            .expect("at least one cluster");
-        let floor = FloorId::from_index(prediction.floor_of_cluster()[nearest]);
-        let mark = if floor == restricted { "ALERT" } else { "ok" };
-        if floor == restricted {
-            alerts += 1;
+    let mut correct = 0;
+    for ((scan, truth), outcome) in fresh
+        .samples()
+        .iter()
+        .zip(fresh.ground_truth())
+        .zip(&results)
+    {
+        match outcome {
+            Ok(floor) => {
+                let mark = if *floor == restricted { "ALERT" } else { "ok" };
+                if *floor == restricted {
+                    alerts += 1;
+                }
+                if floor == truth {
+                    correct += 1;
+                }
+                println!(
+                    "live scan {}: predicted {floor} (truth {truth}) {mark}",
+                    scan.id()
+                );
+            }
+            Err(e) => println!("live scan {}: unassignable ({e})", scan.id()),
         }
-        println!("live scan {offset}: predicted {floor} (truth {truth}) {mark}");
     }
     println!(
-        "{alerts} geofence alert(s) raised out of {} live scans",
+        "{alerts} geofence alert(s) raised out of {} live scans ({correct} labeled correctly)",
         fresh.len()
     );
     Ok(())

@@ -4,20 +4,23 @@
 //! fis-one generate --floors 5 --samples 200 --seed 7 --out corpus.jsonl
 //! fis-one identify --corpus corpus.jsonl [--building NAME]
 //! fis-one evaluate --corpus corpus.jsonl
+//! fis-one fit      --corpus corpus.jsonl --out model.json
+//! fis-one assign   --model model.json --scans corpus.jsonl
 //! fis-one stats    --corpus corpus.jsonl
 //! ```
 //!
 //! `generate` synthesizes a building corpus; `identify` runs the pipeline
 //! with each building's bottom-floor anchor and prints per-sample floors;
-//! `evaluate` scores against the stored ground truth; `stats` prints the
-//! spillover statistics behind Figure 1.
+//! `evaluate` scores against the stored ground truth; `fit` persists a
+//! serving artifact and `assign` labels scans against it without
+//! refitting; `stats` prints the spillover statistics behind Figure 1.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use fis_one::core::{EngineConfig, FisEngine};
 use fis_one::types::io;
-use fis_one::{BuildingConfig, Dataset, FisOneConfig};
+use fis_one::{BuildingConfig, Dataset, FisOneConfig, FittedModel};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +39,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "identify" => cmd_identify(&opts),
         "evaluate" => cmd_evaluate(&opts),
+        "fit" => cmd_fit(&opts),
+        "assign" => cmd_assign(&opts),
         "stats" => cmd_stats(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -57,11 +62,18 @@ const USAGE: &str = "usage:
 [--buildings B] --out FILE
   fis-one identify --corpus FILE [--building NAME] [--seed S] [--threads T]
   fis-one evaluate --corpus FILE [--seed S] [--threads T]
+  fis-one fit      --corpus FILE --out FILE [--building NAME] [--seed S] \
+[--threads T]
+  fis-one assign   --model FILE --scans FILE [--threads T]
   fis-one stats    --corpus FILE
 
 identify and evaluate run all buildings of the corpus concurrently;
 --threads (or FIS_THREADS) caps the worker budget, default = all cores.
-Predictions are bit-identical for any thread count at a fixed seed.";
+Predictions are bit-identical for any thread count at a fixed seed.
+
+fit persists one building's pipeline output as a serving artifact
+(one JSON document); assign labels scans against it without refitting,
+printing the same format as identify so the two can be diffed.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -151,23 +163,26 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Restricts a corpus to the buildings named `name` (all of them: names
+/// need not be unique in a concatenated corpus).
+fn select_buildings(ds: Dataset, name: &str) -> Result<Dataset, String> {
+    let picked: Vec<_> = ds
+        .buildings()
+        .iter()
+        .filter(|b| b.name() == name)
+        .cloned()
+        .collect();
+    if picked.is_empty() {
+        return Err(format!("no building named `{name}` in the corpus"));
+    }
+    Ok(Dataset::new(ds.name(), picked))
+}
+
 fn cmd_identify(opts: &HashMap<String, String>) -> Result<(), String> {
     let ds = load(opts)?;
-    let wanted = opts.get("building");
-    let selected: Dataset = match wanted {
+    let selected: Dataset = match opts.get("building") {
         None => ds,
-        Some(name) => {
-            let picked: Vec<_> = ds
-                .buildings()
-                .iter()
-                .filter(|b| b.name() == *name)
-                .cloned()
-                .collect();
-            if picked.is_empty() {
-                return Err(format!("no building named `{name}` in the corpus"));
-            }
-            Dataset::new(ds.name(), picked)
-        }
+        Some(name) => select_buildings(ds, name)?,
     };
     let engine = engine(opts)?;
     let report = engine.identify_corpus(&selected);
@@ -230,6 +245,89 @@ fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
     // A partially failed evaluation must not exit 0 — CI gates on it.
     if report.failures().count() > 0 {
         return Err("some buildings failed; see the table above".to_owned());
+    }
+    Ok(())
+}
+
+fn cmd_fit(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(opts)?;
+    let out = get(opts, "out")?;
+    let selected: Dataset = match opts.get("building") {
+        None => ds,
+        Some(name) => select_buildings(ds, name)?,
+    };
+    // A model artifact covers exactly one building; duplicate names in a
+    // concatenated corpus are ambiguous here, unlike identify.
+    if selected.len() != 1 {
+        let names: Vec<&str> = selected.buildings().iter().map(|b| b.name()).collect();
+        return Err(format!(
+            "fit needs exactly one building, got {} ({}); \
+             pick a unique one with --building NAME",
+            selected.len(),
+            names.join(", ")
+        ));
+    }
+    let engine = engine(opts)?;
+    let fit = engine.fit_corpus(&selected);
+    if let Some((run, err)) = fit.failures().next() {
+        return Err(format!("fitting {} failed: {err}", run.building));
+    }
+    let (run, model) = fit.successes().next().expect("one building, no failure");
+    model.save(out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "# fitted {} ({} floors, {} scans, {} MACs) in {:.2?}; wrote {out}",
+        run.building,
+        run.floors,
+        run.samples,
+        model.macs().len(),
+        run.elapsed
+    );
+    Ok(())
+}
+
+fn cmd_assign(opts: &HashMap<String, String>) -> Result<(), String> {
+    let model = FittedModel::load(get(opts, "model")?).map_err(|e| e.to_string())?;
+    let scans = io::load_jsonl(get(opts, "scans")?).map_err(|e| e.to_string())?;
+    let threads = opts
+        .get("threads")
+        .map(|s| parse::<usize>(s, "thread count"))
+        .transpose()?
+        .unwrap_or(0);
+    let started = std::time::Instant::now();
+    let mut scan_count = 0usize;
+    let mut failures = 0usize;
+    for building in scans.buildings() {
+        if building.name() != model.building() {
+            // Legitimate for live scans collected under another label
+            // (e.g. `hq-live`), but worth flagging: a different site's
+            // scans would be confidently mislabeled wherever MAC
+            // vocabularies overlap.
+            eprintln!(
+                "# warning: assigning scans of `{}` against the model fitted on `{}`",
+                building.name(),
+                model.building()
+            );
+        }
+        println!("# {} ({} floors)", building.name(), model.floors());
+        let results = model.assign_stream(building.samples(), threads);
+        scan_count += results.len();
+        for (sample, result) in building.samples().iter().zip(results) {
+            match result {
+                Ok(floor) => println!("{} {floor}", sample.id()),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("# {} {} FAILED: {e}", building.name(), sample.id());
+                }
+            }
+        }
+    }
+    eprintln!(
+        "# assigned {scan_count} scans against model `{}` in {:.2?}",
+        model.building(),
+        started.elapsed()
+    );
+    if failures > 0 {
+        return Err(format!("{failures} scan(s) failed; see stderr"));
     }
     Ok(())
 }

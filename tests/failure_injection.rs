@@ -1,9 +1,12 @@
 //! Failure-injection tests: malformed and degenerate inputs must produce
 //! errors (or well-defined degraded behaviour), never panics.
 
+use std::sync::OnceLock;
+
+use fis_one::types::json::Json;
 use fis_one::{
-    BuildingConfig, FisError, FisOne, FisOneConfig, FloorId, LabeledAnchor, MacAddr, RfGnnConfig,
-    Rssi, SignalSample,
+    BuildingConfig, FisError, FisOne, FisOneConfig, FittedModel, FloorId, LabeledAnchor, MacAddr,
+    RfGnnConfig, Rssi, SignalSample,
 };
 
 fn quick() -> FisOne {
@@ -11,6 +14,39 @@ fn quick() -> FisOne {
         gnn: RfGnnConfig::new(8).epochs(2).walks_per_node(2),
         ..FisOneConfig::default()
     })
+}
+
+/// One quick fitted model shared by the load/assign failure tests.
+fn fitted() -> &'static FittedModel {
+    static MODEL: OnceLock<FittedModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let b = BuildingConfig::new("fi", 3)
+            .samples_per_floor(15)
+            .aps_per_floor(6)
+            .atrium_aps(0)
+            .seed(31)
+            .generate();
+        quick()
+            .fit(
+                b.name(),
+                b.samples(),
+                b.floors(),
+                b.bottom_anchor().unwrap(),
+            )
+            .expect("failure-injection building fits")
+    })
+}
+
+/// Reserializes the model with one top-level field replaced.
+fn tampered(key: &str, value: Json) -> String {
+    let mut json = Json::parse(&fitted().to_json_string()).unwrap();
+    match &mut json {
+        Json::Obj(map) => {
+            map.insert(key.to_owned(), value);
+        }
+        _ => unreachable!("artifact is an object"),
+    }
+    json.to_string()
 }
 
 fn anchor0() -> LabeledAnchor {
@@ -104,6 +140,101 @@ fn building_filtering_drops_thin_floors() {
     assert!(filtered.is_none(), "all floors are below 121 samples");
     let kept = b.filtered(100, 3).expect("all floors have 120 samples");
     assert_eq!(kept.floors(), 4);
+}
+
+#[test]
+fn corrupt_model_json_is_typed_error() {
+    for garbage in [
+        "",
+        "not json",
+        "{\"schema\":",
+        "[1,2,3]",
+        "{\"schema\":\"wrong\"}",
+    ] {
+        let err = FittedModel::from_json_str(garbage).unwrap_err();
+        assert!(matches!(err, FisError::Model(_)), "{garbage:?} -> {err}");
+    }
+}
+
+#[test]
+fn truncated_model_artifact_is_typed_error() {
+    let text = fitted().to_json_string();
+    // Cut mid-document at several depths; every prefix must fail cleanly.
+    for cut in [text.len() / 8, text.len() / 2, text.len() - 2] {
+        let err = FittedModel::from_json_str(&text[..cut]).unwrap_err();
+        assert!(matches!(err, FisError::Model(_)), "cut at {cut} -> {err}");
+    }
+}
+
+#[test]
+fn model_floor_count_mismatch_is_typed_error() {
+    // The artifact claims more floors than it carries centroids/orderings
+    // for — e.g. hand-edited, or fitted against a different corpus shape.
+    let err = FittedModel::from_json_str(&tampered(
+        "floors",
+        Json::Num((fitted().floors() + 1) as f64),
+    ))
+    .unwrap_err();
+    assert!(matches!(err, FisError::Model(_)), "{err}");
+    assert!(err.to_string().contains("floor-count mismatch"), "{err}");
+}
+
+#[test]
+fn model_schema_version_mismatch_is_typed_error() {
+    let err = FittedModel::from_json_str(&tampered("version", Json::Num(99.0))).unwrap_err();
+    assert!(matches!(err, FisError::Model(_)), "{err}");
+}
+
+#[test]
+fn model_assignment_mismatch_is_typed_error() {
+    // Assignment array shorter than the training corpus.
+    let err = FittedModel::from_json_str(&tampered("assignment", Json::Arr(vec![Json::Num(0.0)])))
+        .unwrap_err();
+    assert!(matches!(err, FisError::Model(_)), "{err}");
+    // Assignment referencing a cluster beyond the floor count.
+    let bad: Vec<Json> = (0..fitted().samples().len())
+        .map(|_| Json::Num(99.0))
+        .collect();
+    let err = FittedModel::from_json_str(&tampered("assignment", Json::Arr(bad))).unwrap_err();
+    assert!(matches!(err, FisError::Model(_)), "{err}");
+}
+
+#[test]
+fn model_mac_vocabulary_mismatch_is_typed_error() {
+    // Drop one MAC from the vocabulary: it no longer matches the graph
+    // rebuilt from the training scans.
+    let mut macs: Vec<Json> = fitted()
+        .macs()
+        .iter()
+        .map(|m| Json::Str(m.to_string()))
+        .collect();
+    macs.pop();
+    let err = FittedModel::from_json_str(&tampered("macs", Json::Arr(macs))).unwrap_err();
+    assert!(matches!(err, FisError::Model(_)), "{err}");
+    assert!(err.to_string().contains("vocabulary"), "{err}");
+}
+
+#[test]
+fn load_missing_model_file_is_typed_error() {
+    let err = FittedModel::load("/nonexistent/definitely/missing-model.json").unwrap_err();
+    assert!(matches!(err, FisError::Model(_)), "{err}");
+}
+
+#[test]
+fn unknown_mac_only_scans_never_panic_the_stream() {
+    let model = fitted();
+    let alien = SignalSample::builder(0)
+        .reading(
+            MacAddr::from_u64(0xFEED_0000_0001),
+            Rssi::new(-45.0).unwrap(),
+        )
+        .build();
+    let silent = SignalSample::builder(1).build();
+    let known = model.samples()[0].clone().with_id(2);
+    let results = model.assign_stream(&[alien, silent, known], 2);
+    assert!(matches!(&results[0], Err(FisError::Inference(_))));
+    assert!(matches!(&results[1], Err(FisError::Inference(_))));
+    assert!(results[2].is_ok(), "known scan must still assign");
 }
 
 #[test]

@@ -1,0 +1,158 @@
+//! Golden-fixture regression tests for the serving path.
+//!
+//! `tests/fixtures/` holds a tiny checked-in corpus plus the expected
+//! `identify` and `assign` outputs as JSONL. The test asserts today's
+//! outputs are **bit-identical** to the fixtures, locking the workspace
+//! determinism contract (fixed seed ⇒ identical predictions for any
+//! thread count) across future refactors: any change that shifts a
+//! single bit of arithmetic in the graph, GNN, clustering, indexing, or
+//! inference layers fails loudly here.
+//!
+//! To regenerate after an *intentional* contract change:
+//!
+//! ```bash
+//! FIS_REGEN_GOLDEN=1 cargo test --test golden_fixtures
+//! ```
+//!
+//! and commit the refreshed fixtures together with the change.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fis_one::core::{EngineConfig, FisEngine};
+use fis_one::types::io;
+use fis_one::types::json::Json;
+use fis_one::{BuildingConfig, Dataset, FisOne, FisOneConfig, FloorId};
+
+const GOLDEN_SEED: u64 = 7;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn regen() -> bool {
+    std::env::var_os("FIS_REGEN_GOLDEN").is_some()
+}
+
+fn golden_config() -> FisOneConfig {
+    FisOneConfig::default().seed(GOLDEN_SEED)
+}
+
+/// The corpus behind the fixtures. Only used when regenerating; the
+/// checked-in JSONL file is the source of truth otherwise.
+fn generate_corpus() -> Dataset {
+    let building = BuildingConfig::new("golden", 3)
+        .samples_per_floor(25)
+        .aps_per_floor(8)
+        .atrium_aps(0)
+        .seed(42)
+        .generate();
+    Dataset::new("golden", vec![building])
+}
+
+/// One JSONL line per sample: `{"building":...,"floor":N,"id":I}`.
+fn render_labels(building: &str, labels: &[FloorId]) -> String {
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let line = Json::obj([
+                ("building", Json::Str(building.to_owned())),
+                ("floor", Json::Num(f.index() as f64)),
+                ("id", Json::Num(i as f64)),
+            ]);
+            format!("{line}\n")
+        })
+        .collect()
+}
+
+fn check_or_write(path: PathBuf, actual: &str, what: &str) {
+    if regen() {
+        fs::write(&path, actual).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "reading {} ({e}); run FIS_REGEN_GOLDEN=1 once",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "{what} output is not bit-identical to {}; if the determinism \
+         contract changed intentionally, regenerate with FIS_REGEN_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn serving_path_matches_golden_fixtures() {
+    let corpus_path = fixture("golden_corpus.jsonl");
+    if regen() {
+        io::save_jsonl(&generate_corpus(), &corpus_path).expect("write corpus fixture");
+    }
+    let corpus = io::load_jsonl(&corpus_path).expect("load corpus fixture");
+    assert_eq!(corpus.len(), 1, "fixture corpus holds one building");
+    let building = &corpus.buildings()[0];
+
+    // identify path (through the batch engine, like the CLI).
+    let engine = FisEngine::new(EngineConfig::default().pipeline(golden_config()));
+    let report = engine.identify_corpus(&corpus);
+    let outcome = report.runs[0]
+        .outcome
+        .as_ref()
+        .expect("golden building identifies");
+    let identify_lines = render_labels(building.name(), outcome.prediction.labels());
+    check_or_write(
+        fixture("golden_identify.jsonl"),
+        &identify_lines,
+        "identify",
+    );
+
+    // fit + assign path; must reproduce identify exactly (the acceptance
+    // criterion of the serving subsystem), for any thread count.
+    let model = FisOne::new(golden_config())
+        .fit(
+            building.name(),
+            building.samples(),
+            building.floors(),
+            building.bottom_anchor().expect("bottom surveyed"),
+        )
+        .expect("golden building fits");
+    let serial: Vec<FloorId> = model
+        .assign_stream(building.samples(), 1)
+        .into_iter()
+        .map(|r| r.expect("training scans assign"))
+        .collect();
+    let parallel: Vec<FloorId> = model
+        .assign_stream(building.samples(), 4)
+        .into_iter()
+        .map(|r| r.expect("training scans assign"))
+        .collect();
+    assert_eq!(serial, parallel, "assign depends on the thread count");
+
+    let assign_lines = render_labels(building.name(), &serial);
+    check_or_write(fixture("golden_assign.jsonl"), &assign_lines, "assign");
+    assert_eq!(
+        assign_lines, identify_lines,
+        "fit + assign must reproduce identify's labels exactly on the training corpus"
+    );
+
+    // A model that went through disk serves the same labels.
+    let dir = std::env::temp_dir().join("fis_golden_fixtures");
+    fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("golden_model.json");
+    model.save(&model_path).expect("save model");
+    let loaded = fis_one::FittedModel::load(&model_path).expect("load model");
+    let reloaded: Vec<FloorId> = loaded
+        .assign_stream(building.samples(), 0)
+        .into_iter()
+        .map(|r| r.expect("training scans assign"))
+        .collect();
+    assert_eq!(reloaded, serial, "a reloaded model serves different labels");
+    fs::remove_file(&model_path).ok();
+}
