@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Serving-daemon smoke test (CI): start `fis-one serve` in pipe mode,
+# feed a 3-building request script (with an eviction mid-stream), diff
+# the daemon's answers against the `assign` CLI per building, and assert
+# a clean shutdown. Mirrors the `serve_*` integration tests from a cold
+# operator's perspective: only the shipped binary and the wire protocol.
+set -euo pipefail
+
+bin=${BIN:-target/release/fis-one}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$bin" generate --floors 3 --samples 30 --seed 5 --buildings 3 \
+    --name smoke --out "$work/corpus.jsonl"
+mkdir "$work/models"
+for b in smoke-0 smoke-1 smoke-2; do
+  "$bin" fit --corpus "$work/corpus.jsonl" --building "$b" \
+      --out "$work/models/$b.json" 2>/dev/null
+  # Reference answers from the one-shot CLI path ("sID Fn" lines).
+  "$bin" assign --model "$work/models/$b.json" --scans "$work/corpus.jsonl" \
+      --building "$b" 2>/dev/null | grep -v '^#' > "$work/expect-$b.txt"
+done
+
+# Build the request script straight from the corpus JSONL.
+python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+lines = open(f"{work}/corpus.jsonl").read().splitlines()
+buildings = [json.loads(l) for l in lines[1:]]
+assert len(buildings) == 3
+with open(f"{work}/script.ndjson", "w") as out:
+    emit = lambda req: out.write(json.dumps(req) + "\n")
+    for b in buildings:
+        emit({"op": "load", "building": b["name"]})
+    # Force one eviction mid-stream: the reload must not change answers.
+    emit({"op": "evict", "building": buildings[0]["name"]})
+    for b in buildings:
+        emit({
+            "op": "assign_batch",
+            "building": b["name"],
+            "scans": [{"id": s["id"], "readings": s["readings"]} for s in b["samples"]],
+        })
+    emit({"op": "stats"})
+    emit({"op": "shutdown"})
+EOF
+
+"$bin" serve --models "$work/models" \
+    < "$work/script.ndjson" > "$work/responses.ndjson"
+echo "serve smoke: daemon exited cleanly after shutdown"
+
+# Check every response and render served floors as "sID Fn" lines.
+python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+responses = [json.loads(l) for l in open(f"{work}/responses.ndjson")]
+bad = [r for r in responses if not r.get("ok")]
+assert not bad, f"error responses: {bad}"
+assert responses[-1]["op"] == "shutdown"
+(stats,) = [r for r in responses if r["op"] == "stats"]
+registry = stats["stats"]["registry"]
+assert registry["evictions"] >= 1, f"eviction never happened: {registry}"
+assert registry["misses"] >= 4, f"expected 3 loads + 1 reload-after-evict: {registry}"
+for r in responses:
+    if r["op"] == "assign_batch":
+        assert r["failures"] == 0, r
+        with open(f"{work}/served-{r['building']}.txt", "w") as out:
+            for row in r["results"]:
+                out.write(f"s{row['scan_id']} F{row['floor'] + 1}\n")
+EOF
+
+for b in smoke-0 smoke-1 smoke-2; do
+  diff "$work/expect-$b.txt" "$work/served-$b.txt"
+done
+echo "serve smoke OK: daemon answers are bit-identical to the assign CLI for 3 buildings"

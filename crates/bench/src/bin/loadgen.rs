@@ -1,0 +1,231 @@
+//! Load generator for the `fis-serve` daemon.
+//!
+//! Replays a synthetic multi-building request stream against a daemon
+//! and reports client-side throughput plus the daemon's own serving
+//! metrics (cache hits/misses/evictions, p50/p99 latency). Two modes:
+//!
+//! - **self-hosted** (default): fits `--buildings` synthetic models into
+//!   a temp directory, starts an in-process daemon on a loopback TCP
+//!   listener — the exact `Daemon::serve_tcp` path `fis-one serve --tcp`
+//!   runs — replays against it, then shuts it down.
+//! - **external**: `--addr HOST:PORT` replays against an already running
+//!   `fis-one serve --tcp` daemon (no shutdown is sent unless
+//!   `--shutdown 1`).
+//!
+//! The stream is deterministic in `--seed`: building choice, batch
+//! composition, and the periodic `evict` injections (`--evict-every`)
+//! replay identically, so two runs differ only in timing.
+//!
+//! ```bash
+//! cargo run --release -p fis-bench --bin loadgen -- \
+//!     --buildings 6 --floors 3 --samples 40 --requests 200 --batch 16 \
+//!     --evict-every 50 --max-models 4
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+use fis_core::{EngineConfig, FisEngine, FisOneConfig};
+use fis_serve::{Daemon, DaemonConfig, RegistryConfig};
+use fis_synth::BuildingConfig;
+use fis_types::json::{Json, ToJson};
+use fis_types::{Building, Dataset};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+struct Opts {
+    buildings: usize,
+    floors: usize,
+    samples: usize,
+    requests: usize,
+    batch: usize,
+    seed: u64,
+    threads: usize,
+    max_models: usize,
+    evict_every: usize,
+    addr: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        map.insert(key.to_owned(), value.clone());
+    }
+    let num = |key: &str, default: usize| -> Result<usize, String> {
+        map.get(key)
+            .map(|s| s.parse().map_err(|_| format!("invalid --{key}: `{s}`")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    Ok(Opts {
+        buildings: num("buildings", 4)?.max(1),
+        floors: num("floors", 3)?.max(2),
+        samples: num("samples", 30)?.max(5),
+        requests: num("requests", 100)?.max(1),
+        batch: num("batch", 8)?.max(1),
+        seed: num("seed", 1)? as u64,
+        threads: num("threads", 0)?,
+        max_models: num("max-models", 0)?,
+        evict_every: num("evict-every", 0)?,
+        addr: map.get("addr").cloned(),
+        shutdown: num("shutdown", 0)? != 0,
+    })
+}
+
+/// The synthetic fleet the stream draws scans from; built identically in
+/// self-hosted and external modes so `--addr` runs can replay against a
+/// daemon serving the same artifacts.
+fn fleet(opts: &Opts) -> Vec<Building> {
+    (0..opts.buildings)
+        .map(|i| {
+            BuildingConfig::new(format!("load-{i}"), opts.floors)
+                .samples_per_floor(opts.samples)
+                .aps_per_floor(8)
+                .atrium_aps(0)
+                .seed(opts.seed.wrapping_add(i as u64))
+                .generate()
+        })
+        .collect()
+}
+
+fn main() -> Result<(), String> {
+    let opts = parse_opts()?;
+    let buildings = fleet(&opts);
+
+    // Self-hosted mode: fit + save the fleet, start the daemon thread.
+    let (addr, daemon_thread, model_dir) = match &opts.addr {
+        Some(addr) => (addr.clone(), None, None),
+        None => {
+            let dir = std::env::temp_dir().join(format!("fis_loadgen_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+            let corpus = Dataset::new("loadgen", buildings.clone());
+            let fit_started = Instant::now();
+            let engine = FisEngine::new(
+                EngineConfig::default()
+                    .pipeline(FisOneConfig::quick(opts.seed))
+                    .threads(opts.threads),
+            );
+            let fit = engine.fit_corpus(&corpus);
+            if let Some((run, err)) = fit.failures().next() {
+                return Err(format!("fitting {} failed: {err}", run.building));
+            }
+            for (run, model) in fit.successes() {
+                model
+                    .save(dir.join(format!("{}.json", run.building)))
+                    .map_err(|e| e.to_string())?;
+            }
+            eprintln!(
+                "# loadgen: fitted {} models in {:.2?}",
+                corpus.len(),
+                fit_started.elapsed()
+            );
+            let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| format!("local_addr: {e}"))?
+                .to_string();
+            let mut daemon = Daemon::new(
+                DaemonConfig::new(RegistryConfig::new(&dir).max_models(opts.max_models))
+                    .threads(opts.threads),
+            );
+            let handle = std::thread::spawn(move || {
+                daemon.serve_tcp(&listener).expect("daemon accept loop");
+            });
+            (addr, Some(handle), Some(dir))
+        }
+    };
+
+    // Replay a deterministic request stream.
+    let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x010a_d6e4);
+    let mut line = String::new();
+    let mut roundtrip = |writer: &mut TcpStream, request: &Json| -> Result<Json, String> {
+        writeln!(writer, "{request}").map_err(|e| format!("send: {e}"))?;
+        line.clear();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        Json::parse(line.trim()).map_err(|e| format!("bad response: {e}"))
+    };
+
+    let started = Instant::now();
+    let mut scans_sent = 0usize;
+    let mut failed_requests = 0usize;
+    for r in 0..opts.requests {
+        let b = rng.gen_range(0..buildings.len());
+        let building = &buildings[b];
+        if opts.evict_every > 0 && r > 0 && r % opts.evict_every == 0 {
+            let evict = Json::obj([
+                ("op", Json::Str("evict".into())),
+                ("building", Json::Str(building.name().to_owned())),
+            ]);
+            roundtrip(&mut writer, &evict)?;
+        }
+        let scans: Vec<Json> = (0..opts.batch)
+            .map(|_| {
+                let s = rng.gen_range(0..building.samples().len());
+                building.samples()[s].to_json()
+            })
+            .collect();
+        scans_sent += scans.len();
+        let request = Json::obj([
+            ("op", Json::Str("assign_batch".into())),
+            ("building", Json::Str(building.name().to_owned())),
+            ("scans", Json::Arr(scans)),
+            ("id", Json::Num(r as f64)),
+        ]);
+        let response = roundtrip(&mut writer, &request)?;
+        if response.get("ok") != Some(&Json::Bool(true))
+            || response.get("failures").and_then(Json::as_usize) != Some(0)
+        {
+            failed_requests += 1;
+        }
+    }
+    let wall = started.elapsed();
+
+    let stats = roundtrip(&mut writer, &Json::obj([("op", Json::Str("stats".into()))]))?;
+    if daemon_thread.is_some() || opts.shutdown {
+        roundtrip(
+            &mut writer,
+            &Json::obj([("op", Json::Str("shutdown".into()))]),
+        )?;
+    }
+    drop(writer);
+    if let Some(handle) = daemon_thread {
+        handle.join().map_err(|_| "daemon thread panicked")?;
+    }
+    if let Some(dir) = model_dir {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let secs = wall.as_secs_f64().max(1e-9);
+    println!(
+        "loadgen: {} requests ({} scans) over {} buildings in {:.2?} — {:.0} req/s, {:.0} scans/s, {} failed",
+        opts.requests,
+        scans_sent,
+        opts.buildings,
+        wall,
+        opts.requests as f64 / secs,
+        scans_sent as f64 / secs,
+        failed_requests,
+    );
+    println!("daemon stats: {}", stats.get("stats").unwrap_or(&stats));
+    if failed_requests > 0 {
+        return Err(format!("{failed_requests} request(s) failed"));
+    }
+    Ok(())
+}

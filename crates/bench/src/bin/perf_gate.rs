@@ -1,0 +1,149 @@
+//! CI perf-regression gate over the stage micro-benchmarks.
+//!
+//! Compares a fresh machine-readable bench report (written by the
+//! criterion shim when `CRITERION_JSON` is set) against the checked-in
+//! `bench/baseline.json`, per stage, on **median ns**:
+//!
+//! ```bash
+//! CRITERION_JSON=BENCH_stages.json CRITERION_QUICK=1 \
+//!     cargo bench -p fis-bench --bench stages
+//! cargo run -p fis-bench --bin perf_gate -- \
+//!     --current BENCH_stages.json --baseline bench/baseline.json --threshold 2.5
+//! ```
+//!
+//! Exit 1 when any stage regressed beyond the threshold or a baselined
+//! stage disappeared; new stages not yet in the baseline only warn.
+//! The threshold is deliberately generous — CI runners are noisy and
+//! heterogeneous; the gate exists to catch order-of-magnitude mistakes
+//! (an accidental O(n³) rescan, a lost parallel fan-out), while the
+//! uploaded `BENCH_stages.json` artifacts accumulate the fine-grained
+//! trajectory.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use fis_types::json::Json;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("perf_gate: error: {msg}");
+    ExitCode::from(2)
+}
+
+fn load_stages(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let json = Json::parse(text.trim()).map_err(|e| format!("parsing {path}: {e}"))?;
+    let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "fis-one/bench-report" {
+        return Err(format!(
+            "{path}: unknown schema `{schema}` (expected fis-one/bench-report)"
+        ));
+    }
+    let Some(Json::Obj(stages)) = json.get("stages") else {
+        return Err(format!("{path}: missing `stages` object"));
+    };
+    stages
+        .iter()
+        .map(|(name, entry)| {
+            entry
+                .get("median_ns")
+                .and_then(Json::as_f64)
+                .filter(|m| *m > 0.0)
+                .map(|m| (name.clone(), m))
+                .ok_or_else(|| format!("{path}: stage `{name}` has no positive `median_ns`"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut current_path = None;
+    let mut baseline_path = None;
+    let mut threshold = 2.5f64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            return fail(&format!("flag {flag} needs a value"));
+        };
+        match flag.as_str() {
+            "--current" => current_path = Some(value.clone()),
+            "--baseline" => baseline_path = Some(value.clone()),
+            "--threshold" => match value.parse::<f64>() {
+                Ok(t) if t > 1.0 => threshold = t,
+                _ => return fail(&format!("--threshold must be > 1.0, got `{value}`")),
+            },
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let (Some(current_path), Some(baseline_path)) = (current_path, baseline_path) else {
+        return fail("usage: perf_gate --current FILE --baseline FILE [--threshold X]");
+    };
+    let current = match load_stages(&current_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let baseline = match load_stages(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+
+    println!(
+        "{:<50} {:>14} {:>14} {:>8}",
+        "stage", "baseline ns", "current ns", "ratio"
+    );
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
+    for (stage, &base_ns) in &baseline {
+        match current.get(stage) {
+            None => {
+                println!("{stage:<50} {base_ns:>14.0} {:>14} {:>8}", "MISSING", "-");
+                missing.push(stage.clone());
+            }
+            Some(&cur_ns) => {
+                let ratio = cur_ns / base_ns;
+                let verdict = if ratio > threshold {
+                    "  << REGRESSED"
+                } else {
+                    ""
+                };
+                println!("{stage:<50} {base_ns:>14.0} {cur_ns:>14.0} {ratio:>7.2}x{verdict}");
+                if ratio > threshold {
+                    regressions.push((stage.clone(), ratio));
+                }
+            }
+        }
+    }
+    for stage in current.keys() {
+        if !baseline.contains_key(stage) {
+            eprintln!(
+                "perf_gate: note: stage `{stage}` is not in the baseline yet; \
+                 add it to {baseline_path} to start gating it"
+            );
+        }
+    }
+
+    if !missing.is_empty() {
+        eprintln!(
+            "perf_gate: FAIL: {} baselined stage(s) missing from the current run: {}",
+            missing.len(),
+            missing.join(", ")
+        );
+    }
+    if !regressions.is_empty() {
+        eprintln!(
+            "perf_gate: FAIL: {} stage(s) regressed beyond {threshold}x:",
+            regressions.len()
+        );
+        for (stage, ratio) in &regressions {
+            eprintln!("  {stage}: {ratio:.2}x");
+        }
+    }
+    if missing.is_empty() && regressions.is_empty() {
+        println!(
+            "perf_gate: OK — {} stages within {threshold}x of baseline",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -9,9 +9,13 @@
 //! mean and best iteration times are printed to stdout.
 //!
 //! Set `CRITERION_QUICK=1` to shrink the measurement window (useful in
-//! CI where only "does it run" matters).
+//! CI where only "does it run" matters). Set `CRITERION_JSON=path` to
+//! additionally write a machine-readable report (bench name → median /
+//! best / mean ns) when the harness finishes — the input of the CI
+//! perf-regression gate (`fis-bench`'s `perf_gate` binary).
 
 use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Timer handed to benchmark closures.
@@ -71,12 +75,111 @@ fn run_bench(name: &str, mut f: impl FnMut(&mut Bencher)) {
     }
     let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = {
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        sorted[sorted.len() / 2]
+    };
     println!(
-        "bench {name:<44} mean {:>12}  best {:>12}  ({} samples x {iters} iters)",
-        format_time(mean),
+        "bench {name:<44} median {:>12}  best {:>12}  ({} samples x {iters} iters)",
+        format_time(median),
         format_time(best),
         samples.len()
     );
+    record_result(BenchResult {
+        name: name.to_owned(),
+        median_ns: median * 1e9,
+        best_ns: best * 1e9,
+        mean_ns: mean * 1e9,
+        samples: samples.len(),
+        iters,
+    });
+}
+
+/// One finished benchmark, in nanoseconds per iteration.
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    best_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters: u64,
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+    &RESULTS
+}
+
+fn record_result(result: BenchResult) {
+    results()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(result);
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the machine-readable report to the path in `CRITERION_JSON`,
+/// if set. Called by [`criterion_main!`] after every group has run; a
+/// no-op otherwise. Benches run in registration order, so the report is
+/// deterministic up to the timings themselves.
+pub fn write_json_report() {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    let results = results().lock().unwrap_or_else(|p| p.into_inner());
+    let mode = if std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1") {
+        "quick"
+    } else {
+        "full"
+    };
+    let mut body = String::new();
+    let _ = write!(
+        body,
+        "{{\"schema\":\"fis-one/bench-report\",\"version\":1,\"mode\":\"{mode}\",\"stages\":{{"
+    );
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "\"{}\":{{\"median_ns\":{:.1},\"best_ns\":{:.1},\"mean_ns\":{:.1},\
+             \"samples\":{},\"iters\":{}}}",
+            json_escape(&r.name),
+            r.median_ns,
+            r.best_ns,
+            r.mean_ns,
+            r.samples,
+            r.iters
+        );
+    }
+    body.push_str("}}\n");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!(
+            "criterion shim: could not write {}: {e}",
+            std::path::Path::new(&path).display()
+        );
+    } else {
+        println!(
+            "criterion shim: wrote report to {}",
+            std::path::Path::new(&path).display()
+        );
+    }
 }
 
 fn format_time(secs: f64) -> String {
@@ -171,12 +274,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` running the given benchmark groups.
+/// Emits `main` running the given benchmark groups, then flushing the
+/// optional `CRITERION_JSON` machine-readable report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -203,6 +308,30 @@ mod tests {
             b.iter(|| v.iter().sum::<u64>())
         });
         g.finish();
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("shim/json_probe", |b| {
+            b.iter(|| (0..10u64).product::<u64>())
+        });
+        let path = std::env::temp_dir().join("criterion_shim_report_test.json");
+        std::env::set_var("CRITERION_JSON", &path);
+        write_json_report();
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.starts_with("{\"schema\":\"fis-one/bench-report\""));
+        assert!(text.contains("\"shim/json_probe\""));
+        assert!(text.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn json_escape_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 
     #[test]

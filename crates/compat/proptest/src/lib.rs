@@ -180,7 +180,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Element count for [`vec`]: an exact size or a range of sizes.
+    /// Element count for [`vec()`]: an exact size or a range of sizes.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,

@@ -379,16 +379,26 @@ impl FittedModel {
     }
 
     /// Writes the artifact to `path` (the JSON line plus a trailing
-    /// newline).
+    /// newline) **atomically**: the bytes go to a sibling temp file
+    /// first and are renamed into place, so a reader — in particular
+    /// the `fis-serve` registry, which hot-reloads on `(mtime, len)`
+    /// change — can never observe a half-written artifact when a model
+    /// is refitted over a live serving directory.
     ///
     /// # Errors
     ///
     /// Returns [`FisError::Model`] on filesystem failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FisError> {
+        let path = path.as_ref();
         let mut text = self.to_json_string();
         text.push('\n');
-        std::fs::write(path.as_ref(), text)
-            .map_err(|e| FisError::Model(format!("writing {}: {e}", path.as_ref().display())))
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, text)
+            .map_err(|e| FisError::Model(format!("writing {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            std::fs::remove_file(&tmp).ok();
+            FisError::Model(format!("renaming into {}: {e}", path.display()))
+        })
     }
 
     /// Reads and validates an artifact written by [`FittedModel::save`].

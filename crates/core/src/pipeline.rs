@@ -55,6 +55,20 @@ impl FisOneConfig {
         self.gnn.seed = seed;
         self
     }
+
+    /// A deliberately tiny training budget (dim 8, 2 epochs, 2 walks per
+    /// node, neighbor fan-out [5, 3]) for tests, examples, and smoke
+    /// runs: fits a small synthetic building in tens of milliseconds
+    /// while exercising every pipeline stage. Not meant for accuracy.
+    pub fn quick(seed: u64) -> Self {
+        let mut config = Self::default().seed(seed);
+        config.gnn = RfGnnConfig::new(8)
+            .epochs(2)
+            .walks_per_node(2)
+            .neighbor_samples(vec![5, 3])
+            .seed(seed);
+        config
+    }
 }
 
 /// The floor identification system with one label.

@@ -8,17 +8,21 @@
 //! - [`jaro_winkler`]: the paper's "edit distance" on floor-index
 //!   sequences (higher is better, 1.0 = identical ordering).
 //!
-//! Plus the [`contingency::ContingencyTable`] shared by ARI/NMI and
-//! [`summary`] mean/std helpers for the `mean(std)` cells of Table I.
+//! Plus the [`contingency::ContingencyTable`] shared by ARI/NMI,
+//! [`summary`] mean/std helpers for the `mean(std)` cells of Table I,
+//! and the [`quantile::Quantiles`] bounded p50/p99 recorder behind the
+//! serving daemon's latency metrics.
 
 pub mod ari;
 pub mod contingency;
 pub mod edit;
 pub mod nmi;
+pub mod quantile;
 pub mod summary;
 
 pub use ari::adjusted_rand_index;
 pub use contingency::ContingencyTable;
 pub use edit::{jaro, jaro_winkler};
 pub use nmi::{entropy, mutual_information, normalized_mutual_information};
+pub use quantile::Quantiles;
 pub use summary::MeanStd;

@@ -1,0 +1,230 @@
+//! Bounded quantile recorder for serving latencies.
+//!
+//! The serving daemon needs p50/p99 latency per model and globally, over
+//! an unbounded request stream, without unbounded memory. [`Quantiles`]
+//! records observations into a bounded sample buffer: once the buffer is
+//! full it is compacted by *deterministic decimation* — every second
+//! retained sample is dropped and the keep stride doubles, so the buffer
+//! always holds an evenly spaced subsample of the stream. Count, mean,
+//! min, and max stay exact; quantiles degrade gracefully (the subsample
+//! stays uniform over arrival order, which is what a latency stream
+//! needs).
+//!
+//! Everything is deterministic: the same observation sequence always
+//! yields the same report, matching the workspace-wide reproducibility
+//! contract.
+
+/// Default sample-buffer capacity (observations retained for quantiles).
+pub const DEFAULT_QUANTILE_CAPACITY: usize = 4096;
+
+/// Bounded, deterministic quantile/mean/min/max recorder.
+///
+/// # Example
+///
+/// ```
+/// use fis_metrics::Quantiles;
+///
+/// let mut q = Quantiles::new();
+/// for v in 1..=100 {
+///     q.push(v as f64);
+/// }
+/// assert_eq!(q.count(), 100);
+/// assert_eq!(q.quantile(0.5), Some(50.0));
+/// assert_eq!(q.quantile(0.99), Some(99.0));
+/// assert_eq!(q.min(), Some(1.0));
+/// assert_eq!(q.max(), Some(100.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Quantiles {
+    samples: Vec<f64>,
+    capacity: usize,
+    /// Keep one observation in `stride`; doubles on each compaction.
+    stride: u64,
+    /// Observations skipped since the last retained one.
+    skipped: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Quantiles {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_QUANTILE_CAPACITY)
+    }
+}
+
+impl Quantiles {
+    /// Creates a recorder with the default buffer capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a recorder retaining at most `capacity` samples for the
+    /// quantile estimate (minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            capacity: capacity.max(2),
+            stride: 1,
+            skipped: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite — a NaN latency indicates an upstream
+    /// bug and must not be silently ranked.
+    pub fn push(&mut self, v: f64) {
+        assert!(v.is_finite(), "non-finite observation {v}");
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        // Decimated intake: keep one observation per stride.
+        if self.skipped > 0 {
+            self.skipped -= 1;
+            return;
+        }
+        self.skipped = self.stride - 1;
+        self.samples.push(v);
+        if self.samples.len() >= self.capacity {
+            // Compact: keep every second retained sample, double the
+            // stride. The surviving samples remain evenly spaced over the
+            // whole stream so far.
+            let mut keep = 0;
+            for i in (0..self.samples.len()).step_by(2) {
+                self.samples[keep] = self.samples[i];
+                keep += 1;
+            }
+            self.samples.truncate(keep);
+            self.stride *= 2;
+        }
+    }
+
+    /// Total observations recorded (exact, not just the retained buffer).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observation was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Exact minimum, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Nearest-rank quantile over the retained sample buffer
+    /// (`q` clamped to `[0, 1]`), or `None` when empty. Exact until the
+    /// buffer first fills, an evenly spaced estimate afterwards.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: ceil(q * n), 1-based, so q=0.5 over 100 samples
+        // picks rank 50.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Shorthand for [`Quantiles::quantile`]`(0.50)`.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Shorthand for [`Quantiles::quantile`]`(0.99)`.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Number of samples currently retained for the quantile estimate.
+    pub fn retained(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reports_none() {
+        let q = Quantiles::new();
+        assert!(q.is_empty());
+        assert_eq!(q.quantile(0.5), None);
+        assert_eq!(q.mean(), None);
+        assert_eq!(q.min(), None);
+        assert_eq!(q.max(), None);
+    }
+
+    #[test]
+    fn exact_quantiles_before_first_compaction() {
+        let mut q = Quantiles::with_capacity(1024);
+        for v in (1..=100).rev() {
+            q.push(v as f64);
+        }
+        assert_eq!(q.count(), 100);
+        assert_eq!(q.quantile(0.0), Some(1.0));
+        assert_eq!(q.p50(), Some(50.0));
+        assert_eq!(q.quantile(0.90), Some(90.0));
+        assert_eq!(q.p99(), Some(99.0));
+        assert_eq!(q.quantile(1.0), Some(100.0));
+        assert_eq!(q.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn compaction_keeps_exact_count_mean_min_max() {
+        let mut q = Quantiles::with_capacity(64);
+        for v in 0..10_000u64 {
+            q.push(v as f64);
+        }
+        assert_eq!(q.count(), 10_000);
+        assert_eq!(q.min(), Some(0.0));
+        assert_eq!(q.max(), Some(9999.0));
+        assert_eq!(q.mean(), Some(4999.5));
+        assert!(q.retained() <= 64);
+        // The decimated median of a uniform ramp stays near the middle.
+        let p50 = q.p50().unwrap();
+        assert!((p50 - 5000.0).abs() < 500.0, "p50 {p50}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut q = Quantiles::with_capacity(32);
+            for v in 0..1000u64 {
+                q.push(((v * 37) % 101) as f64);
+            }
+            (q.p50(), q.p99(), q.retained())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        Quantiles::new().push(f64::NAN);
+    }
+}

@@ -1,0 +1,68 @@
+//! # fis-serve: the multi-tenant serving daemon
+//!
+//! PR 2 split the pipeline into fit-once (`fis-one fit` →
+//! [`FittedModel`](fis_core::FittedModel) artifact) and serve-many
+//! (`fis-one assign`), but every `assign` invocation still pays full
+//! process startup and loads one model. This crate turns that split into
+//! a long-running daemon: load artifacts lazily from a model directory,
+//! cache them under an LRU budget, hot-reload on change, and answer a
+//! newline-delimited JSON protocol over stdin/stdout or TCP.
+//!
+//! ```text
+//! ┌────────────┐  NDJSON   ┌──────────────────────────────┐
+//! │   client    │ ───────▶ │ Daemon                        │
+//! │ (pipe/TCP)  │ ◀─────── │  ├─ ModelRegistry (LRU,       │
+//! └────────────┘           │  │   hot reload, mtime watch) │
+//!                          │  ├─ ServingMetrics (p50/p99)  │
+//!                          │  └─ assign fan-out            │
+//!                          │     (fis-parallel)            │
+//!                          └──────────────────────────────┘
+//! ```
+//!
+//! # Wire protocol
+//!
+//! One request per line, one response per line, in order. See
+//! [`protocol`] for the exact shapes. Operations: `assign`,
+//! `assign_batch`, `load`, `evict`, `stats`, `shutdown`. Every failure —
+//! malformed frame, unknown building, corrupt or vanished artifact,
+//! failed inference, oversized batch — is a typed error response
+//! (`{"ok":false,"error":{"kind":...,"message":...}}`); the daemon never
+//! crashes on input.
+//!
+//! # Determinism contract
+//!
+//! The daemon adds **zero** nondeterminism on top of the PR 2 serving
+//! contract: responses for `assign`/`assign_batch` are bit-identical for
+//! any batch order, any thread count, and any eviction history, because
+//! each scan's inference RNG is seeded from `(model seed, scan content)`
+//! alone and artifacts reload byte-identically. The golden-fixture test
+//! `tests/serve_determinism.rs` serves the golden corpus through the
+//! daemon — with a forced evict+reload in the middle — and diffs against
+//! `FittedModel::assign`.
+//!
+//! # Example
+//!
+//! ```
+//! use fis_serve::{Daemon, DaemonConfig, RegistryConfig};
+//!
+//! let dir = std::env::temp_dir().join("fis_serve_doc_example");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let mut daemon = Daemon::new(DaemonConfig::new(
+//!     RegistryConfig::new(&dir).max_models(4),
+//! ));
+//! let (response, shutdown) = daemon.handle_line(r#"{"op":"stats"}"#);
+//! assert!(!shutdown);
+//! assert!(response.to_string().contains("\"ok\":true"));
+//! ```
+
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use error::ServeError;
+pub use metrics::{OpMetrics, ServingMetrics};
+pub use protocol::{Frame, Request};
+pub use registry::{Fetch, ModelRegistry, RegistryConfig, RegistryStats};
+pub use server::{Daemon, DaemonConfig};

@@ -1,0 +1,241 @@
+//! Per-model and global serving metrics.
+//!
+//! Every request is recorded into the global accumulator, and — when it
+//! named a building whose artifact actually exists — into that model's
+//! scope: the request count, accepted batch size, scans successfully
+//! labeled, error count, and service latency (p50/p99/mean via
+//! [`fis_metrics::Quantiles`]). Model metrics are keyed by building id
+//! and **survive eviction**: the cache can come and go, the counters
+//! don't. Requests naming buildings that never resolved to an artifact
+//! only count globally, so a client spraying made-up ids cannot grow
+//! the per-model map without bound. The `stats` op serializes the whole
+//! thing as sorted-key JSON, so two daemons with the same request
+//! history report byte-identical stats (up to the timings themselves).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use fis_metrics::Quantiles;
+use fis_types::json::Json;
+
+use crate::registry::{ModelRegistry, RegistryStats};
+
+/// Counters and latency for one scope (global or one model).
+#[derive(Debug, Clone, Default)]
+pub struct OpMetrics {
+    /// Requests handled (including failed ones).
+    pub requests: u64,
+    /// Requests that answered with an error, plus batches that answered
+    /// `ok` but carried at least one per-scan failure.
+    pub errors: u64,
+    /// Scans successfully labeled. Rejected batches contribute nothing;
+    /// a partially failed batch contributes only its labeled scans.
+    pub scans: u64,
+    /// Largest *accepted* batch (rejected batches don't count).
+    pub batch_max: u64,
+    /// Service latency per request, nanoseconds.
+    pub latency_ns: Quantiles,
+}
+
+impl OpMetrics {
+    fn record(&mut self, attempted: u64, labeled: u64, failed: bool, latency_ns: f64) {
+        self.requests += 1;
+        self.scans += labeled;
+        self.batch_max = self.batch_max.max(attempted);
+        if failed {
+            self.errors += 1;
+        }
+        self.latency_ns.push(latency_ns);
+    }
+
+    /// Mean labeled scans per request (0.0 before any).
+    pub fn mean_batch(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.scans as f64 / self.requests as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let q = &self.latency_ns;
+        Json::obj([
+            ("requests", Json::Num(self.requests as f64)),
+            ("errors", Json::Num(self.errors as f64)),
+            ("scans", Json::Num(self.scans as f64)),
+            ("batch_max", Json::Num(self.batch_max as f64)),
+            (
+                "latency_ns",
+                Json::obj([
+                    ("count", Json::Num(q.count() as f64)),
+                    ("mean", Json::Num(q.mean().unwrap_or(0.0))),
+                    ("p50", Json::Num(q.p50().unwrap_or(0.0))),
+                    ("p99", Json::Num(q.p99().unwrap_or(0.0))),
+                    ("max", Json::Num(q.max().unwrap_or(0.0))),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The daemon's metrics: one global scope plus one scope per model.
+#[derive(Debug)]
+pub struct ServingMetrics {
+    started: Instant,
+    /// All requests, regardless of model (protocol errors land here).
+    pub global: OpMetrics,
+    /// Per-building scopes, created on first touch, kept after eviction.
+    pub models: BTreeMap<String, OpMetrics>,
+}
+
+impl Default for ServingMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServingMetrics {
+    /// Creates empty metrics; uptime starts now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            global: OpMetrics::default(),
+            models: BTreeMap::new(),
+        }
+    }
+
+    /// Records one request: globally, and under `model` when the request
+    /// resolved to one. The caller (the daemon's dispatch) passes
+    /// `model: Some(..)` only for buildings whose artifact exists or
+    /// whose scope was already created, keeping the map bounded by real
+    /// tenants.
+    pub fn record(
+        &mut self,
+        model: Option<&str>,
+        attempted: u64,
+        labeled: u64,
+        failed: bool,
+        latency_ns: f64,
+    ) {
+        self.global.record(attempted, labeled, failed, latency_ns);
+        if let Some(model) = model {
+            self.models
+                .entry(model.to_owned())
+                .or_default()
+                .record(attempted, labeled, failed, latency_ns);
+        }
+    }
+
+    /// Whether a per-model scope already exists for `model`.
+    pub fn has_scope(&self, model: &str) -> bool {
+        self.models.contains_key(model)
+    }
+
+    /// The `stats` response payload: global + per-model metrics plus the
+    /// registry's cache counters and current residents.
+    pub fn to_json(&self, registry: &ModelRegistry) -> Json {
+        let RegistryStats {
+            hits,
+            misses,
+            evictions,
+            reloads,
+            load_failures,
+        } = registry.stats();
+        let loaded = Json::Arr(
+            registry
+                .loaded()
+                .into_iter()
+                .map(|(name, bytes)| {
+                    Json::obj([
+                        ("building", Json::Str(name)),
+                        ("bytes", Json::Num(bytes as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let models = Json::Obj(
+            self.models
+                .iter()
+                .map(|(k, m)| (k.clone(), m.to_json()))
+                .collect(),
+        );
+        Json::obj([
+            (
+                "uptime_ms",
+                Json::Num(self.started.elapsed().as_secs_f64() * 1e3),
+            ),
+            ("global", self.global.to_json()),
+            ("models", models),
+            (
+                "registry",
+                Json::obj([
+                    ("hits", Json::Num(hits as f64)),
+                    ("misses", Json::Num(misses as f64)),
+                    ("evictions", Json::Num(evictions as f64)),
+                    ("reloads", Json::Num(reloads as f64)),
+                    ("load_failures", Json::Num(load_failures as f64)),
+                    ("loaded", loaded),
+                    ("bytes", Json::Num(registry.total_bytes() as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+
+    #[test]
+    fn records_global_and_per_model() {
+        let mut m = ServingMetrics::new();
+        m.record(Some("a"), 1, 1, false, 1000.0); // assign, labeled
+        m.record(Some("a"), 10, 10, false, 2000.0); // clean batch
+        m.record(Some("b"), 5, 3, true, 3000.0); // batch, 2 per-scan failures
+        m.record(None, 0, 0, true, 100.0); // protocol error, no model
+        m.record(None, 0, 0, true, 50.0); // rejected batch: nothing labeled
+        assert_eq!(m.global.requests, 5);
+        assert_eq!(m.global.scans, 14, "only labeled scans count");
+        assert_eq!(m.global.errors, 3, "partial batch failure is an error");
+        assert_eq!(m.global.batch_max, 10);
+        assert_eq!(m.models["a"].requests, 2);
+        assert_eq!(m.models["a"].scans, 11);
+        assert_eq!(m.models["b"].errors, 1);
+        assert_eq!(m.models["b"].scans, 3);
+        assert_eq!(m.models.len(), 2, "no scope for model-less requests");
+        assert!(m.has_scope("a") && !m.has_scope("ghost"));
+        assert_eq!(m.global.latency_ns.count(), 5);
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let mut m = ServingMetrics::new();
+        m.record(Some("hq"), 3, 3, false, 5000.0);
+        let dir = std::env::temp_dir().join("fis_metrics_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let registry = ModelRegistry::new(RegistryConfig::new(&dir));
+        let json = m.to_json(&registry);
+        assert!(json.get("uptime_ms").is_some());
+        assert_eq!(
+            json.get("global")
+                .unwrap()
+                .get("requests")
+                .unwrap()
+                .as_usize(),
+            Some(1)
+        );
+        let hq = json.get("models").unwrap().get("hq").unwrap();
+        assert_eq!(hq.get("scans").unwrap().as_usize(), Some(3));
+        assert!(hq.get("latency_ns").unwrap().get("p99").is_some());
+        assert_eq!(
+            json.get("registry")
+                .unwrap()
+                .get("hits")
+                .unwrap()
+                .as_usize(),
+            Some(0)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

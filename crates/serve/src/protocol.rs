@@ -1,0 +1,301 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! One request per line in, one response per line out, in request order.
+//! Every request is an object with an `"op"` field and op-specific
+//! payload; an optional `"id"` field (any JSON value) is echoed verbatim
+//! on the response so pipelined clients can correlate. See the crate
+//! docs for the full wire reference.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"op": "assign",       "building": "hq", "scan": {"id": 7, "readings": [["aa:..", -61.5]]}}
+//! {"op": "assign_batch", "building": "hq", "scans": [{...}, {...}]}
+//! {"op": "load",         "building": "hq"}
+//! {"op": "evict",        "building": "hq"}
+//! {"op": "stats"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"` (and echo `"op"`/`"id"` when they were
+//! readable): `{"ok":true,"op":"assign","floor":3,...}` on success,
+//! `{"ok":false,"op":...,"error":{"kind":"...","message":"..."}}` on
+//! failure. Malformed frames produce a `protocol` error response — never
+//! a dropped connection, never a crash.
+
+use fis_types::json::{FromJson, Json};
+use fis_types::SignalSample;
+
+use crate::error::ServeError;
+
+/// A decoded request operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Label one scan against one building's model.
+    Assign {
+        /// Registry key of the model to serve from.
+        building: String,
+        /// The scan to label.
+        scan: SignalSample,
+    },
+    /// Label a batch of scans against one building's model, fanned out
+    /// over the thread budget; per-scan results in input order.
+    AssignBatch {
+        /// Registry key of the model to serve from.
+        building: String,
+        /// The scans to label, order preserved in the response.
+        scans: Vec<SignalSample>,
+    },
+    /// Eagerly load (or hot-reload) a building's artifact.
+    Load {
+        /// Registry key to load.
+        building: String,
+    },
+    /// Drop a building's model from the cache (metrics survive).
+    Evict {
+        /// Registry key to evict.
+        building: String,
+    },
+    /// Report global + per-model serving metrics.
+    Stats,
+    /// Stop the daemon after responding.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire name of this operation.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Assign { .. } => "assign",
+            Request::AssignBatch { .. } => "assign_batch",
+            Request::Load { .. } => "load",
+            Request::Evict { .. } => "evict",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A decoded request frame: the operation plus the correlation id and
+/// op string to echo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The client's correlation id, echoed verbatim when present.
+    pub id: Option<Json>,
+    /// The decoded operation.
+    pub request: Request,
+}
+
+/// What could be salvaged from an unparseable or invalid frame, so the
+/// error response still echoes `id`/`op` when they were readable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameError {
+    /// Correlation id, if the frame parsed far enough to read one.
+    pub id: Option<Json>,
+    /// The `op` string, if the frame parsed far enough to read one.
+    pub op: Option<String>,
+    /// The protocol error to report.
+    pub error: ServeError,
+}
+
+fn building_of(json: &Json) -> Result<String, ServeError> {
+    let building = json
+        .get("building")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::Protocol("request needs a string `building` field".into()))?;
+    if building.is_empty() {
+        return Err(ServeError::Protocol("`building` must be non-empty".into()));
+    }
+    Ok(building.to_owned())
+}
+
+fn scan_of(value: &Json) -> Result<SignalSample, ServeError> {
+    SignalSample::from_json(value).map_err(|e| ServeError::Protocol(format!("bad scan: {e}")))
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] carrying whatever correlation info was
+/// readable plus the typed protocol error.
+pub fn parse_frame(line: &str) -> Result<Frame, Box<FrameError>> {
+    let json = Json::parse(line).map_err(|e| {
+        Box::new(FrameError {
+            id: None,
+            op: None,
+            error: ServeError::Protocol(format!("malformed frame: {e}")),
+        })
+    })?;
+    let id = json.get("id").cloned();
+    let fail = |op: Option<String>, error: ServeError| {
+        Box::new(FrameError {
+            id: id.clone(),
+            op,
+            error,
+        })
+    };
+    let Some(op) = json.get("op").and_then(Json::as_str).map(str::to_owned) else {
+        return Err(fail(
+            None,
+            ServeError::Protocol("request needs a string `op` field".into()),
+        ));
+    };
+    let request = match op.as_str() {
+        "assign" => {
+            let building = building_of(&json).map_err(|e| fail(Some(op.clone()), e))?;
+            let scan = json
+                .get("scan")
+                .ok_or_else(|| ServeError::Protocol("assign needs a `scan` object".into()))
+                .and_then(scan_of)
+                .map_err(|e| fail(Some(op.clone()), e))?;
+            Request::Assign { building, scan }
+        }
+        "assign_batch" => {
+            let building = building_of(&json).map_err(|e| fail(Some(op.clone()), e))?;
+            let scans = json
+                .get("scans")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ServeError::Protocol("assign_batch needs a `scans` array".into()))
+                .and_then(|arr| arr.iter().map(scan_of).collect::<Result<Vec<_>, _>>())
+                .map_err(|e| fail(Some(op.clone()), e))?;
+            Request::AssignBatch { building, scans }
+        }
+        "load" => Request::Load {
+            building: building_of(&json).map_err(|e| fail(Some(op.clone()), e))?,
+        },
+        "evict" => Request::Evict {
+            building: building_of(&json).map_err(|e| fail(Some(op.clone()), e))?,
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(fail(
+                Some(op.clone()),
+                ServeError::Protocol(format!(
+                    "unknown op `{other}` (expected assign, assign_batch, load, evict, \
+                     stats, or shutdown)"
+                )),
+            ))
+        }
+    };
+    Ok(Frame { id, request })
+}
+
+/// Builds a success response: `{"ok":true,"op":...}` plus `fields`,
+/// echoing `id` when present. Keys are sorted by the JSON writer, so the
+/// wire form is deterministic.
+pub fn ok_response(
+    op: &str,
+    id: Option<&Json>,
+    fields: impl IntoIterator<Item = (&'static str, Json)>,
+) -> Json {
+    let mut obj = match Json::obj(fields) {
+        Json::Obj(m) => m,
+        _ => unreachable!("Json::obj returns Obj"),
+    };
+    obj.insert("ok".to_owned(), Json::Bool(true));
+    obj.insert("op".to_owned(), Json::Str(op.to_owned()));
+    if let Some(id) = id {
+        obj.insert("id".to_owned(), id.clone());
+    }
+    Json::Obj(obj)
+}
+
+/// Builds an error response: `{"ok":false,"error":{...}}`, echoing
+/// `op`/`id` when they were readable.
+pub fn error_response(op: Option<&str>, id: Option<&Json>, error: &ServeError) -> Json {
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert("ok".to_owned(), Json::Bool(false));
+    obj.insert("error".to_owned(), error.to_json());
+    if let Some(op) = op {
+        obj.insert("op".to_owned(), Json::Str(op.to_owned()));
+    }
+    if let Some(id) = id {
+        obj.insert("id".to_owned(), id.clone());
+    }
+    Json::Obj(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let assign = parse_frame(
+            r#"{"op":"assign","building":"hq","scan":{"id":1,"readings":[["00:00:00:00:00:01",-60.0]]}}"#,
+        )
+        .unwrap();
+        assert!(matches!(assign.request, Request::Assign { .. }));
+        assert_eq!(assign.request.op(), "assign");
+
+        let batch = parse_frame(
+            r#"{"id":9,"op":"assign_batch","building":"hq","scans":[{"id":1,"readings":[]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(batch.id, Some(Json::Num(9.0)));
+        assert!(matches!(
+            batch.request,
+            Request::AssignBatch { ref scans, .. } if scans.len() == 1
+        ));
+
+        for (line, op) in [
+            (r#"{"op":"load","building":"b"}"#, "load"),
+            (r#"{"op":"evict","building":"b"}"#, "evict"),
+            (r#"{"op":"stats"}"#, "stats"),
+            (r#"{"op":"shutdown"}"#, "shutdown"),
+        ] {
+            assert_eq!(parse_frame(line).unwrap().request.op(), op);
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_protocol_error_without_id() {
+        let err = parse_frame(r#"{"op": "assign", "build"#).unwrap_err();
+        assert_eq!(err.error.kind(), "protocol");
+        assert_eq!(err.id, None);
+        assert_eq!(err.op, None);
+    }
+
+    #[test]
+    fn bad_shape_still_echoes_id_and_op() {
+        let err = parse_frame(r#"{"id":"req-3","op":"assign","building":"hq"}"#).unwrap_err();
+        assert_eq!(err.error.kind(), "protocol");
+        assert_eq!(err.id, Some(Json::Str("req-3".into())));
+        assert_eq!(err.op.as_deref(), Some("assign"));
+        assert!(err.error.message().contains("scan"));
+    }
+
+    #[test]
+    fn unknown_op_is_typed() {
+        let err = parse_frame(r#"{"op":"frobnicate"}"#).unwrap_err();
+        assert_eq!(err.error.kind(), "protocol");
+        assert!(err.error.message().contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_building_is_typed() {
+        let err = parse_frame(r#"{"op":"load"}"#).unwrap_err();
+        assert_eq!(err.error.kind(), "protocol");
+        assert!(err.error.message().contains("building"));
+    }
+
+    #[test]
+    fn responses_are_deterministic_lines() {
+        let ok = ok_response("load", Some(&Json::Num(1.0)), [("floors", Json::Num(3.0))]);
+        assert_eq!(
+            ok.to_string(),
+            r#"{"floors":3,"id":1,"ok":true,"op":"load"}"#
+        );
+        let err = error_response(
+            Some("assign"),
+            None,
+            &ServeError::UnknownBuilding("no artifact for `x`".into()),
+        );
+        assert_eq!(
+            err.to_string(),
+            r#"{"error":{"kind":"unknown_building","message":"no artifact for `x`"},"ok":false,"op":"assign"}"#
+        );
+    }
+}

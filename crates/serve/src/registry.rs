@@ -1,0 +1,501 @@
+//! Multi-tenant model registry: lazy load, LRU eviction, hot reload.
+//!
+//! The registry maps building ids onto [`FittedModel`]s backed by a
+//! model directory: the artifact for building `hq` lives at
+//! `<dir>/hq.json` (exactly what `fis-one fit --out` writes). Models are
+//! loaded lazily on first request and cached under a configurable budget:
+//!
+//! - **LRU eviction** — when loading a model would exceed
+//!   [`RegistryConfig::max_models`] or [`RegistryConfig::max_bytes`]
+//!   (artifact bytes on disk as the memory proxy), the least recently
+//!   used other model is dropped first. The model being served is never
+//!   evicted to make room for itself.
+//! - **Hot reload** — every access re-stats the artifact; if its
+//!   `(mtime, len)` changed since load, the model is reloaded before
+//!   serving. Swapping a new artifact into the directory takes effect on
+//!   the next request, no restart. [`FittedModel::save`] writes
+//!   atomically (temp file + rename), so refitting over a live serving
+//!   directory never exposes a half-written artifact; other writers
+//!   should do the same. (A rewrite that keeps both mtime and byte
+//!   length identical is indistinguishable and will be missed — the
+//!   standard stat-cache caveat.)
+//! - **Deletion detection** — if the artifact vanished after load, the
+//!   cached model is dropped and the request fails with a typed `model`
+//!   error rather than serving from a file that no longer exists.
+//!
+//! Eviction history cannot change responses: artifacts load
+//! byte-identically and [`FittedModel::assign`] is deterministic in
+//! `(model, scan)` alone, so evict → reload → assign is bit-identical to
+//! assign on the original load. `tests/serve_determinism.rs` enforces
+//! this against the golden fixtures.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::SystemTime;
+
+use fis_core::FittedModel;
+
+use crate::error::ServeError;
+
+/// Registry configuration.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Directory holding `<building>.json` artifacts.
+    pub dir: PathBuf,
+    /// Maximum cached models (`0` = unlimited).
+    pub max_models: usize,
+    /// Maximum total artifact bytes cached (`0` = unlimited).
+    pub max_bytes: u64,
+}
+
+impl RegistryConfig {
+    /// A registry over `dir` with no cache budget.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            max_models: 0,
+            max_bytes: 0,
+        }
+    }
+
+    /// Caps the cached model count (`0` = unlimited).
+    pub fn max_models(mut self, n: usize) -> Self {
+        self.max_models = n;
+        self
+    }
+
+    /// Caps the cached artifact bytes (`0` = unlimited).
+    pub fn max_bytes(mut self, n: u64) -> Self {
+        self.max_bytes = n;
+        self
+    }
+}
+
+/// Cache counters, exact over the registry's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to load from disk.
+    pub misses: u64,
+    /// Models dropped by the LRU budget or an explicit `evict`.
+    pub evictions: u64,
+    /// Models reloaded because the artifact changed on disk.
+    pub reloads: u64,
+    /// Loads that failed (missing, corrupt, or mismatched artifacts).
+    pub load_failures: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    model: Arc<FittedModel>,
+    /// Artifact size on disk: the byte-budget proxy, and — together
+    /// with `mtime` — the change-detection fingerprint.
+    bytes: u64,
+    mtime: Option<SystemTime>,
+    last_used: u64,
+}
+
+/// A cached, loaded model plus how it got there (for metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fetch {
+    /// Served from the cache.
+    Hit,
+    /// Loaded from disk for the first time (or after an eviction).
+    Miss,
+    /// Reloaded because the artifact changed on disk.
+    Reload,
+}
+
+/// The lazy, budgeted, hot-reloading model cache. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct ModelRegistry {
+    config: RegistryConfig,
+    entries: HashMap<String, Entry>,
+    tick: u64,
+    stats: RegistryStats,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry over the configured model directory.
+    pub fn new(config: RegistryConfig) -> Self {
+        Self {
+            config,
+            entries: HashMap::new(),
+            tick: 0,
+            stats: RegistryStats::default(),
+        }
+    }
+
+    /// The registry's configuration.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// Lifetime cache counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+
+    /// Number of models currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total artifact bytes currently cached.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// The cached building ids with their artifact sizes, sorted by id
+    /// (deterministic for the `stats` op).
+    pub fn loaded(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.bytes))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The artifact path for a building id.
+    pub fn artifact_path(&self, building: &str) -> PathBuf {
+        self.config.dir.join(format!("{building}.json"))
+    }
+
+    /// Fetches the model for `building`, loading/reloading as needed.
+    /// Returns the model and whether this was a hit, miss, or reload.
+    ///
+    /// # Errors
+    ///
+    /// - [`ServeError::Protocol`] for ids that cannot name an artifact
+    ///   (path separators, `.` / `..`),
+    /// - [`ServeError::UnknownBuilding`] when no artifact exists,
+    /// - [`ServeError::Model`] when the artifact vanished after load, is
+    ///   corrupt, or was fitted for a different building id.
+    pub fn get(&mut self, building: &str) -> Result<(Arc<FittedModel>, Fetch), ServeError> {
+        validate_building_id(building)?;
+        let path = self.artifact_path(building);
+        let meta = match std::fs::metadata(&path) {
+            Ok(m) => m,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if self.entries.remove(building).is_some() {
+                    // Loaded earlier, artifact deleted since: drop the
+                    // cache entry and fail loudly instead of serving a
+                    // model whose backing file is gone.
+                    self.stats.evictions += 1;
+                    return Err(ServeError::Model(format!(
+                        "artifact {} was deleted after load; evicted `{building}`",
+                        path.display()
+                    )));
+                }
+                return Err(ServeError::UnknownBuilding(format!(
+                    "no artifact for `{building}` (expected {})",
+                    path.display()
+                )));
+            }
+            Err(e) => {
+                return Err(ServeError::Model(format!(
+                    "stat {} failed: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let mtime = meta.modified().ok();
+        let bytes = meta.len();
+
+        self.tick += 1;
+        let cached = match self.entries.get_mut(building) {
+            Some(entry) if entry.mtime == mtime && entry.bytes == bytes => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                return Ok((Arc::clone(&entry.model), Fetch::Hit));
+            }
+            cached => cached.is_some(),
+        };
+
+        // Cache miss, or the artifact changed on disk (hot reload). A
+        // failed reload drops the stale entry — serving the old model
+        // after the artifact was replaced would silently violate mtime
+        // semantics.
+        let fetch = if cached { Fetch::Reload } else { Fetch::Miss };
+        let model = match self.load_artifact(building, &path) {
+            Ok(model) => Arc::new(model),
+            Err(e) => {
+                if self.entries.remove(building).is_some() {
+                    self.stats.evictions += 1;
+                }
+                return Err(e);
+            }
+        };
+        match fetch {
+            Fetch::Reload => self.stats.reloads += 1,
+            _ => self.stats.misses += 1,
+        }
+        self.entries.insert(
+            building.to_owned(),
+            Entry {
+                model: Arc::clone(&model),
+                bytes,
+                mtime,
+                last_used: self.tick,
+            },
+        );
+        self.enforce_budget(building);
+        Ok((model, fetch))
+    }
+
+    /// Drops a cached model; returns whether it was cached. The artifact
+    /// stays on disk and the next request reloads it.
+    pub fn evict(&mut self, building: &str) -> bool {
+        let evicted = self.entries.remove(building).is_some();
+        if evicted {
+            self.stats.evictions += 1;
+        }
+        evicted
+    }
+
+    fn load_artifact(&mut self, building: &str, path: &Path) -> Result<FittedModel, ServeError> {
+        let model = FittedModel::load(path).map_err(|e| {
+            self.stats.load_failures += 1;
+            ServeError::from(e)
+        })?;
+        if model.building() != building {
+            self.stats.load_failures += 1;
+            return Err(ServeError::Model(format!(
+                "artifact {} was fitted for building `{}`, not `{building}`; \
+                 registry files must be named after the building they serve",
+                path.display(),
+                model.building()
+            )));
+        }
+        Ok(model)
+    }
+
+    /// Evicts least-recently-used models until the budget holds, never
+    /// touching `keep` (the model being served right now).
+    fn enforce_budget(&mut self, keep: &str) {
+        loop {
+            let over_count =
+                self.config.max_models > 0 && self.entries.len() > self.config.max_models;
+            let over_bytes =
+                self.config.max_bytes > 0 && self.total_bytes() > self.config.max_bytes;
+            if !over_count && !over_bytes {
+                return;
+            }
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| k.as_str() != keep)
+                // Tie-break on the id so eviction order is deterministic
+                // even if two entries share a tick (they cannot today).
+                .min_by_key(|(k, e)| (e.last_used, (*k).clone()))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    self.stats.evictions += 1;
+                }
+                // Only the active model is left; keep serving it even if
+                // it alone exceeds the byte budget.
+                None => return,
+            }
+        }
+    }
+}
+
+fn validate_building_id(building: &str) -> Result<(), ServeError> {
+    if building.is_empty()
+        || building == "."
+        || building == ".."
+        || building.contains('/')
+        || building.contains('\\')
+        || building.contains('\0')
+    {
+        return Err(ServeError::Protocol(format!(
+            "building id `{}` cannot name an artifact file",
+            building.escape_default()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_core::{FisOne, FisOneConfig};
+    use fis_synth::BuildingConfig;
+
+    fn quick_model(name: &str, samples: usize, seed: u64) -> FittedModel {
+        let b = BuildingConfig::new(name, 3)
+            .samples_per_floor(samples)
+            .aps_per_floor(8)
+            .atrium_aps(0)
+            .seed(seed)
+            .generate();
+        FisOne::new(FisOneConfig::quick(seed))
+            .fit(
+                b.name(),
+                b.samples(),
+                b.floors(),
+                b.bottom_anchor().unwrap(),
+            )
+            .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fis_registry_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lazy_load_then_hit() {
+        let dir = temp_dir("lazy");
+        let model = quick_model("alpha", 15, 1);
+        model.save(dir.join("alpha.json")).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir));
+        let (m1, f1) = reg.get("alpha").unwrap();
+        assert_eq!(f1, Fetch::Miss);
+        let (m2, f2) = reg.get("alpha").unwrap();
+        assert_eq!(f2, Fetch::Hit);
+        assert!(Arc::ptr_eq(&m1, &m2));
+        assert_eq!(reg.stats().hits, 1);
+        assert_eq!(reg.stats().misses, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_building_is_typed() {
+        let dir = temp_dir("unknown");
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir));
+        let err = reg.get("ghost").unwrap_err();
+        assert_eq!(err.kind(), "unknown_building");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hostile_ids_are_rejected_before_touching_disk() {
+        let dir = temp_dir("hostile");
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir));
+        for id in ["", ".", "..", "../etc/passwd", "a/b", "a\\b", "nul\0"] {
+            assert_eq!(reg.get(id).unwrap_err().kind(), "protocol", "id {id:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_artifact_name_is_model_error() {
+        let dir = temp_dir("mismatch");
+        quick_model("real-name", 15, 2)
+            .save(dir.join("wrong-name.json"))
+            .unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir));
+        let err = reg.get("wrong-name").unwrap_err();
+        assert_eq!(err.kind(), "model");
+        assert!(err.message().contains("real-name"));
+        assert_eq!(reg.stats().load_failures, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_is_model_error() {
+        let dir = temp_dir("corrupt");
+        std::fs::write(dir.join("bad.json"), "{\"schema\": \"nope\"").unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir));
+        assert_eq!(reg.get("bad").unwrap_err().kind(), "model");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deleted_artifact_evicts_and_errors() {
+        let dir = temp_dir("deleted");
+        let path = dir.join("gone.json");
+        quick_model("gone", 15, 3).save(&path).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir));
+        reg.get("gone").unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let err = reg.get("gone").unwrap_err();
+        assert_eq!(err.kind(), "model");
+        assert!(err.message().contains("deleted"));
+        assert_eq!(reg.len(), 0);
+        // A later request (still missing) is a plain unknown building.
+        assert_eq!(reg.get("gone").unwrap_err().kind(), "unknown_building");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_eviction_under_model_budget() {
+        let dir = temp_dir("lru");
+        for (name, seed) in [("a", 4), ("b", 5), ("c", 6)] {
+            quick_model(name, 15, seed)
+                .save(dir.join(format!("{name}.json")))
+                .unwrap();
+        }
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir).max_models(2));
+        reg.get("a").unwrap();
+        reg.get("b").unwrap();
+        reg.get("a").unwrap(); // a is now more recent than b
+        reg.get("c").unwrap(); // evicts b (LRU)
+        let loaded: Vec<String> = reg.loaded().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(loaded, ["a", "c"]);
+        assert_eq!(reg.stats().evictions, 1);
+        // b reloads on demand — a fresh miss, identical model.
+        let (_, fetch) = reg.get("b").unwrap();
+        assert_eq!(fetch, Fetch::Miss);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_budget_never_evicts_the_active_model() {
+        let dir = temp_dir("bytes");
+        quick_model("solo", 15, 7)
+            .save(dir.join("solo.json"))
+            .unwrap();
+        // 1-byte budget: the lone active model still serves.
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir).max_bytes(1));
+        let (model, _) = reg.get("solo").unwrap();
+        assert_eq!(model.building(), "solo");
+        assert_eq!(reg.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hot_reload_on_artifact_change() {
+        let dir = temp_dir("reload");
+        let path = dir.join("hot.json");
+        quick_model("hot", 15, 8).save(&path).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir));
+        let (old, _) = reg.get("hot").unwrap();
+        // Replace with a differently sized artifact (more scans), so the
+        // (mtime, len) check trips even on coarse-mtime filesystems.
+        quick_model("hot", 20, 9).save(&path).unwrap();
+        let (new, fetch) = reg.get("hot").unwrap();
+        assert_eq!(fetch, Fetch::Reload);
+        assert_eq!(reg.stats().reloads, 1);
+        assert_ne!(old.samples().len(), new.samples().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evict_then_reload_is_bit_identical() {
+        let dir = temp_dir("roundtrip");
+        quick_model("rt", 15, 10).save(dir.join("rt.json")).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir));
+        let (first, _) = reg.get("rt").unwrap();
+        assert!(reg.evict("rt"));
+        assert!(!reg.evict("rt"));
+        let (second, fetch) = reg.get("rt").unwrap();
+        assert_eq!(fetch, Fetch::Miss);
+        assert_eq!(first.to_json_string(), second.to_json_string());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,596 @@
+//! The serving daemon: dispatch loop, pipe mode, TCP mode.
+//!
+//! [`Daemon`] owns the [`ModelRegistry`] and [`ServingMetrics`] and
+//! turns request lines into response lines. Three front-ends share the
+//! exact same dispatch path:
+//!
+//! - [`Daemon::serve_connection`] — any `BufRead`/`Write` pair,
+//! - [`Daemon::serve_stdio`] — pipe mode (`fis-one serve` default),
+//! - [`Daemon::serve_tcp`] — a TCP listener; connections are served one
+//!   at a time to completion, which keeps the daemon single-writer over
+//!   the registry while batches still fan out over `fis-parallel`
+//!   internally. A client disconnect moves on to the next connection; a
+//!   `shutdown` request stops the daemon.
+//!
+//! Responses are written in request order and flushed per line, so a
+//! pipelined client never deadlocks. Every failure is a typed error
+//! response; the loop itself only exits on EOF, `shutdown`, or a dead
+//! transport.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::time::Instant;
+
+use fis_types::json::Json;
+
+use crate::error::ServeError;
+use crate::metrics::ServingMetrics;
+use crate::protocol::{error_response, ok_response, parse_frame, Frame, Request};
+use crate::registry::{Fetch, ModelRegistry, RegistryConfig};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Model directory and cache budget.
+    pub registry: RegistryConfig,
+    /// Thread budget for batch fan-out (`0` = the global
+    /// [`fis_parallel::thread_budget`]).
+    pub threads: usize,
+    /// Largest accepted `assign_batch` size (`0` = unlimited).
+    pub max_batch: usize,
+}
+
+impl DaemonConfig {
+    /// A daemon over a model directory with default budgets.
+    pub fn new(registry: RegistryConfig) -> Self {
+        Self {
+            registry,
+            threads: 0,
+            max_batch: 0,
+        }
+    }
+
+    /// Sets the batch fan-out thread budget (`0` = global budget).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Caps the accepted batch size (`0` = unlimited).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+}
+
+/// What one dispatched request did, for the response and the metrics.
+struct RequestOutcome {
+    result: Result<Json, ServeError>,
+    /// Scans in an *accepted* assign/assign_batch (0 when rejected).
+    attempted: u64,
+    /// Scans successfully labeled.
+    labeled: u64,
+    /// Per-scan failures inside an otherwise-ok batch.
+    scan_failures: u64,
+    /// The named building resolved to a real artifact (allows a
+    /// per-model metrics scope).
+    tenant_exists: bool,
+    shutdown: bool,
+}
+
+impl RequestOutcome {
+    fn ok(json: Json) -> Self {
+        Self {
+            result: Ok(json),
+            attempted: 0,
+            labeled: 0,
+            scan_failures: 0,
+            tenant_exists: false,
+            shutdown: false,
+        }
+    }
+
+    fn rejected(error: ServeError) -> Self {
+        // A `model`/`inference` failure proves the artifact exists;
+        // protocol, unknown-building, and capacity rejections prove
+        // nothing about the tenant.
+        let tenant_exists = matches!(error, ServeError::Model(_) | ServeError::Inference(_));
+        Self {
+            result: Err(error),
+            attempted: 0,
+            labeled: 0,
+            scan_failures: 0,
+            tenant_exists,
+            shutdown: false,
+        }
+    }
+}
+
+/// The multi-tenant serving daemon. See the [module docs](self).
+#[derive(Debug)]
+pub struct Daemon {
+    config: DaemonConfig,
+    registry: ModelRegistry,
+    metrics: ServingMetrics,
+}
+
+impl Daemon {
+    /// Creates a daemon with an empty cache and fresh metrics.
+    pub fn new(config: DaemonConfig) -> Self {
+        let registry = ModelRegistry::new(config.registry.clone());
+        Self {
+            config,
+            registry,
+            metrics: ServingMetrics::new(),
+        }
+    }
+
+    /// The daemon's registry (cache state and counters).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The daemon's serving metrics.
+    pub fn metrics(&self) -> &ServingMetrics {
+        &self.metrics
+    }
+
+    /// Handles one request line and returns `(response, shutdown)`.
+    /// Infallible by design: malformed input becomes a typed error
+    /// response.
+    pub fn handle_line(&mut self, line: &str) -> (Json, bool) {
+        let started = Instant::now();
+        let frame = match parse_frame(line) {
+            Ok(frame) => frame,
+            Err(fe) => {
+                let latency = started.elapsed().as_secs_f64() * 1e9;
+                self.metrics.record(None, 0, 0, true, latency);
+                return (
+                    error_response(fe.op.as_deref(), fe.id.as_ref(), &fe.error),
+                    false,
+                );
+            }
+        };
+        let Frame { id, request } = frame;
+        let op = request.op();
+        let model_key = match &request {
+            Request::Assign { building, .. }
+            | Request::AssignBatch { building, .. }
+            | Request::Load { building }
+            | Request::Evict { building } => Some(building.clone()),
+            Request::Stats | Request::Shutdown => None,
+        };
+        let outcome = self.dispatch(request, id.as_ref());
+        let latency = started.elapsed().as_secs_f64() * 1e9;
+        // Per-model scopes only for buildings that resolved to a real
+        // artifact (or already have a scope) — a client spraying made-up
+        // ids must not grow the metrics map without bound.
+        let scope = model_key
+            .as_deref()
+            .filter(|b| outcome.tenant_exists || self.metrics.has_scope(b));
+        let failed = outcome.result.is_err() || outcome.scan_failures > 0;
+        self.metrics
+            .record(scope, outcome.attempted, outcome.labeled, failed, latency);
+        let response = match outcome.result {
+            Ok(json) => json,
+            Err(e) => error_response(Some(op), id.as_ref(), &e),
+        };
+        (response, outcome.shutdown)
+    }
+
+    fn dispatch(&mut self, request: Request, id: Option<&Json>) -> RequestOutcome {
+        match request {
+            Request::Assign { building, scan } => match self.registry.get(&building) {
+                Err(e) => RequestOutcome::rejected(e),
+                Ok((model, _)) => match model.assign(&scan) {
+                    Err(e) => RequestOutcome {
+                        attempted: 1,
+                        tenant_exists: true,
+                        ..RequestOutcome::rejected(ServeError::from(e))
+                    },
+                    Ok(floor) => RequestOutcome {
+                        attempted: 1,
+                        labeled: 1,
+                        tenant_exists: true,
+                        ..RequestOutcome::ok(ok_response(
+                            "assign",
+                            id,
+                            [
+                                ("building", Json::Str(building.clone())),
+                                ("scan_id", Json::Num(scan.id().index() as f64)),
+                                ("floor", Json::Num(floor.index() as f64)),
+                            ],
+                        ))
+                    },
+                },
+            },
+            Request::AssignBatch { building, scans } => self.assign_batch(&building, &scans, id),
+            Request::Load { building } => match self.registry.get(&building) {
+                Err(e) => RequestOutcome::rejected(e),
+                Ok((model, fetch)) => {
+                    let fetch = match fetch {
+                        Fetch::Hit => "hit",
+                        Fetch::Miss => "miss",
+                        Fetch::Reload => "reload",
+                    };
+                    RequestOutcome {
+                        tenant_exists: true,
+                        ..RequestOutcome::ok(ok_response(
+                            "load",
+                            id,
+                            [
+                                ("building", Json::Str(building.clone())),
+                                ("floors", Json::Num(model.floors() as f64)),
+                                ("scans", Json::Num(model.samples().len() as f64)),
+                                ("fetch", Json::Str(fetch.to_owned())),
+                            ],
+                        ))
+                    }
+                }
+            },
+            Request::Evict { building } => {
+                let evicted = self.registry.evict(&building);
+                RequestOutcome {
+                    // An entry was cached, so the tenant is real.
+                    tenant_exists: evicted,
+                    ..RequestOutcome::ok(ok_response(
+                        "evict",
+                        id,
+                        [
+                            ("building", Json::Str(building)),
+                            ("evicted", Json::Bool(evicted)),
+                        ],
+                    ))
+                }
+            }
+            Request::Stats => {
+                let stats = self.metrics.to_json(&self.registry);
+                RequestOutcome::ok(ok_response("stats", id, [("stats", stats)]))
+            }
+            Request::Shutdown => RequestOutcome {
+                shutdown: true,
+                ..RequestOutcome::ok(ok_response("shutdown", id, []))
+            },
+        }
+    }
+
+    fn assign_batch(
+        &mut self,
+        building: &str,
+        scans: &[fis_types::SignalSample],
+        id: Option<&Json>,
+    ) -> RequestOutcome {
+        if self.config.max_batch > 0 && scans.len() > self.config.max_batch {
+            return RequestOutcome::rejected(ServeError::Capacity(format!(
+                "batch of {} scans exceeds the configured maximum of {}",
+                scans.len(),
+                self.config.max_batch
+            )));
+        }
+        let model = match self.registry.get(building) {
+            Ok((model, _)) => model,
+            Err(e) => return RequestOutcome::rejected(e),
+        };
+        // Content-seeded per-scan RNGs: the fan-out preserves the PR 2
+        // determinism contract for any thread count or batch order.
+        let results = model.assign_stream(scans, self.config.threads);
+        let mut failures = 0u64;
+        let rows: Vec<Json> = scans
+            .iter()
+            .zip(results)
+            .map(|(scan, result)| {
+                let scan_id = ("scan_id", Json::Num(scan.id().index() as f64));
+                match result {
+                    Ok(floor) => Json::obj([scan_id, ("floor", Json::Num(floor.index() as f64))]),
+                    Err(e) => {
+                        failures += 1;
+                        Json::obj([scan_id, ("error", ServeError::from(e).to_json())])
+                    }
+                }
+            })
+            .collect();
+        let response = ok_response(
+            "assign_batch",
+            id,
+            [
+                ("building", Json::Str(building.to_owned())),
+                ("count", Json::Num(rows.len() as f64)),
+                ("failures", Json::Num(failures as f64)),
+                ("results", Json::Arr(rows)),
+            ],
+        );
+        RequestOutcome {
+            attempted: scans.len() as u64,
+            labeled: scans.len() as u64 - failures,
+            scan_failures: failures,
+            tenant_exists: true,
+            ..RequestOutcome::ok(response)
+        }
+    }
+
+    /// Serves one transport to completion. Returns `Ok(true)` when a
+    /// `shutdown` request ended the session, `Ok(false)` on EOF.
+    ///
+    /// # Errors
+    ///
+    /// Only transport-level I/O errors; bad requests never error here.
+    pub fn serve_connection<R: BufRead, W: Write>(
+        &mut self,
+        mut reader: R,
+        mut writer: W,
+    ) -> std::io::Result<bool> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Ok(false);
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let (response, shutdown) = self.handle_line(trimmed);
+            writeln!(writer, "{response}")?;
+            writer.flush()?;
+            if shutdown {
+                return Ok(true);
+            }
+        }
+    }
+
+    /// Pipe mode: serves stdin → stdout until EOF or `shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// Only stdin/stdout I/O errors.
+    pub fn serve_stdio(&mut self) -> std::io::Result<bool> {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        self.serve_connection(stdin.lock(), stdout.lock())
+    }
+
+    /// TCP mode: accepts connections one at a time until a client sends
+    /// `shutdown`. A dropped connection is not fatal — the daemon logs
+    /// it and accepts the next one.
+    ///
+    /// # Errors
+    ///
+    /// Only accept-level I/O errors.
+    pub fn serve_tcp(&mut self, listener: &TcpListener) -> std::io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            // Request/response frames are small; Nagle + delayed ACK
+            // would add ~40ms per round-trip.
+            stream.set_nodelay(true).ok();
+            let peer = stream.peer_addr().ok();
+            let reader = BufReader::new(stream.try_clone()?);
+            match self.serve_connection(reader, &stream) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(e) => {
+                    let peer = peer.map_or_else(|| "client".to_owned(), |p| p.to_string());
+                    eprintln!("# fis-serve: connection to {peer} failed: {e}");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fis_core::{FisOne, FisOneConfig, FittedModel};
+    use fis_synth::BuildingConfig;
+    use fis_types::json::ToJson;
+    use std::path::PathBuf;
+
+    fn quick_fit(name: &str, seed: u64) -> (fis_types::Building, FittedModel) {
+        let b = BuildingConfig::new(name, 3)
+            .samples_per_floor(15)
+            .aps_per_floor(8)
+            .atrium_aps(0)
+            .seed(seed)
+            .generate();
+        let model = FisOne::new(FisOneConfig::quick(seed))
+            .fit(
+                b.name(),
+                b.samples(),
+                b.floors(),
+                b.bottom_anchor().unwrap(),
+            )
+            .unwrap();
+        (b, model)
+    }
+
+    fn daemon_over(
+        models: &[(&str, u64)],
+        tag: &str,
+    ) -> (Daemon, PathBuf, Vec<fis_types::Building>) {
+        let dir = std::env::temp_dir().join(format!("fis_server_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut buildings = Vec::new();
+        for &(name, seed) in models {
+            let (b, model) = quick_fit(name, seed);
+            model.save(dir.join(format!("{name}.json"))).unwrap();
+            buildings.push(b);
+        }
+        let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
+        (daemon, dir, buildings)
+    }
+
+    #[test]
+    fn assign_via_daemon_matches_direct_assign() {
+        let (mut daemon, dir, buildings) = daemon_over(&[("srv", 21)], "assign");
+        let b = &buildings[0];
+        let model = FittedModel::load(dir.join("srv.json")).unwrap();
+        for scan in b.samples().iter().take(5) {
+            let line = Json::obj([
+                ("op", Json::Str("assign".into())),
+                ("building", Json::Str("srv".into())),
+                ("scan", scan.to_json()),
+            ])
+            .to_string();
+            let (response, shutdown) = daemon.handle_line(&line);
+            assert!(!shutdown);
+            assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+            let floor = response.get("floor").unwrap().as_usize().unwrap();
+            assert_eq!(floor, model.assign(scan).unwrap().index());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_results_in_input_order_with_per_scan_errors() {
+        let (mut daemon, dir, buildings) = daemon_over(&[("batch", 22)], "batch");
+        let b = &buildings[0];
+        let mut scans: Vec<Json> = b.samples().iter().take(4).map(|s| s.to_json()).collect();
+        // An alien scan in the middle: the batch continues around it.
+        scans.insert(
+            2,
+            Json::parse(r#"{"id":999,"readings":[["ff:ff:ff:ff:ff:0f",-40.0]]}"#).unwrap(),
+        );
+        let line = Json::obj([
+            ("op", Json::Str("assign_batch".into())),
+            ("building", Json::Str("batch".into())),
+            ("scans", Json::Arr(scans)),
+        ])
+        .to_string();
+        let (response, _) = daemon.handle_line(&line);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("count").unwrap().as_usize(), Some(5));
+        assert_eq!(response.get("failures").unwrap().as_usize(), Some(1));
+        let rows = response.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[2].get("scan_id").unwrap().as_usize(), Some(999));
+        assert_eq!(
+            rows[2].get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("inference")
+        );
+        for (i, row) in rows.iter().enumerate() {
+            if i != 2 {
+                assert!(row.get("floor").is_some(), "row {i} has a floor");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_batch_is_capacity_error() {
+        let dir = std::env::temp_dir().join(format!("fis_server_cap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)).max_batch(2));
+        let (response, _) = daemon.handle_line(
+            r#"{"op":"assign_batch","building":"x","scans":[{"id":0,"readings":[]},{"id":1,"readings":[]},{"id":2,"readings":[]}]}"#,
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            response.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("capacity")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_connection_pipeline_and_shutdown() {
+        let (mut daemon, dir, buildings) = daemon_over(&[("pipe", 23)], "pipe");
+        let scan = buildings[0].samples()[0].to_json();
+        let script = format!(
+            "{}\n\nnot json at all\n{}\n{}\n",
+            Json::obj([
+                ("op", Json::Str("assign".into())),
+                ("building", Json::Str("pipe".into())),
+                ("scan", scan),
+                ("id", Json::Num(1.0)),
+            ]),
+            r#"{"op":"stats","id":2}"#,
+            r#"{"op":"shutdown","id":3}"#,
+        );
+        let mut out = Vec::new();
+        let shutdown = daemon
+            .serve_connection(script.as_bytes(), &mut out)
+            .unwrap();
+        assert!(shutdown, "script ends in shutdown");
+        let lines: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 4, "blank line skipped, 4 responses");
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(lines[0].get("id").unwrap().as_usize(), Some(1));
+        assert_eq!(lines[1].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            lines[1].get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("protocol")
+        );
+        let stats = lines[2].get("stats").unwrap();
+        assert_eq!(
+            stats
+                .get("global")
+                .unwrap()
+                .get("requests")
+                .unwrap()
+                .as_usize(),
+            Some(2),
+            "assign + malformed recorded before stats"
+        );
+        assert_eq!(lines[3].get("op").unwrap().as_str(), Some("shutdown"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_shutdown() {
+        use std::io::{BufRead, BufReader, Write};
+        let (daemon, dir, _) = daemon_over(&[("tcp", 24)], "tcp");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut daemon = daemon;
+            daemon.serve_tcp(&listener).unwrap();
+            daemon
+        });
+        // First connection: load then drop (daemon must keep accepting).
+        {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            writeln!(stream, r#"{{"op":"load","building":"tcp"}}"#).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let json = Json::parse(line.trim()).unwrap();
+            assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+            assert_eq!(json.get("fetch").unwrap().as_str(), Some("miss"));
+        }
+        // Second connection: the cache survived; shut the daemon down.
+        {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            writeln!(stream, r#"{{"op":"load","building":"tcp"}}"#).unwrap();
+            writeln!(stream, r#"{{"op":"shutdown"}}"#).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(
+                Json::parse(line.trim())
+                    .unwrap()
+                    .get("fetch")
+                    .unwrap()
+                    .as_str(),
+                Some("hit"),
+                "model stayed cached across connections"
+            );
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(
+                Json::parse(line.trim())
+                    .unwrap()
+                    .get("op")
+                    .unwrap()
+                    .as_str(),
+                Some("shutdown")
+            );
+        }
+        let daemon = handle.join().unwrap();
+        assert_eq!(daemon.registry().stats().hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -45,6 +45,7 @@ pub use fis_gnn as gnn;
 pub use fis_graph as graph;
 pub use fis_linalg as linalg;
 pub use fis_metrics as metrics;
+pub use fis_serve as serve;
 pub use fis_synth as synth;
 pub use fis_tsp as tsp;
 pub use fis_types as types;
@@ -56,5 +57,6 @@ pub use fis_core::{
 };
 pub use fis_gnn::{RfGnn, RfGnnConfig};
 pub use fis_graph::BipartiteGraph;
+pub use fis_serve::{Daemon, DaemonConfig, ModelRegistry, RegistryConfig, ServeError};
 pub use fis_synth::{BuildingConfig, Scale};
 pub use fis_types::{Building, Dataset, FloorId, LabeledAnchor, MacAddr, Rssi, SignalSample};

@@ -1,19 +1,24 @@
 //! `fis-one` command-line interface.
 //!
 //! ```text
-//! fis-one generate --floors 5 --samples 200 --seed 7 --out corpus.jsonl
+//! fis-one generate --floors 5 --samples 200 --seed 7 --buildings 8 --out corpus.jsonl
 //! fis-one identify --corpus corpus.jsonl [--building NAME]
 //! fis-one evaluate --corpus corpus.jsonl
 //! fis-one fit      --corpus corpus.jsonl --out model.json
 //! fis-one assign   --model model.json --scans corpus.jsonl
+//! fis-one serve    --models DIR [--tcp ADDR]
 //! fis-one stats    --corpus corpus.jsonl
 //! ```
 //!
-//! `generate` synthesizes a building corpus; `identify` runs the pipeline
+//! `generate` synthesizes a corpus of one or more buildings
+//! (`--buildings N` emits `NAME-0` … `NAME-{N-1}`, each reseeded with
+//! `seed + i` so the corpora are distinct); `identify` runs the pipeline
 //! with each building's bottom-floor anchor and prints per-sample floors;
 //! `evaluate` scores against the stored ground truth; `fit` persists a
 //! serving artifact and `assign` labels scans against it without
-//! refitting; `stats` prints the spillover statistics behind Figure 1.
+//! refitting; `serve` runs the long-lived multi-tenant daemon over a
+//! directory of fitted artifacts; `stats` prints the spillover
+//! statistics behind Figure 1.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -21,6 +26,7 @@ use std::process::ExitCode;
 use fis_one::core::{EngineConfig, FisEngine};
 use fis_one::types::io;
 use fis_one::{BuildingConfig, Dataset, FisOneConfig, FittedModel};
+use fis_serve::{Daemon, DaemonConfig, RegistryConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +47,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&opts),
         "fit" => cmd_fit(&opts),
         "assign" => cmd_assign(&opts),
+        "serve" => cmd_serve(&opts),
         "stats" => cmd_stats(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -64,16 +71,30 @@ const USAGE: &str = "usage:
   fis-one evaluate --corpus FILE [--seed S] [--threads T]
   fis-one fit      --corpus FILE --out FILE [--building NAME] [--seed S] \
 [--threads T]
-  fis-one assign   --model FILE --scans FILE [--threads T]
+  fis-one assign   --model FILE --scans FILE [--building NAME] [--threads T]
+  fis-one serve    --models DIR [--tcp ADDR] [--max-models N] \
+[--max-bytes B] [--max-batch K] [--threads T]
   fis-one stats    --corpus FILE
+
+generate writes a corpus of --buildings B buildings (default 1). With
+B = 1 the single building is named NAME; with B > 1 they are named
+NAME-0 .. NAME-(B-1) and building i is reseeded with seed S + i, so
+every building gets a distinct corpus.
 
 identify and evaluate run all buildings of the corpus concurrently;
 --threads (or FIS_THREADS) caps the worker budget, default = all cores.
 Predictions are bit-identical for any thread count at a fixed seed.
 
 fit persists one building's pipeline output as a serving artifact
-(one JSON document); assign labels scans against it without refitting,
-printing the same format as identify so the two can be diffed.";
+(one JSON document); assign labels scans against it without refitting
+(--building restricts a multi-building scan file to one building),
+printing the same format as identify so the two can be diffed.
+
+serve runs the long-lived multi-tenant daemon over a directory of
+fitted artifacts (DIR/<building>.json, lazy-loaded, LRU-evicted,
+hot-reloaded on change), speaking newline-delimited JSON on
+stdin/stdout, or on a TCP listener with --tcp HOST:PORT. Send
+{\"op\":\"shutdown\"} for a clean stop; final stats go to stderr.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -288,6 +309,10 @@ fn cmd_fit(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_assign(opts: &HashMap<String, String>) -> Result<(), String> {
     let model = FittedModel::load(get(opts, "model")?).map_err(|e| e.to_string())?;
     let scans = io::load_jsonl(get(opts, "scans")?).map_err(|e| e.to_string())?;
+    let scans = match opts.get("building") {
+        None => scans,
+        Some(name) => select_buildings(scans, name)?,
+    };
     let threads = opts
         .get("threads")
         .map(|s| parse::<usize>(s, "thread count"))
@@ -329,6 +354,51 @@ fn cmd_assign(opts: &HashMap<String, String>) -> Result<(), String> {
     if failures > 0 {
         return Err(format!("{failures} scan(s) failed; see stderr"));
     }
+    Ok(())
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dir = get(opts, "models")?;
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(format!("--models `{dir}` is not a directory"));
+    }
+    let flag = |key: &str| {
+        opts.get(key)
+            .map(|s| parse::<u64>(s, key))
+            .transpose()
+            .map(|v| v.unwrap_or(0))
+    };
+    let registry = RegistryConfig::new(dir)
+        .max_models(flag("max-models")? as usize)
+        .max_bytes(flag("max-bytes")?);
+    let mut daemon = Daemon::new(
+        DaemonConfig::new(registry)
+            .threads(flag("threads")? as usize)
+            .max_batch(flag("max-batch")? as usize),
+    );
+    match opts.get("tcp") {
+        None => {
+            eprintln!("# fis-serve: pipe mode over {dir} (send {{\"op\":\"shutdown\"}} to stop)");
+            daemon
+                .serve_stdio()
+                .map_err(|e| format!("serving stdin/stdout: {e}"))?;
+        }
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding `{addr}`: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| format!("resolving local address: {e}"))?;
+            eprintln!("# fis-serve: listening on {local} over {dir}");
+            daemon
+                .serve_tcp(&listener)
+                .map_err(|e| format!("serving {local}: {e}"))?;
+        }
+    }
+    eprintln!(
+        "# fis-serve: stopped; final stats {}",
+        daemon.metrics().to_json(daemon.registry())
+    );
     Ok(())
 }
 
