@@ -72,3 +72,52 @@ for b in smoke-0 smoke-1 smoke-2; do
   diff "$work/expect-$b.txt" "$work/served-$b.txt"
 done
 echo "serve smoke OK: daemon answers are bit-identical to the assign CLI for 3 buildings"
+
+# Second pass with the answer cache on: replay the same script (each
+# assign_batch appears twice, so the repeat is served from the cache)
+# and diff every batch bit-wise against the same CLI expectations.
+python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+lines = [json.loads(l) for l in open(f"{work}/script.ndjson")]
+with open(f"{work}/script_cached.ndjson", "w") as out:
+    for req in lines:
+        if req["op"] == "shutdown":
+            break
+        out.write(json.dumps(req) + "\n")
+        if req["op"] == "assign_batch":
+            out.write(json.dumps(req) + "\n")
+    out.write(json.dumps({"op": "stats"}) + "\n")
+    out.write(json.dumps({"op": "shutdown"}) + "\n")
+EOF
+
+"$bin" serve --models "$work/models" --assign-cache 4096 \
+    < "$work/script_cached.ndjson" > "$work/responses_cached.ndjson"
+
+python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+responses = [json.loads(l) for l in open(f"{work}/responses_cached.ndjson")]
+bad = [r for r in responses if not r.get("ok")]
+assert not bad, f"error responses: {bad}"
+cache = [r for r in responses if r["op"] == "stats"][-1]["stats"]["assign_cache"]
+assert cache["hits"] > 0, f"cached replay never hit: {cache}"
+assert cache["misses"] > 0, f"cold batches must miss: {cache}"
+seen = {}
+for r in responses:
+    if r["op"] == "assign_batch":
+        assert r["failures"] == 0, r
+        n = seen.get(r["building"], 0)
+        seen[r["building"]] = n + 1
+        suffix = "" if n == 0 else f".{n}"
+        with open(f"{work}/cached-{r['building']}{suffix}.txt", "w") as out:
+            for row in r["results"]:
+                out.write(f"s{row['scan_id']} F{row['floor'] + 1}\n")
+assert all(n == 2 for n in seen.values()), seen
+EOF
+
+for b in smoke-0 smoke-1 smoke-2; do
+  diff "$work/expect-$b.txt" "$work/cached-$b.txt"
+  diff "$work/expect-$b.txt" "$work/cached-$b.1.txt"
+done
+echo "serve smoke OK: cache-enabled daemon answers are bit-identical to the cache-off CLI"

@@ -9,6 +9,12 @@ use fis_synth::BuildingConfig;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Whether the harness runs in the CI quick mode (tiny measurement
+/// window); slow comparison-only benches are skipped there.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1")
+}
+
 fn bench_building() -> fis_types::Building {
     BuildingConfig::new("bench", 4)
         .samples_per_floor(60)
@@ -87,8 +93,109 @@ fn bench_clustering(c: &mut Criterion) {
     group.bench_function("nnchain(500, k=5)", |bench| {
         bench.iter(|| fis_cluster::average_linkage(std::hint::black_box(&big), 5).unwrap())
     });
-    group.bench_function("naive_o_n3(500, k=5)", |bench| {
-        bench.iter(|| fis_cluster::average_linkage_naive(std::hint::black_box(&big), 5).unwrap())
+    // The O(n³) seed implementation exists only as a comparison point
+    // and costs ~55 ms per sample; full mode only, so the quick-mode CI
+    // perf gate stays fast.
+    if !quick_mode() {
+        group.bench_function("naive_o_n3(500, k=5)", |bench| {
+            bench
+                .iter(|| fis_cluster::average_linkage_naive(std::hint::black_box(&big), 5).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Clustered synthetic embeddings mimicking the geometry `assign` sees:
+/// training drives reference embeddings into tight per-location
+/// sub-clusters inside per-floor clusters, so the cloud has low
+/// intrinsic dimension (a uniform cloud would be the worst case for any
+/// metric index and is not what the GNN produces).
+fn clustered_points(n: usize, dim: usize, clusters: usize, seed: u64) -> Vec<Vec<f64>> {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..10.0)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            centers[i % clusters]
+                .iter()
+                .enumerate()
+                // Anisotropic within-cluster spread with a decaying
+                // spectrum, like a learned embedding's principal axes.
+                .map(|(j, &x)| x + rng.gen_range(-0.3..0.3) / (1u64 << j) as f64)
+                .collect()
+        })
+        .collect()
+}
+
+/// The serving hot path's 1-NN layer: the exhaustive linear scan
+/// (`FittedModel::assign_linear`'s loop) vs the VP-tree index, at
+/// reference-set sizes up to 100k, plus the registry answer cache's hit
+/// path. The embedding forward pass is identical on every variant, so
+/// these isolate exactly what the tentpole changes.
+fn bench_assign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assign");
+    group.sample_size(20);
+    for &(n, label) in &[(1_000usize, "1k"), (10_000, "10k"), (100_000, "100k")] {
+        let points = clustered_points(n, 8, 96, 4242);
+        let queries = clustered_points(256, 8, 96, 999);
+        let tree = fis_core::VpTree::build(&points, |_| true);
+        // Cycle the queries outside the timed closure so neither path
+        // can win by caching one query's answer in a register.
+        let mut qi = 0usize;
+        group.bench_function(&format!("linear_scan({label})"), |bench| {
+            bench.iter(|| {
+                let q = &queries[qi % queries.len()];
+                qi += 1;
+                // The exact loop `FittedModel::assign_linear` runs.
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (i, p) in points.iter().enumerate() {
+                    let d = fis_linalg::vec_ops::euclidean(q, p);
+                    if d < best_d {
+                        best = i;
+                        best_d = d;
+                    }
+                }
+                best
+            })
+        });
+        let mut qj = 0usize;
+        group.bench_function(&format!("vp_tree({label})"), |bench| {
+            bench.iter(|| {
+                let q = &queries[qj % queries.len()];
+                qj += 1;
+                tree.nearest(std::hint::black_box(q)).unwrap()
+            })
+        });
+    }
+    // The answer cache's hit path: FNV key derivation over a realistic
+    // 12-reading scan plus the bounded-map lookup — what a repeated scan
+    // costs instead of embedding + 1-NN.
+    let scan = {
+        let mut b = fis_types::SignalSample::builder(0);
+        for j in 0..12u64 {
+            b = b.reading(
+                fis_types::MacAddr::from_u64(0x0200_0000_0000 + j),
+                fis_types::Rssi::new(-40.0 - j as f64).unwrap(),
+            );
+        }
+        b.build()
+    };
+    let mut cache = fis_serve::AssignCache::new(1024);
+    let mut counters = fis_metrics::CacheCounters::default();
+    cache.insert(
+        fis_serve::ScanKey::of(&scan),
+        fis_types::FloorId::from_index(2),
+        &mut counters,
+    );
+    group.bench_function("cached", |bench| {
+        bench.iter(|| {
+            cache
+                .get(&fis_serve::ScanKey::of(std::hint::black_box(&scan)))
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -224,6 +331,7 @@ criterion_group!(
     bench_random_walks,
     bench_gnn_training,
     bench_clustering,
+    bench_assign,
     bench_tsp,
     bench_similarity,
     bench_engine,

@@ -16,10 +16,16 @@
 //! composition, and the periodic `evict` injections (`--evict-every`)
 //! replay identically, so two runs differ only in timing.
 //!
+//! `--zipf ALPHA` skews scan selection by a Zipf(ALPHA) law over each
+//! building's samples (rank 0 most popular) instead of uniformly; with
+//! `--assign-cache C` set on the self-hosted daemon the repeated heads
+//! of the distribution hit the answer cache, and the final report shows
+//! the daemon's cache hit rate.
+//!
 //! ```bash
 //! cargo run --release -p fis-bench --bin loadgen -- \
 //!     --buildings 6 --floors 3 --samples 40 --requests 200 --batch 16 \
-//!     --evict-every 50 --max-models 4
+//!     --evict-every 50 --max-models 4 --zipf 1.1 --assign-cache 256
 //! ```
 
 use std::collections::HashMap;
@@ -45,6 +51,8 @@ struct Opts {
     threads: usize,
     max_models: usize,
     evict_every: usize,
+    assign_cache: usize,
+    zipf: f64,
     addr: Option<String>,
     shutdown: bool,
 }
@@ -68,6 +76,12 @@ fn parse_opts() -> Result<Opts, String> {
             .transpose()
             .map(|v| v.unwrap_or(default))
     };
+    let fnum = |key: &str, default: f64| -> Result<f64, String> {
+        map.get(key)
+            .map(|s| s.parse().map_err(|_| format!("invalid --{key}: `{s}`")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
     Ok(Opts {
         buildings: num("buildings", 4)?.max(1),
         floors: num("floors", 3)?.max(2),
@@ -78,6 +92,8 @@ fn parse_opts() -> Result<Opts, String> {
         threads: num("threads", 0)?,
         max_models: num("max-models", 0)?,
         evict_every: num("evict-every", 0)?,
+        assign_cache: num("assign-cache", 0)?,
+        zipf: fnum("zipf", 0.0)?.max(0.0),
         addr: map.get("addr").cloned(),
         shutdown: num("shutdown", 0)? != 0,
     })
@@ -95,6 +111,19 @@ fn fleet(opts: &Opts) -> Vec<Building> {
                 .atrium_aps(0)
                 .seed(opts.seed.wrapping_add(i as u64))
                 .generate()
+        })
+        .collect()
+}
+
+/// Cumulative Zipf(alpha) weights over ranks `0..n` (rank 0 heaviest);
+/// a uniform draw into the final total inverts to a rank by binary
+/// search.
+fn zipf_cumulative(n: usize, alpha: f64) -> Vec<f64> {
+    let mut total = 0.0;
+    (0..n)
+        .map(|i| {
+            total += ((i + 1) as f64).powf(-alpha);
+            total
         })
         .collect()
 }
@@ -136,8 +165,12 @@ fn main() -> Result<(), String> {
                 .map_err(|e| format!("local_addr: {e}"))?
                 .to_string();
             let mut daemon = Daemon::new(
-                DaemonConfig::new(RegistryConfig::new(&dir).max_models(opts.max_models))
-                    .threads(opts.threads),
+                DaemonConfig::new(
+                    RegistryConfig::new(&dir)
+                        .max_models(opts.max_models)
+                        .assign_cache(opts.assign_cache),
+                )
+                .threads(opts.threads),
             );
             let handle = std::thread::spawn(move || {
                 daemon.serve_tcp(&listener).expect("daemon accept loop");
@@ -162,6 +195,16 @@ fn main() -> Result<(), String> {
         Json::parse(line.trim()).map_err(|e| format!("bad response: {e}"))
     };
 
+    let zipf_tables: Vec<Vec<f64>> = buildings
+        .iter()
+        .map(|b| {
+            if opts.zipf > 0.0 {
+                zipf_cumulative(b.samples().len(), opts.zipf)
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
     let started = Instant::now();
     let mut scans_sent = 0usize;
     let mut failed_requests = 0usize;
@@ -177,7 +220,14 @@ fn main() -> Result<(), String> {
         }
         let scans: Vec<Json> = (0..opts.batch)
             .map(|_| {
-                let s = rng.gen_range(0..building.samples().len());
+                let n = building.samples().len();
+                let s = if opts.zipf > 0.0 {
+                    let cumulative = &zipf_tables[b];
+                    let draw = rng.gen_range(0.0..*cumulative.last().expect("n >= 1"));
+                    cumulative.partition_point(|&c| c <= draw).min(n - 1)
+                } else {
+                    rng.gen_range(0..n)
+                };
                 building.samples()[s].to_json()
             })
             .collect();
@@ -224,6 +274,17 @@ fn main() -> Result<(), String> {
         failed_requests,
     );
     println!("daemon stats: {}", stats.get("stats").unwrap_or(&stats));
+    if let Some(cache) = stats.get("stats").and_then(|s| s.get("assign_cache")) {
+        let count = |key: &str| cache.get(key).and_then(Json::as_usize).unwrap_or(0);
+        let (hits, misses) = (count("hits"), count("misses"));
+        println!(
+            "assign cache: {} hits / {} lookups ({:.1}% hit rate, {} evictions)",
+            hits,
+            hits + misses,
+            100.0 * hits as f64 / ((hits + misses).max(1)) as f64,
+            count("evictions"),
+        );
+    }
     if failed_requests > 0 {
         return Err(format!("{failed_requests} request(s) failed"));
     }

@@ -56,6 +56,7 @@ pub mod evaluate;
 pub mod extension;
 pub mod indexing;
 pub mod model;
+pub mod nn;
 pub mod pipeline;
 pub mod similarity;
 
@@ -67,5 +68,6 @@ pub use evaluate::{evaluate_building, EvalResult};
 pub use extension::{identify_with_arbitrary_anchor, ArbitraryAnchorOutcome};
 pub use indexing::{index_clusters, ClusterIndexing, TspSolver};
 pub use model::{FittedModel, MODEL_SCHEMA, MODEL_SCHEMA_VERSION};
+pub use nn::VpTree;
 pub use pipeline::{ClusteringMethod, FisOne, FisOneConfig, FloorPrediction};
 pub use similarity::{ClusterMacProfile, SimilarityMethod};

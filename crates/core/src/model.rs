@@ -71,6 +71,7 @@ use fis_types::{FloorId, LabeledAnchor, MacAddr, SignalSample};
 use crate::engine::BudgetGuard;
 use crate::error::FisError;
 use crate::indexing::TspSolver;
+use crate::nn::VpTree;
 use crate::pipeline::{ClusteringMethod, FisOne, FisOneConfig};
 use crate::similarity::SimilarityMethod;
 
@@ -101,6 +102,19 @@ pub struct FittedModel {
     graph: BipartiteGraph,
     /// O(1) MAC → interned index lookup for streaming scans.
     mac_index: HashMap<MacAddr, usize>,
+    /// Exact 1-NN index over the non-placeholder `references`, rebuilt
+    /// at fit/load time (like `graph`); bit-identical to the linear scan
+    /// by the [`crate::nn`] exactness contract.
+    nn: VpTree,
+}
+
+/// Whether `FIS_ASSIGN_LINEAR=1` forces [`FittedModel::assign`] onto the
+/// reference linear scan (read once; a diagnostics escape hatch, not a
+/// per-call switch).
+fn force_linear_assign() -> bool {
+    use std::sync::OnceLock;
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| std::env::var_os("FIS_ASSIGN_LINEAR").is_some_and(|v| v == "1"))
 }
 
 impl FisOne {
@@ -181,6 +195,7 @@ impl FisOne {
             }
         }
 
+        let nn = VpTree::build(&references, |i| !samples[i].is_empty());
         Ok(FittedModel {
             building: building.to_owned(),
             floors,
@@ -195,6 +210,7 @@ impl FisOne {
             assignment,
             graph,
             mac_index,
+            nn,
         })
     }
 }
@@ -271,7 +287,11 @@ impl FittedModel {
 
     /// Labels one scan: embeds it through the inductive inference pass and
     /// returns the cluster of the nearest stored reference embedding
-    /// (1-NN over the training scans).
+    /// (1-NN over the training scans), found through the [`VpTree`] index
+    /// in ~O(log refs) distance computations. `FIS_ASSIGN_LINEAR=1` forces
+    /// the [`FittedModel::assign_linear`] reference path instead; both
+    /// produce bit-identical answers (locked by property tests and the
+    /// golden fixtures).
     ///
     /// Deterministic in `(model, scan)` alone, and **exact** on the
     /// training corpus: a training scan re-embeds bit-identically to its
@@ -283,6 +303,24 @@ impl FittedModel {
     /// Returns [`FisError::Inference`] when the scan contains no MAC known
     /// to the model (nothing to attach to) or the embedding fails.
     pub fn assign(&self, scan: &SignalSample) -> Result<FloorId, FisError> {
+        if force_linear_assign() {
+            return self.assign_linear(scan);
+        }
+        let emb = self.infer_embedding(scan)?;
+        let best = self.nn.nearest(&emb).ok_or_else(no_reference_error)?;
+        Ok(FloorId::from_index(
+            self.floor_of_cluster[self.assignment[best]],
+        ))
+    }
+
+    /// Reference implementation of [`FittedModel::assign`]: the same
+    /// decision by exhaustive O(refs × dim) linear scan. Kept as the
+    /// ground truth the index is diffed against; prefer `assign`.
+    ///
+    /// # Errors
+    ///
+    /// See [`FittedModel::assign`].
+    pub fn assign_linear(&self, scan: &SignalSample) -> Result<FloorId, FisError> {
         let emb = self.infer_embedding(scan)?;
         let mut best = None;
         let mut best_d = f64::INFINITY;
@@ -299,12 +337,15 @@ impl FittedModel {
                 best_d = d;
             }
         }
-        let best = best.ok_or_else(|| {
-            FisError::Inference("model has no non-empty training scan to compare against".into())
-        })?;
+        let best = best.ok_or_else(no_reference_error)?;
         Ok(FloorId::from_index(
             self.floor_of_cluster[self.assignment[best]],
         ))
+    }
+
+    /// The exact-1-NN index over the reference embeddings.
+    pub fn nn_index(&self) -> &VpTree {
+        &self.nn
     }
 
     /// Nearest-centroid variant of [`FittedModel::assign`]: O(floors)
@@ -540,6 +581,7 @@ impl FittedModel {
         }
 
         let mac_index = macs.iter().enumerate().map(|(j, &m)| (m, j)).collect();
+        let nn = VpTree::build(&references, |i| !samples[i].is_empty());
         Ok(Self {
             building,
             floors,
@@ -554,6 +596,7 @@ impl FittedModel {
             assignment,
             graph,
             mac_index,
+            nn,
         })
     }
 }
@@ -606,6 +649,12 @@ impl ToJson for FittedModel {
             ),
         ])
     }
+}
+
+/// The error both assign paths return when every training scan is empty
+/// (identical messages keep the paths bit-identical on failures too).
+fn no_reference_error() -> FisError {
+    FisError::Inference("model has no non-empty training scan to compare against".into())
 }
 
 /// Maps a scan's readings onto the model's MAC nodes with `f(RSS)`
@@ -795,6 +844,19 @@ mod tests {
         let labels = model.training_labels();
         for (scan, &expected) in b.samples().iter().zip(labels.iter()) {
             assert_eq!(model.assign(scan).unwrap(), expected, "scan {}", scan.id());
+        }
+    }
+
+    #[test]
+    fn assign_matches_linear_reference_on_training_scans() {
+        let (b, model) = quick_fit(7);
+        for scan in b.samples() {
+            assert_eq!(
+                model.assign(scan).unwrap(),
+                model.assign_linear(scan).unwrap(),
+                "index and linear scan disagree on scan {}",
+                scan.id()
+            );
         }
     }
 

@@ -1,0 +1,399 @@
+//! Exact 1-nearest-neighbor search over reference embeddings.
+//!
+//! [`FittedModel::assign`](crate::model::FittedModel::assign) labels a
+//! scan with the cluster of its nearest *reference* embedding. The
+//! obvious implementation is a linear scan — O(refs × dim) per query —
+//! which dominates serve latency on big buildings (100k+ reference
+//! scans). This module provides a [`VpTree`] (vantage-point tree,
+//! Yianilos 1993): a metric tree over the references, built once at
+//! fit/load time, answering exact 1-NN queries in roughly O(log n)
+//! distance computations on clustered data.
+//!
+//! # Exactness contract
+//!
+//! The tree is **not** an approximate index. Its answers are
+//! bit-identical to the reference linear scan:
+//!
+//! - Distances are computed by the *same* function on the *same* values
+//!   ([`fis_linalg::vec_ops::euclidean`] over full f64 rows), so every
+//!   candidate's distance is the exact bits the linear scan would see.
+//! - The best candidate is the lexicographic minimum of
+//!   `(distance, point id)` — exactly what a linear scan with a strict
+//!   `<` update produces (lowest id wins on exact distance ties).
+//! - Subtree pruning uses the triangle-inequality lower bound with a
+//!   conservative relative slack (`PRUNE_SLACK`, ~100× the worst-case
+//!   f64 rounding error of the bound arithmetic), so a subtree that
+//!   could contain a point at distance ≤ the current best — including
+//!   an equal-distance point with a lower id — is never skipped.
+//!
+//! `tests/proptest_nn.rs` diffs the tree against the linear scan on
+//! arbitrary point sets (duplicates and exact ties included), and the
+//! golden fixtures lock the model-level behavior.
+//!
+//! # Determinism
+//!
+//! Construction is a pure function of the input points: vantage points
+//! are picked by position, partitions sort by `(distance, id)` with
+//! [`f64::total_cmp`]. Two processes building over the same references
+//! produce the same tree — and regardless of tree shape, the exactness
+//! contract above makes the *answer* independent of construction.
+
+use fis_linalg::vec_ops::euclidean;
+
+/// Subtrees whose triangle-inequality lower bound exceeds the current
+/// best distance by more than `bound × PRUNE_SLACK` are pruned. The
+/// bound is computed from two rounded f64 distances, each carrying a
+/// relative error of at most ~(dim/2 + 2) ulp (≈ 1e-14 for dim ≤ 64);
+/// 1e-12 covers that with two orders of magnitude to spare while
+/// costing essentially no pruning power.
+const PRUNE_SLACK: f64 = 1e-12;
+
+/// Leaves hold up to this many points; below this size a scan beats
+/// the bookkeeping of further splits.
+const LEAF_SIZE: usize = 12;
+
+/// Sentinel child index for an absent subtree.
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Points `items[start .. start + len]`, scanned exhaustively.
+    Leaf { start: u32, len: u32 },
+    /// A vantage point splitting its subtree at radius `mu`: `inner`
+    /// holds points with `d(x, vp) <= mu`, `outer` points with
+    /// `d(x, vp) >= mu` (the median-distance point seeds `outer`, so
+    /// both bounds are inclusive at `mu`).
+    Split {
+        vp: u32,
+        mu: f64,
+        inner: u32,
+        outer: u32,
+    },
+}
+
+/// A vantage-point tree answering exact, linear-scan-bit-identical 1-NN
+/// queries. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct VpTree {
+    dim: usize,
+    /// Row-major coordinates of the indexed points, addressed by
+    /// original point id (`coords[id*dim .. (id+1)*dim]`). Rows for
+    /// excluded ids are left zeroed and never referenced.
+    coords: Vec<f64>,
+    /// Indexed point ids, permuted into tree order; leaves reference
+    /// ranges of this array.
+    items: Vec<u32>,
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl VpTree {
+    /// Builds a tree over `points`, indexing only the ids for which
+    /// `include` returns `true` (the model excludes placeholder rows of
+    /// empty training scans). Rows must share one dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if included rows disagree on dimension, or if more than
+    /// `u32::MAX` points are indexed.
+    pub fn build(points: &[Vec<f64>], mut include: impl FnMut(usize) -> bool) -> Self {
+        assert!(points.len() < u32::MAX as usize, "too many points");
+        let items: Vec<u32> = (0..points.len() as u32)
+            .filter(|&i| include(i as usize))
+            .collect();
+        let dim = items.first().map_or(0, |&i| points[i as usize].len());
+        let mut coords = vec![0.0; points.len() * dim];
+        for &id in &items {
+            let row = &points[id as usize];
+            assert_eq!(row.len(), dim, "point {id} disagrees on dimension");
+            coords[id as usize * dim..(id as usize + 1) * dim].copy_from_slice(row);
+        }
+        let mut tree = Self {
+            dim,
+            coords,
+            items,
+            nodes: Vec::new(),
+            root: NONE,
+        };
+        if !tree.items.is_empty() {
+            // Take `items` out to split borrows; put it back after.
+            let mut items = std::mem::take(&mut tree.items);
+            let n = items.len();
+            tree.root = tree.split(&mut items, 0, n);
+            tree.items = items;
+        }
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The shared dimension of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The stored coordinates of point `id` (zeroed for excluded ids).
+    pub fn point(&self, id: usize) -> &[f64] {
+        &self.coords[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Recursively splits `items[lo..hi]` and returns the node index.
+    fn split(&mut self, items: &mut [u32], lo: usize, hi: usize) -> u32 {
+        if lo == hi {
+            return NONE;
+        }
+        if hi - lo <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf {
+                start: lo as u32,
+                len: (hi - lo) as u32,
+            });
+            return (self.nodes.len() - 1) as u32;
+        }
+        // Deterministic vantage point: the first item of the range (the
+        // initial order is ascending ids; deeper ranges arrive sorted by
+        // distance to the parent vantage point).
+        let vp = items[lo];
+        let mut rest: Vec<(f64, u32)> = items[lo + 1..hi]
+            .iter()
+            .map(|&id| {
+                (
+                    euclidean(self.point(vp as usize), self.point(id as usize)),
+                    id,
+                )
+            })
+            .collect();
+        rest.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (slot, &(_, id)) in items[lo + 1..hi].iter_mut().zip(&rest) {
+            *slot = id;
+        }
+        // Median split: inner gets the closer half (d <= mu), outer the
+        // farther half (d >= mu), with the median point opening outer.
+        let mid = rest.len() / 2;
+        let mu = rest[mid].0;
+        let inner = self.split(items, lo + 1, lo + 1 + mid);
+        let outer = self.split(items, lo + 1 + mid, hi);
+        self.nodes.push(Node::Split {
+            vp,
+            mu,
+            inner,
+            outer,
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Exact 1-NN: the id of the indexed point minimizing
+    /// `(euclidean(query, point), id)` lexicographically — bit-identical
+    /// to a linear scan with a strict `<` update. Returns `None` on an
+    /// empty tree.
+    ///
+    /// The traversal is depth-first, nearer child first, pruning any
+    /// subtree whose triangle-inequality lower bound (minus the rounding
+    /// slack) exceeds the best distance so far. Traversal order cannot
+    /// change the answer — the lexicographic minimum is order-invariant —
+    /// only how much gets pruned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong dimension.
+    pub fn nearest(&self, query: &[f64]) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut best = Best {
+            dist: f64::INFINITY,
+            id: NONE,
+        };
+        self.search(self.root, query, &mut best);
+        Some(best.id as usize)
+    }
+
+    /// Reference implementation: the same lexicographic minimum by
+    /// exhaustive scan over the indexed points, in id order. Used by the
+    /// property tests to diff the tree.
+    pub fn nearest_linear(&self, query: &[f64]) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut sorted: Vec<u32> = self.items.clone();
+        sorted.sort_unstable();
+        let mut best = Best {
+            dist: f64::INFINITY,
+            id: NONE,
+        };
+        for &id in &sorted {
+            best.consider(euclidean(query, self.point(id as usize)), id);
+        }
+        (best.id != NONE).then_some(best.id as usize)
+    }
+
+    fn search(&self, node: u32, query: &[f64], best: &mut Best) {
+        match self.nodes[node as usize] {
+            Node::Leaf { start, len } => {
+                for &id in &self.items[start as usize..(start + len) as usize] {
+                    best.consider(euclidean(query, self.point(id as usize)), id);
+                }
+            }
+            Node::Split {
+                vp,
+                mu,
+                inner,
+                outer,
+            } => {
+                let d = euclidean(query, self.point(vp as usize));
+                best.consider(d, vp);
+                // Conservative triangle-inequality bounds: a point in
+                // `inner` is no closer than d - mu, a point in `outer`
+                // no closer than mu - d. The slack keeps f64 rounding
+                // from ever pruning a true (or exactly tied) nearest
+                // neighbor.
+                let slack = (d + mu) * PRUNE_SLACK;
+                let visit = |tree: &Self, child: u32, bound: f64, best: &mut Best| {
+                    if child != NONE && bound <= best.dist + slack {
+                        tree.search(child, query, best);
+                    }
+                };
+                // Nearer side first, so the best distance tightens
+                // before the far side's bound is tested.
+                if d < mu {
+                    visit(self, inner, d - mu, best);
+                    visit(self, outer, mu - d, best);
+                } else {
+                    visit(self, outer, mu - d, best);
+                    visit(self, inner, d - mu, best);
+                }
+            }
+        }
+    }
+}
+
+/// The running lexicographic minimum of `(distance, id)`.
+struct Best {
+    dist: f64,
+    id: u32,
+}
+
+impl Best {
+    #[inline]
+    fn consider(&mut self, dist: f64, id: u32) {
+        if dist < self.dist || (dist == self.dist && id < self.id) {
+            self.dist = dist;
+            self.id = id;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic generator (splitmix64) so the tests need no
+    /// RNG dependency.
+    struct Mix(u64);
+
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn unit(&mut self) -> f64 {
+            (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Clustered cloud: points snap to a coarse grid so exact distance
+    /// ties (and duplicates) actually occur.
+    fn cloud(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Mix(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| (rng.unit() * 8.0).floor() * 0.5).collect())
+            .collect()
+    }
+
+    fn diff_against_linear(points: &[Vec<f64>], queries: &[Vec<f64>]) {
+        let tree = VpTree::build(points, |_| true);
+        for q in queries {
+            assert_eq!(
+                tree.nearest(q),
+                tree.nearest_linear(q),
+                "tree and linear scan disagree for query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_with_ties_and_duplicates() {
+        for (n, dim, seed) in [(1, 3, 1), (2, 1, 2), (40, 2, 3), (300, 4, 4), (500, 8, 5)] {
+            let points = cloud(n, dim, seed);
+            let queries = cloud(60, dim, seed ^ 0xffff);
+            diff_against_linear(&points, &queries);
+            // Indexed points query to themselves (distance zero; lowest
+            // duplicate id wins in both implementations).
+            diff_against_linear(&points, &points[..n.min(50)]);
+        }
+    }
+
+    #[test]
+    fn exclusion_mask_is_honored() {
+        let points = cloud(100, 3, 9);
+        let tree = VpTree::build(&points, |i| i % 3 != 0);
+        assert_eq!(
+            tree.len(),
+            points
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 != 0)
+                .count()
+        );
+        let queries = cloud(40, 3, 10);
+        for q in &queries {
+            let got = tree.nearest(q).unwrap();
+            assert_ne!(got % 3, 0, "excluded point {got} returned");
+            assert_eq!(Some(got), tree.nearest_linear(q));
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty = VpTree::build(&[], |_| true);
+        assert!(empty.is_empty());
+        assert_eq!(empty.nearest(&[]), None);
+
+        let all_excluded = VpTree::build(&cloud(10, 2, 11), |_| false);
+        assert!(all_excluded.is_empty());
+
+        // All points identical: every query resolves to id 0.
+        let same = vec![vec![1.0, 2.0]; 64];
+        let tree = VpTree::build(&same, |_| true);
+        assert_eq!(tree.nearest(&[0.0, 0.0]), Some(0));
+        assert_eq!(tree.nearest(&[1.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let points = cloud(200, 4, 12);
+        let a = VpTree::build(&points, |_| true);
+        let b = VpTree::build(&points, |_| true);
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.nodes.len(), b.nodes.len());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<VpTree>();
+    }
+}

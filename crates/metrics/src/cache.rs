@@ -1,0 +1,120 @@
+//! Cache effectiveness counters.
+//!
+//! A tiny shared vocabulary for the serving-path caches (today: the
+//! registry's per-model assign answer cache): exact lifetime counters
+//! plus the derived hit rate. Deliberately free of any cache policy —
+//! the owner decides what counts as a hit; this type only adds.
+
+/// Exact lifetime counters for one cache. All methods are O(1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the answer.
+    pub misses: u64,
+    /// Answers stored (at most one per miss; error answers may not be
+    /// cached, so `insertions <= misses`).
+    pub insertions: u64,
+    /// Answers dropped to honor a capacity bound. Whole-cache
+    /// invalidations (model evict/reload) are *not* counted here — they
+    /// are visible through the owner's own eviction counters.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Records a lookup that was answered from the cache.
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a lookup that had to compute the answer.
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records a stored answer.
+    pub fn insertion(&mut self) {
+        self.insertions += 1;
+    }
+
+    /// Records an answer dropped by the capacity bound.
+    pub fn eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hits per lookup in `[0, 1]`; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Sums another scope's counters into this one (e.g. folding
+    /// per-model caches into a global view).
+    pub fn absorb(&mut self, other: CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_hit_rate() {
+        let mut c = CacheCounters::default();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.miss();
+        c.insertion();
+        c.hit();
+        c.hit();
+        c.eviction();
+        assert_eq!(c.lookups(), 3);
+        assert_eq!(c.hit_rate(), 2.0 / 3.0);
+        assert_eq!(
+            c,
+            CacheCounters {
+                hits: 2,
+                misses: 1,
+                insertions: 1,
+                evictions: 1
+            }
+        );
+    }
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = CacheCounters {
+            hits: 1,
+            misses: 2,
+            insertions: 3,
+            evictions: 4,
+        };
+        a.absorb(CacheCounters {
+            hits: 10,
+            misses: 20,
+            insertions: 30,
+            evictions: 40,
+        });
+        assert_eq!(
+            a,
+            CacheCounters {
+                hits: 11,
+                misses: 22,
+                insertions: 33,
+                evictions: 44
+            }
+        );
+    }
+}

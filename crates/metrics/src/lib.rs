@@ -10,10 +10,12 @@
 //!
 //! Plus the [`contingency::ContingencyTable`] shared by ARI/NMI,
 //! [`summary`] mean/std helpers for the `mean(std)` cells of Table I,
-//! and the [`quantile::Quantiles`] bounded p50/p99 recorder behind the
-//! serving daemon's latency metrics.
+//! the [`quantile::Quantiles`] bounded p50/p99 recorder behind the
+//! serving daemon's latency metrics, and the [`cache::CacheCounters`]
+//! hit/miss/eviction accounting behind its assign answer cache.
 
 pub mod ari;
+pub mod cache;
 pub mod contingency;
 pub mod edit;
 pub mod nmi;
@@ -21,6 +23,7 @@ pub mod quantile;
 pub mod summary;
 
 pub use ari::adjusted_rand_index;
+pub use cache::CacheCounters;
 pub use contingency::ContingencyTable;
 pub use edit::{jaro, jaro_winkler};
 pub use nmi::{entropy, mutual_information, normalized_mutual_information};

@@ -35,9 +35,13 @@
 //! contract: responses for `assign`/`assign_batch` are bit-identical for
 //! any batch order, any thread count, and any eviction history, because
 //! each scan's inference RNG is seeded from `(model seed, scan content)`
-//! alone and artifacts reload byte-identically. The golden-fixture test
-//! `tests/serve_determinism.rs` serves the golden corpus through the
-//! daemon — with a forced evict+reload in the middle — and diffs against
+//! alone and artifacts reload byte-identically. The same contract makes
+//! the optional [`registry::AssignCache`] answer cache exact: replaying
+//! a stored answer for identical scan content is indistinguishable from
+//! recomputing it, for any cache capacity or invalidation history. The
+//! golden-fixture test `tests/serve_determinism.rs` serves the golden
+//! corpus through the daemon — with a forced evict+reload in the middle
+//! and at several cache capacities — and diffs against
 //! `FittedModel::assign`.
 //!
 //! # Example
@@ -64,5 +68,5 @@ pub mod server;
 pub use error::ServeError;
 pub use metrics::{OpMetrics, ServingMetrics};
 pub use protocol::{Frame, Request};
-pub use registry::{Fetch, ModelRegistry, RegistryConfig, RegistryStats};
+pub use registry::{AssignCache, Fetch, ModelRegistry, RegistryConfig, RegistryStats, ScanKey};
 pub use server::{Daemon, DaemonConfig};

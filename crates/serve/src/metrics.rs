@@ -140,6 +140,7 @@ impl ServingMetrics {
             evictions,
             reloads,
             load_failures,
+            assign_cache,
         } = registry.stats();
         let loaded = Json::Arr(
             registry
@@ -176,6 +177,18 @@ impl ServingMetrics {
                     ("load_failures", Json::Num(load_failures as f64)),
                     ("loaded", loaded),
                     ("bytes", Json::Num(registry.total_bytes() as f64)),
+                ]),
+            ),
+            (
+                "assign_cache",
+                Json::obj([
+                    ("capacity", Json::Num(registry.config().assign_cache as f64)),
+                    ("entries", Json::Num(registry.assign_cache_entries() as f64)),
+                    ("hits", Json::Num(assign_cache.hits as f64)),
+                    ("misses", Json::Num(assign_cache.misses as f64)),
+                    ("insertions", Json::Num(assign_cache.insertions as f64)),
+                    ("evictions", Json::Num(assign_cache.evictions as f64)),
+                    ("hit_rate", Json::Num(assign_cache.hit_rate())),
                 ]),
             ),
         ])

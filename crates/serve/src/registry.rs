@@ -28,13 +28,44 @@
 //! `(model, scan)` alone, so evict → reload → assign is bit-identical to
 //! assign on the original load. `tests/serve_determinism.rs` enforces
 //! this against the golden fixtures.
+//!
+//! # Assign answer cache
+//!
+//! With [`RegistryConfig::assign_cache`] > 0, every cached model carries
+//! a bounded scan-content → floor answer cache, served through
+//! [`ModelRegistry::assign`] / [`ModelRegistry::assign_batch`]. The
+//! determinism contract is what makes this *exact* rather than
+//! approximate: an assignment is a pure function of `(model, scan
+//! content)` — the per-scan inference RNG is seeded from content alone —
+//! so replaying a cached answer is bit-identical to recomputing it.
+//! Three design points keep that airtight:
+//!
+//! - **Collision-proof keys** — [`ScanKey`] hashes by the FNV-1a of the
+//!   scan's readings but compares by the *full* content, so two scans
+//!   that collide on the 64-bit hash can never alias each other's
+//!   answers.
+//! - **Per-entry lifetime** — the cache lives inside the registry
+//!   [`Entry`] next to its model, so eviction, hot reload, and deletion
+//!   detection drop it automatically: a cached answer can never outlive
+//!   the exact artifact generation that produced it.
+//! - **Bounded FIFO** — at most `assign_cache` answers per model,
+//!   oldest-inserted dropped first (deterministic, no clock). Only
+//!   successful answers are cached; errors are recomputed (and are
+//!   deterministic anyway).
+//!
+//! Counters accumulate registry-lifetime in
+//! [`RegistryStats::assign_cache`] (a [`fis_metrics::CacheCounters`])
+//! and surface through the daemon's `stats` op.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::SystemTime;
 
-use fis_core::FittedModel;
+use fis_core::{FisError, FittedModel};
+use fis_metrics::CacheCounters;
+use fis_types::{FloorId, SignalSample};
 
 use crate::error::ServeError;
 
@@ -47,15 +78,19 @@ pub struct RegistryConfig {
     pub max_models: usize,
     /// Maximum total artifact bytes cached (`0` = unlimited).
     pub max_bytes: u64,
+    /// Per-model assign answer-cache capacity (`0` = cache disabled).
+    pub assign_cache: usize,
 }
 
 impl RegistryConfig {
-    /// A registry over `dir` with no cache budget.
+    /// A registry over `dir` with no cache budget and the answer cache
+    /// disabled.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             max_models: 0,
             max_bytes: 0,
+            assign_cache: 0,
         }
     }
 
@@ -69,6 +104,125 @@ impl RegistryConfig {
     pub fn max_bytes(mut self, n: u64) -> Self {
         self.max_bytes = n;
         self
+    }
+
+    /// Sets the per-model assign answer-cache capacity (`0` = disabled).
+    pub fn assign_cache(mut self, n: usize) -> Self {
+        self.assign_cache = n;
+        self
+    }
+}
+
+/// Content identity of one scan for answer-cache keying.
+///
+/// Hashes by the 64-bit FNV-1a of the readings (cheap bucketing) but
+/// compares by the full `(MAC, RSSI-bits)` sequence, so a hash collision
+/// degrades to a cache miss — never to a wrong answer. The sample *id*
+/// is deliberately excluded: the inference seed (`scan_seed`) is derived
+/// from the readings alone, so two scans with identical readings receive
+/// bit-identical answers regardless of id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanKey {
+    fnv: u64,
+    /// `(mac.to_u64(), rssi.dbm().to_bits())` per reading, in the
+    /// sample's canonical (MAC-sorted) iteration order.
+    readings: Arc<[(u64, u64)]>,
+}
+
+impl ScanKey {
+    /// Derives the key from a scan's content.
+    pub fn of(scan: &SignalSample) -> Self {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let readings: Vec<(u64, u64)> = scan
+            .iter()
+            .map(|(mac, rssi)| (mac.to_u64(), rssi.dbm().to_bits()))
+            .collect();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &(mac, rssi) in &readings {
+            for b in mac.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            for b in rssi.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        Self {
+            fnv: h,
+            readings: readings.into(),
+        }
+    }
+
+    /// The FNV-1a content hash (the `Hash` value).
+    pub fn fnv(&self) -> u64 {
+        self.fnv
+    }
+}
+
+impl Hash for ScanKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The precomputed content hash alone; `Eq` still compares the
+        // full readings, so colliding keys land in one bucket but never
+        // alias.
+        state.write_u64(self.fnv);
+    }
+}
+
+/// A bounded FIFO scan-content → floor cache for one model generation.
+/// See the [module docs](self) for why replaying answers is exact.
+#[derive(Debug)]
+pub struct AssignCache {
+    capacity: usize,
+    map: HashMap<ScanKey, FloorId>,
+    /// Insertion order; the front is the next FIFO victim.
+    order: VecDeque<ScanKey>,
+}
+
+impl AssignCache {
+    /// An empty cache holding at most `capacity` answers (`0` = always
+    /// empty).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cached answers right now.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no answers are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up the answer for a scan key.
+    pub fn get(&self, key: &ScanKey) -> Option<FloorId> {
+        self.map.get(key).copied()
+    }
+
+    /// Stores an answer, evicting the oldest insertion if over capacity.
+    /// Re-inserting a cached key is a no-op (the answer cannot differ).
+    pub fn insert(&mut self, key: ScanKey, floor: FloorId, counters: &mut CacheCounters) {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        self.map.insert(key.clone(), floor);
+        self.order.push_back(key);
+        counters.insertion();
+        while self.map.len() > self.capacity {
+            if let Some(victim) = self.order.pop_front() {
+                self.map.remove(&victim);
+                counters.eviction();
+            }
+        }
     }
 }
 
@@ -85,6 +239,8 @@ pub struct RegistryStats {
     pub reloads: u64,
     /// Loads that failed (missing, corrupt, or mismatched artifacts).
     pub load_failures: u64,
+    /// Assign answer-cache counters, summed across all tenants.
+    pub assign_cache: CacheCounters,
 }
 
 #[derive(Debug)]
@@ -95,6 +251,9 @@ struct Entry {
     bytes: u64,
     mtime: Option<SystemTime>,
     last_used: u64,
+    /// Answers for exactly this model generation; dropped with the
+    /// entry on evict/reload, so invalidation is structural.
+    cache: AssignCache,
 }
 
 /// A cached, loaded model plus how it got there (for metrics).
@@ -247,10 +406,121 @@ impl ModelRegistry {
                 bytes,
                 mtime,
                 last_used: self.tick,
+                cache: AssignCache::new(self.config.assign_cache),
             },
         );
         self.enforce_budget(building);
         Ok((model, fetch))
+    }
+
+    /// Labels one scan through the answer cache: a content hit replays
+    /// the stored floor (bit-identical to recomputing, see the
+    /// [module docs](self)); a miss runs [`FittedModel::assign`] and
+    /// caches a successful answer. With the cache disabled this is
+    /// exactly `get` + `assign`.
+    ///
+    /// # Errors
+    ///
+    /// The [`ModelRegistry::get`] errors, plus [`ServeError::Inference`]
+    /// when the scan cannot be embedded. Errors are never cached.
+    pub fn assign(&mut self, building: &str, scan: &SignalSample) -> Result<FloorId, ServeError> {
+        let (model, _) = self.get(building)?;
+        if self.config.assign_cache == 0 {
+            return model.assign(scan).map_err(ServeError::from);
+        }
+        let key = ScanKey::of(scan);
+        if let Some(floor) = self
+            .entries
+            .get(building)
+            .and_then(|entry| entry.cache.get(&key))
+        {
+            self.stats.assign_cache.hit();
+            return Ok(floor);
+        }
+        self.stats.assign_cache.miss();
+        let floor = model.assign(scan).map_err(ServeError::from)?;
+        if let Some(entry) = self.entries.get_mut(building) {
+            entry.cache.insert(key, floor, &mut self.stats.assign_cache);
+        }
+        Ok(floor)
+    }
+
+    /// Labels a batch through the answer cache, preserving
+    /// [`FittedModel::assign_stream`] semantics: results in input order,
+    /// per-scan failures in their slot. Cached and in-batch-duplicate
+    /// scans are counted as hits and skip recomputation; only the unique
+    /// missing scans fan out over `threads` workers. Because every
+    /// answer is a pure function of `(model, scan content)`, the output
+    /// is bit-identical to the uncached fan-out for any mix of hits,
+    /// misses, and duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Only the [`ModelRegistry::get`] errors; per-scan failures land in
+    /// their result slot.
+    #[allow(clippy::type_complexity)]
+    pub fn assign_batch(
+        &mut self,
+        building: &str,
+        scans: &[SignalSample],
+        threads: usize,
+    ) -> Result<Vec<Result<FloorId, FisError>>, ServeError> {
+        let (model, _) = self.get(building)?;
+        if self.config.assign_cache == 0 {
+            return Ok(model.assign_stream(scans, threads));
+        }
+        let keys: Vec<ScanKey> = scans.iter().map(ScanKey::of).collect();
+        let mut results: Vec<Option<Result<FloorId, FisError>>> = vec![None; scans.len()];
+        // Upfront lookups in input order: cached answers fill their
+        // slots; the first occurrence of each missing content computes,
+        // later duplicates replay it (a hit — no computation).
+        let mut first_of: HashMap<&ScanKey, usize> = HashMap::new();
+        let mut missing: Vec<usize> = Vec::new();
+        let cache = self.entries.get(building).map(|e| &e.cache);
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(floor) = cache.and_then(|c| c.get(key)) {
+                self.stats.assign_cache.hit();
+                results[i] = Some(Ok(floor));
+            } else if first_of.contains_key(key) {
+                self.stats.assign_cache.hit();
+            } else {
+                self.stats.assign_cache.miss();
+                first_of.insert(key, i);
+                missing.push(i);
+            }
+        }
+        let subset: Vec<SignalSample> = missing.iter().map(|&i| scans[i].clone()).collect();
+        let computed = model.assign_stream(&subset, threads);
+        if let Some(entry) = self.entries.get_mut(building) {
+            for (&i, result) in missing.iter().zip(&computed) {
+                if let Ok(floor) = result {
+                    entry
+                        .cache
+                        .insert(keys[i].clone(), *floor, &mut self.stats.assign_cache);
+                }
+            }
+        }
+        for (&i, result) in missing.iter().zip(computed) {
+            results[i] = Some(result);
+        }
+        // In-batch duplicates replay the first occurrence's answer (same
+        // content ⇒ same answer, ok or error); the first occurrence is
+        // always at a lower index, so its slot is already filled.
+        for i in 0..results.len() {
+            if results[i].is_none() {
+                let first = first_of[&keys[i]];
+                results[i] = results[first].clone();
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|slot| slot.expect("every slot resolved"))
+            .collect())
+    }
+
+    /// Answers cached across all resident models right now.
+    pub fn assign_cache_entries(&self) -> usize {
+        self.entries.values().map(|e| e.cache.len()).sum()
     }
 
     /// Drops a cached model; returns whether it was cached. The artifact
@@ -482,6 +752,152 @@ mod tests {
         assert_eq!(fetch, Fetch::Reload);
         assert_eq!(reg.stats().reloads, 1);
         assert_ne!(old.samples().len(), new.samples().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_key_ignores_id_but_not_content() {
+        let model = quick_model("keys", 15, 20);
+        let scan = &model.samples()[0];
+        let twin = {
+            let mut b = fis_types::SignalSample::builder(9999);
+            for (mac, rssi) in scan.iter() {
+                b = b.reading(mac, rssi);
+            }
+            b.build()
+        };
+        assert_eq!(
+            ScanKey::of(scan),
+            ScanKey::of(&twin),
+            "identical readings under a different id must share a key"
+        );
+        assert_ne!(ScanKey::of(scan), ScanKey::of(&model.samples()[1]));
+    }
+
+    #[test]
+    fn answer_cache_replays_hits_identically() {
+        let dir = temp_dir("ans_hit");
+        let model = quick_model("hits", 15, 21);
+        model.save(dir.join("hits.json")).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir).assign_cache(64));
+        let scan = model.samples()[0].clone();
+        let direct = model.assign(&scan).unwrap();
+        let first = reg.assign("hits", &scan).unwrap();
+        let second = reg.assign("hits", &scan).unwrap();
+        assert_eq!(first, direct);
+        assert_eq!(second, direct);
+        let c = reg.stats().assign_cache;
+        assert_eq!((c.hits, c.misses, c.insertions), (1, 1, 1));
+        assert_eq!(reg.assign_cache_entries(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn answer_cache_capacity_zero_disables_caching() {
+        let dir = temp_dir("ans_zero");
+        let model = quick_model("zero", 15, 22);
+        model.save(dir.join("zero.json")).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir));
+        let scan = model.samples()[0].clone();
+        for _ in 0..3 {
+            assert_eq!(
+                reg.assign("zero", &scan).unwrap(),
+                model.assign(&scan).unwrap()
+            );
+        }
+        assert_eq!(reg.stats().assign_cache, CacheCounters::default());
+        assert_eq!(reg.assign_cache_entries(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn answer_cache_fifo_eviction_at_capacity_one() {
+        let dir = temp_dir("ans_fifo");
+        let model = quick_model("fifo", 15, 23);
+        model.save(dir.join("fifo.json")).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir).assign_cache(1));
+        let a = model.samples()[0].clone();
+        let b = model.samples()[1].clone();
+        // a miss, b miss (evicts a), a miss (evicts b), a hit.
+        reg.assign("fifo", &a).unwrap();
+        reg.assign("fifo", &b).unwrap();
+        reg.assign("fifo", &a).unwrap();
+        reg.assign("fifo", &a).unwrap();
+        let c = reg.stats().assign_cache;
+        assert_eq!((c.hits, c.misses), (1, 3));
+        assert_eq!((c.insertions, c.evictions), (3, 2));
+        assert_eq!(reg.assign_cache_entries(), 1);
+        // Every answer — cached or not — matches the direct path.
+        assert_eq!(reg.assign("fifo", &b).unwrap(), model.assign(&b).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn answer_cache_dropped_on_evict_and_reload() {
+        let dir = temp_dir("ans_inval");
+        let path = dir.join("inv.json");
+        let model = quick_model("inv", 15, 24);
+        model.save(&path).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir).assign_cache(64));
+        let scan = model.samples()[0].clone();
+        reg.assign("inv", &scan).unwrap();
+        assert_eq!(reg.assign_cache_entries(), 1);
+        // Explicit evict drops the answers with the model.
+        reg.evict("inv");
+        assert_eq!(reg.assign_cache_entries(), 0);
+        reg.assign("inv", &scan).unwrap();
+        assert_eq!(
+            reg.stats().assign_cache.misses,
+            2,
+            "evict forced a recompute"
+        );
+        // Hot reload (differently sized artifact) drops them too.
+        quick_model("inv", 20, 25).save(&path).unwrap();
+        let (_, fetch) = reg.get("inv").unwrap();
+        assert_eq!(fetch, Fetch::Reload);
+        assert_eq!(reg.assign_cache_entries(), 0, "reload kept stale answers");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn assign_batch_dedupes_and_matches_uncached_fanout() {
+        let dir = temp_dir("ans_batch");
+        let model = quick_model("batch", 15, 26);
+        model.save(dir.join("batch.json")).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir).assign_cache(64));
+        // Batch with an in-batch duplicate and an alien (error) scan.
+        let alien = fis_types::SignalSample::builder(777)
+            .reading(
+                fis_types::MacAddr::from_u64(0xFFFF_FFFF_FF02),
+                fis_types::Rssi::new(-44.0).unwrap(),
+            )
+            .build();
+        let scans = vec![
+            model.samples()[0].clone(),
+            model.samples()[1].clone(),
+            model.samples()[0].clone(), // duplicate of slot 0
+            alien,
+        ];
+        let cached = reg.assign_batch("batch", &scans, 2).unwrap();
+        let uncached = model.assign_stream(&scans, 2);
+        assert_eq!(cached.len(), uncached.len());
+        for (c, u) in cached.iter().zip(&uncached) {
+            match (c, u) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                other => panic!("outcomes diverged: {other:?}"),
+            }
+        }
+        let c = reg.stats().assign_cache;
+        assert_eq!(c.hits, 1, "the in-batch duplicate is a hit");
+        assert_eq!(c.misses, 3);
+        assert_eq!(c.insertions, 2, "the error answer is not cached");
+        // Replaying the whole batch is now all hits except the error.
+        let replay = reg.assign_batch("batch", &scans, 2).unwrap();
+        for (r, u) in replay.iter().zip(&uncached) {
+            assert_eq!(r.is_ok(), u.is_ok());
+        }
+        assert_eq!(reg.stats().assign_cache.hits, 1 + 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

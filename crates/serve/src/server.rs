@@ -180,28 +180,32 @@ impl Daemon {
 
     fn dispatch(&mut self, request: Request, id: Option<&Json>) -> RequestOutcome {
         match request {
-            Request::Assign { building, scan } => match self.registry.get(&building) {
-                Err(e) => RequestOutcome::rejected(e),
-                Ok((model, _)) => match model.assign(&scan) {
-                    Err(e) => RequestOutcome {
-                        attempted: 1,
-                        tenant_exists: true,
-                        ..RequestOutcome::rejected(ServeError::from(e))
-                    },
-                    Ok(floor) => RequestOutcome {
-                        attempted: 1,
-                        labeled: 1,
-                        tenant_exists: true,
-                        ..RequestOutcome::ok(ok_response(
-                            "assign",
-                            id,
-                            [
-                                ("building", Json::Str(building.clone())),
-                                ("scan_id", Json::Num(scan.id().index() as f64)),
-                                ("floor", Json::Num(floor.index() as f64)),
-                            ],
-                        ))
-                    },
+            // The registry's cached assign path: exact answers whether
+            // they replay from the cache or compute fresh.
+            Request::Assign { building, scan } => match self.registry.assign(&building, &scan) {
+                Err(e) => {
+                    // An inference failure proves the model loaded and
+                    // the scan was attempted; registry-level failures
+                    // attempted nothing.
+                    let attempted = u64::from(matches!(e, ServeError::Inference(_)));
+                    RequestOutcome {
+                        attempted,
+                        ..RequestOutcome::rejected(e)
+                    }
+                }
+                Ok(floor) => RequestOutcome {
+                    attempted: 1,
+                    labeled: 1,
+                    tenant_exists: true,
+                    ..RequestOutcome::ok(ok_response(
+                        "assign",
+                        id,
+                        [
+                            ("building", Json::Str(building.clone())),
+                            ("scan_id", Json::Num(scan.id().index() as f64)),
+                            ("floor", Json::Num(floor.index() as f64)),
+                        ],
+                    ))
                 },
             },
             Request::AssignBatch { building, scans } => self.assign_batch(&building, &scans, id),
@@ -267,13 +271,17 @@ impl Daemon {
                 self.config.max_batch
             )));
         }
-        let model = match self.registry.get(building) {
-            Ok((model, _)) => model,
+        // Content-seeded per-scan RNGs: the fan-out preserves the PR 2
+        // determinism contract for any thread count or batch order, and
+        // the registry's answer cache only replays answers that contract
+        // already fixes.
+        let results = match self
+            .registry
+            .assign_batch(building, scans, self.config.threads)
+        {
+            Ok(results) => results,
             Err(e) => return RequestOutcome::rejected(e),
         };
-        // Content-seeded per-scan RNGs: the fan-out preserves the PR 2
-        // determinism contract for any thread count or batch order.
-        let results = model.assign_stream(scans, self.config.threads);
         let mut failures = 0u64;
         let rows: Vec<Json> = scans
             .iter()

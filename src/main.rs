@@ -73,7 +73,7 @@ const USAGE: &str = "usage:
 [--threads T]
   fis-one assign   --model FILE --scans FILE [--building NAME] [--threads T]
   fis-one serve    --models DIR [--tcp ADDR] [--max-models N] \
-[--max-bytes B] [--max-batch K] [--threads T]
+[--max-bytes B] [--max-batch K] [--threads T] [--assign-cache C]
   fis-one stats    --corpus FILE
 
 generate writes a corpus of --buildings B buildings (default 1). With
@@ -93,8 +93,10 @@ printing the same format as identify so the two can be diffed.
 serve runs the long-lived multi-tenant daemon over a directory of
 fitted artifacts (DIR/<building>.json, lazy-loaded, LRU-evicted,
 hot-reloaded on change), speaking newline-delimited JSON on
-stdin/stdout, or on a TCP listener with --tcp HOST:PORT. Send
-{\"op\":\"shutdown\"} for a clean stop; final stats go to stderr.";
+stdin/stdout, or on a TCP listener with --tcp HOST:PORT.
+--assign-cache C keeps up to C recent answers per model, keyed by
+scan content — answers are bit-identical with the cache on or off.
+Send {\"op\":\"shutdown\"} for a clean stop; final stats go to stderr.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -370,7 +372,8 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     let registry = RegistryConfig::new(dir)
         .max_models(flag("max-models")? as usize)
-        .max_bytes(flag("max-bytes")?);
+        .max_bytes(flag("max-bytes")?)
+        .assign_cache(flag("assign-cache")? as usize);
     let mut daemon = Daemon::new(
         DaemonConfig::new(registry)
             .threads(flag("threads")? as usize)

@@ -135,6 +135,18 @@ fn serving_path_matches_golden_fixtures() {
         .collect();
     assert_eq!(serial, parallel, "assign depends on the thread count");
 
+    // The VP-tree fast path must agree with the linear-scan reference
+    // on every golden scan — the index is exact, not approximate.
+    let linear: Vec<FloorId> = building
+        .samples()
+        .iter()
+        .map(|s| model.assign_linear(s).expect("training scans assign"))
+        .collect();
+    assert_eq!(
+        linear, serial,
+        "VP-tree assign diverged from the linear-scan reference"
+    );
+
     let assign_lines = render_labels(building.name(), &serial);
     check_or_write(fixture("golden_assign.jsonl"), &assign_lines, "assign");
     assert_eq!(

@@ -1,12 +1,15 @@
 //! Property tests for fitted-model persistence and streaming inference.
 //!
-//! Two properties lock the artifact layer:
+//! Three properties lock the artifact layer:
 //!
 //! 1. **Round-trip stability**: save → load → save is byte-identical
 //!    (the JSON codec writes sorted keys and shortest-round-trip `f64`).
 //! 2. **Serving equivalence**: a model that went through serialization
 //!    assigns *exactly* the same floors (or the same typed error) as the
 //!    in-memory model, for arbitrary scans mixing known and unknown MACs.
+//! 3. **Index equivalence**: the VP-tree fast path behind `assign`
+//!    matches the `assign_linear` reference scan bit-for-bit, on both
+//!    the in-memory and the reloaded model.
 //!
 //! The model is fitted once and shared across cases; each case builds a
 //! random scan from the vendored proptest shim's deterministic stream.
@@ -95,6 +98,23 @@ proptest! {
                 prop_assert_eq!(a, b);
             }
             (a, b) => panic!("outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn vp_tree_assign_matches_linear_reference(
+        picks in proptest::collection::vec((0usize..60, -100.0..-30.0f64), 1..6),
+    ) {
+        let s = shared();
+        let scan = scan_from(&picks);
+        for model in [&s.model, &s.loaded] {
+            match (model.assign(&scan), model.assign_linear(&scan)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(FisError::Inference(a)), Err(FisError::Inference(b))) => {
+                    prop_assert_eq!(a, b);
+                }
+                (a, b) => panic!("index vs scan outcomes diverged: {a:?} vs {b:?}"),
+            }
         }
     }
 

@@ -1,0 +1,89 @@
+//! Property tests for the VP-tree 1-NN index against its linear-scan
+//! reference.
+//!
+//! The index's contract is *bit-identity*: for any point set — including
+//! duplicates, exact distance ties, excluded points, and degenerate
+//! (empty / single-point) inputs — [`VpTree::nearest`] returns exactly
+//! the id the exhaustive scan returns, which is the lexicographic
+//! minimum of `(distance, id)`. Points are drawn from a coarse grid so
+//! ties and duplicates occur constantly rather than almost never, and a
+//! per-point selector excludes ~25% of points to exercise the mask path
+//! the model uses for empty training scans.
+
+use fis_one::core::VpTree;
+use proptest::prelude::*;
+
+/// Builds the tree and diffs `nearest` against `nearest_linear` for
+/// every query; returns the first divergence as `(query index, tree
+/// answer, scan answer)`.
+fn diff_tree_vs_scan(
+    points: &[Vec<f64>],
+    include: &[bool],
+    queries: &[Vec<f64>],
+) -> Option<(usize, Option<usize>, Option<usize>)> {
+    let tree = VpTree::build(points, |i| include.get(i).copied().unwrap_or(true));
+    queries.iter().enumerate().find_map(|(qi, q)| {
+        let fast = tree.nearest(q);
+        let slow = tree.nearest_linear(q);
+        (fast != slow).then_some((qi, fast, slow))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grid-snapped coordinates: duplicates and exact ties dominate, so
+    /// the `(distance, id)` tie-break is exercised on nearly every case.
+    #[test]
+    fn tree_matches_linear_scan_on_tied_grids(
+        raw in proptest::collection::vec((0i32..6, 0i32..6, 0i32..6, 0u32..4), 0..48),
+        raw_queries in proptest::collection::vec((0i32..6, 0i32..6, 0i32..6), 1..8),
+    ) {
+        let points: Vec<Vec<f64>> = raw
+            .iter()
+            .map(|&(x, y, z, _)| vec![x as f64 * 0.5, y as f64 * 0.5, z as f64 * 0.5])
+            .collect();
+        let include: Vec<bool> = raw.iter().map(|&(_, _, _, sel)| sel != 0).collect();
+        let queries: Vec<Vec<f64>> = raw_queries
+            .iter()
+            .map(|&(x, y, z)| vec![x as f64 * 0.5, y as f64 * 0.5, z as f64 * 0.5])
+            .collect();
+        prop_assert_eq!(diff_tree_vs_scan(&points, &include, &queries), None);
+    }
+
+    /// Continuous coordinates: ties are rare but pruning bounds are
+    /// stressed by arbitrary geometry, including coincident-with-query
+    /// points and clusters at wildly different scales.
+    #[test]
+    fn tree_matches_linear_scan_on_continuous_points(
+        raw in proptest::collection::vec((-100.0..100.0f64, -0.001..0.001f64), 1..64),
+        raw_queries in proptest::collection::vec((-100.0..100.0f64, -0.001..0.001f64), 1..8),
+    ) {
+        let points: Vec<Vec<f64>> = raw.iter().map(|&(x, y)| vec![x, y]).collect();
+        let include = vec![true; points.len()];
+        let queries: Vec<Vec<f64>> = raw_queries.iter().map(|&(x, y)| vec![x, y]).collect();
+        prop_assert_eq!(diff_tree_vs_scan(&points, &include, &queries), None);
+    }
+
+    /// Querying with an indexed point's own coordinates must return the
+    /// lowest id among its exact duplicates.
+    #[test]
+    fn self_query_returns_lowest_duplicate_id(
+        raw in proptest::collection::vec((0i32..4, 0i32..4), 1..32),
+        pick in 0usize..32,
+    ) {
+        let points: Vec<Vec<f64>> = raw
+            .iter()
+            .map(|&(x, y)| vec![x as f64, y as f64])
+            .collect();
+        let tree = VpTree::build(&points, |_| true);
+        let q = &points[pick % points.len()];
+        let hit = tree.nearest(q).expect("non-empty index");
+        prop_assert_eq!(Some(hit), tree.nearest_linear(q));
+        // The returned point is an exact duplicate of the query, and no
+        // earlier id is.
+        prop_assert_eq!(tree.point(hit), q.as_slice());
+        let earlier = points[..hit].iter().position(|p| p == q);
+        prop_assert_eq!(earlier, None);
+    }
+}

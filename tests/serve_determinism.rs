@@ -124,3 +124,93 @@ fn daemon_matches_golden_assign_fixture_across_threads_and_evictions() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The answer cache is an invisible optimization: for any capacity —
+/// disabled, pathologically small, or larger than the working set — and
+/// any interleaving of warm batches, evictions, and hot reloads, a
+/// cache-enabled daemon serves bit-identically to a cache-off one.
+#[test]
+fn answer_cache_never_changes_answers() {
+    let corpus = io::load_jsonl(fixture("golden_corpus.jsonl")).expect("golden corpus");
+    let building = &corpus.buildings()[0];
+    let model = FisOne::new(FisOneConfig::default().seed(GOLDEN_SEED))
+        .fit(
+            building.name(),
+            building.samples(),
+            building.floors(),
+            building.bottom_anchor().expect("bottom surveyed"),
+        )
+        .expect("golden building fits");
+    let dir = std::env::temp_dir().join(format!("fis_serve_cache_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join(format!("{}.json", building.name()));
+    model.save(&artifact).unwrap();
+
+    // Cache-off reference: one direct assign per scan.
+    let reference: Vec<usize> = building
+        .samples()
+        .iter()
+        .map(|s| model.assign(s).expect("training scan assigns").index())
+        .collect();
+
+    for capacity in [0usize, 1, 1 << 14] {
+        let mut daemon = Daemon::new(DaemonConfig::new(
+            RegistryConfig::new(&dir).assign_cache(capacity),
+        ));
+        let mut rounds = Vec::new();
+        rounds.push((
+            "cold",
+            serve_batch(&mut daemon, building.name(), building.samples()),
+        ));
+        rounds.push((
+            "warm",
+            serve_batch(&mut daemon, building.name(), building.samples()),
+        ));
+
+        // Evict drops the model *and* its cache; answers must not move.
+        let (response, _) = daemon.handle_line(&format!(
+            r#"{{"op":"evict","building":"{}"}}"#,
+            building.name()
+        ));
+        assert_eq!(response.get("evicted"), Some(&Json::Bool(true)));
+        rounds.push((
+            "post-evict",
+            serve_batch(&mut daemon, building.name(), building.samples()),
+        ));
+
+        // Hot reload: rewrite the artifact with a fresh mtime so the
+        // registry replaces the entry (and its cache) on the next fetch.
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        model.save(&artifact).unwrap();
+        rounds.push((
+            "post-reload",
+            serve_batch(&mut daemon, building.name(), building.samples()),
+        ));
+        rounds.push((
+            "rewarmed",
+            serve_batch(&mut daemon, building.name(), building.samples()),
+        ));
+        assert!(
+            daemon.registry().stats().reloads >= 1,
+            "reload did not trigger"
+        );
+
+        for (label, floors) in &rounds {
+            assert_eq!(
+                floors, &reference,
+                "{label} batch at cache capacity {capacity} diverged from cache-off answers"
+            );
+        }
+
+        // The counters prove the cache actually engaged (or stayed out
+        // of the way when disabled).
+        let counters = daemon.registry().stats().assign_cache;
+        if capacity == 0 {
+            assert_eq!(counters.lookups(), 0, "disabled cache saw lookups");
+        } else {
+            assert!(counters.hits > 0, "capacity {capacity} never hit");
+            assert!(counters.misses > 0, "cold batches must miss");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
