@@ -7,8 +7,10 @@
 set -euo pipefail
 
 bin=${BIN:-target/release/fis-one}
+router_bin=${ROUTER_BIN:-target/release/fis-router}
 work=$(mktemp -d)
-trap 'rm -rf "$work"' EXIT
+pids=""
+trap 'kill $pids 2>/dev/null; rm -rf "$work"' EXIT
 
 "$bin" generate --floors 3 --samples 30 --seed 5 --buildings 3 \
     --name smoke --out "$work/corpus.jsonl"
@@ -121,3 +123,87 @@ for b in smoke-0 smoke-1 smoke-2; do
   diff "$work/expect-$b.txt" "$work/cached-$b.1.txt"
 done
 echo "serve smoke OK: cache-enabled daemon answers are bit-identical to the cache-off CLI"
+
+# Third pass: two TCP shards behind fis-router, driven by 4 concurrent
+# client connections at once. Every routed, interleaved answer must
+# still be bit-identical to the one-shot `assign` CLI.
+wait_listen_addr() {
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$1" | head -n 1)
+    if [ -n "$addr" ]; then echo "$addr"; return 0; fi
+    sleep 0.1
+  done
+  echo "timed out waiting for a listen address in $1" >&2
+  return 1
+}
+
+"$bin" serve --models "$work/models" --tcp 127.0.0.1:0 --pool 8 \
+    2> "$work/shard0.log" &
+pids="$pids $!"
+"$bin" serve --models "$work/models" --tcp 127.0.0.1:0 --pool 8 \
+    2> "$work/shard1.log" &
+pids="$pids $!"
+shard0=$(wait_listen_addr "$work/shard0.log")
+shard1=$(wait_listen_addr "$work/shard1.log")
+"$router_bin" --listen 127.0.0.1:0 --shards "$shard0,$shard1" \
+    --replicas 2 --pool 8 2> "$work/router.log" &
+pids="$pids $!"
+router_addr=$(wait_listen_addr "$work/router.log")
+echo "serve smoke: router on $router_addr fronting $shard0 + $shard1"
+
+python3 - "$work" "$router_addr" <<'EOF'
+import json, socket, sys, threading
+work, addr = sys.argv[1], sys.argv[2]
+host, port = addr.rsplit(":", 1)
+lines = open(f"{work}/corpus.jsonl").read().splitlines()
+buildings = [json.loads(l) for l in lines[1:]]
+requests = []
+for b in buildings:
+    for s in b["samples"]:
+        requests.append((b["name"], s["id"], {
+            "op": "assign", "building": b["name"],
+            "scan": {"id": s["id"], "readings": s["readings"]},
+            "id": len(requests),
+        }))
+CONNS = 4
+results, lock, errors = {}, threading.Lock(), []
+def client(c):
+    try:
+        sock = socket.create_connection((host, int(port)))
+        f = sock.makefile("rw")
+        for i in range(c, len(requests), CONNS):
+            name, sid, req = requests[i]
+            f.write(json.dumps(req) + "\n"); f.flush()
+            resp = json.loads(f.readline())
+            assert resp.get("ok") and resp["id"] == req["id"], resp
+            with lock:
+                results[(name, sid)] = resp["floor"]
+        sock.close()
+    except Exception as e:  # surface thread failures to the main thread
+        errors.append(f"connection {c}: {e!r}")
+threads = [threading.Thread(target=client, args=(c,)) for c in range(CONNS)]
+for t in threads: t.start()
+for t in threads: t.join()
+assert not errors, errors
+assert len(results) == len(requests)
+for b in buildings:
+    with open(f"{work}/router-{b['name']}.txt", "w") as out:
+        for s in b["samples"]:
+            out.write(f"s{s['id']} F{results[(b['name'], s['id'])] + 1}\n")
+sock = socket.create_connection((host, int(port)))
+f = sock.makefile("rw")
+f.write(json.dumps({"op": "stats"}) + "\n"); f.flush()
+stats = json.loads(f.readline())
+assert stats.get("ok"), stats
+assert stats["router"]["unavailable"] == 0, stats["router"]
+f.write(json.dumps({"op": "shutdown"}) + "\n"); f.flush()
+assert json.loads(f.readline())["op"] == "shutdown"
+sock.close()
+EOF
+
+wait $pids
+pids=""
+for b in smoke-0 smoke-1 smoke-2; do
+  diff "$work/expect-$b.txt" "$work/router-$b.txt"
+done
+echo "serve smoke OK: 4 concurrent connections through the sharded router are bit-identical to the assign CLI"

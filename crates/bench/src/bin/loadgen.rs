@@ -1,31 +1,54 @@
-//! Load generator for the `fis-serve` daemon.
+//! Load generator for the `fis-serve` daemon and the `fis-router` tier.
 //!
-//! Replays a synthetic multi-building request stream against a daemon
-//! and reports client-side throughput plus the daemon's own serving
-//! metrics (cache hits/misses/evictions, p50/p99 latency). Two modes:
+//! Replays a synthetic multi-building request stream against a serving
+//! endpoint and reports client-side throughput + latency quantiles plus
+//! the server's own metrics. Three self-hosted topologies and one
+//! external mode:
 //!
-//! - **self-hosted** (default): fits `--buildings` synthetic models into
-//!   a temp directory, starts an in-process daemon on a loopback TCP
-//!   listener — the exact `Daemon::serve_tcp` path `fis-one serve --tcp`
-//!   runs — replays against it, then shuts it down.
-//! - **external**: `--addr HOST:PORT` replays against an already running
-//!   `fis-one serve --tcp` daemon (no shutdown is sent unless
+//! - **single daemon** (default): fits `--buildings` synthetic models
+//!   into a temp directory, starts an in-process daemon on a loopback
+//!   TCP listener — the exact `Daemon::serve_tcp` path `fis-one serve
+//!   --tcp` runs — replays against it, then shuts it down.
+//! - **sharded**: `--shards N` starts N daemons over the same model
+//!   directory behind an in-process `fis-router` (`--replicas R`), and
+//!   the stream goes through the router.
+//! - **external**: `--addr HOST:PORT` replays against an already
+//!   running daemon or router (no shutdown is sent unless
 //!   `--shutdown 1`).
+//!
+//! `--connections C` replays the stream over C concurrent client
+//! connections (request `r` goes to connection `r mod C`, so the
+//! request *set* is identical at any concurrency), reporting overall
+//! throughput and per-request p50/p99 under contention. `--idle K`
+//! additionally holds K open connections that never send a byte for the
+//! whole run: under the old sequential accept loop one of these would
+//! stall everything behind it, so a finishing run with `--idle 1` is
+//! itself the no-head-of-line-stalling proof. The pool defaults to
+//! `connections + idle + 1` workers so concurrency is limited by the
+//! protocol, not the harness; `--pool W` overrides.
 //!
 //! The stream is deterministic in `--seed`: building choice, batch
 //! composition, and the periodic `evict` injections (`--evict-every`)
-//! replay identically, so two runs differ only in timing.
+//! replay identically, so two runs differ only in timing — and, by the
+//! serving determinism contract, in *nothing else*, at any
+//! `--connections`, shard count, or replica placement.
 //!
 //! `--zipf ALPHA` skews scan selection by a Zipf(ALPHA) law over each
 //! building's samples (rank 0 most popular) instead of uniformly; with
-//! `--assign-cache C` set on the self-hosted daemon the repeated heads
+//! `--assign-cache C` set on the self-hosted daemons the repeated heads
 //! of the distribution hit the answer cache, and the final report shows
-//! the daemon's cache hit rate.
+//! the cache hit rate.
+//!
+//! `--bench-json FILE` merges a `serve/loadgen` stage (median/best/mean
+//! ns per request) into a `fis-one/bench-report` file, creating it if
+//! missing — CI folds the concurrent-serving number into
+//! `BENCH_stages.json` so the perf gate watches it.
 //!
 //! ```bash
 //! cargo run --release -p fis-bench --bin loadgen -- \
 //!     --buildings 6 --floors 3 --samples 40 --requests 200 --batch 16 \
-//!     --evict-every 50 --max-models 4 --zipf 1.1 --assign-cache 256
+//!     --connections 8 --idle 1 --shards 3 --replicas 2 \
+//!     --evict-every 50 --zipf 1.1 --assign-cache 256
 //! ```
 
 use std::collections::HashMap;
@@ -34,7 +57,8 @@ use std::net::{TcpListener, TcpStream};
 use std::time::Instant;
 
 use fis_core::{EngineConfig, FisEngine, FisOneConfig};
-use fis_serve::{Daemon, DaemonConfig, RegistryConfig};
+use fis_metrics::Quantiles;
+use fis_serve::{Daemon, DaemonConfig, RegistryConfig, Router, RouterConfig};
 use fis_synth::BuildingConfig;
 use fis_types::json::{Json, ToJson};
 use fis_types::{Building, Dataset};
@@ -53,15 +77,41 @@ struct Opts {
     evict_every: usize,
     assign_cache: usize,
     zipf: f64,
+    connections: usize,
+    idle: usize,
+    pool: usize,
+    shards: usize,
+    replicas: usize,
+    bench_json: Option<String>,
     addr: Option<String>,
     shutdown: bool,
 }
+
+const USAGE: &str = "\
+loadgen: concurrent load generator for fis-serve / fis-router
+
+USAGE:
+    loadgen [--buildings N] [--floors N] [--samples N] [--requests N]
+            [--batch N] [--seed S] [--threads T] [--max-models N]
+            [--evict-every N] [--assign-cache C] [--zipf ALPHA]
+            [--connections C] [--idle K] [--pool W]
+            [--shards N] [--replicas R]
+            [--addr HOST:PORT] [--shutdown 0|1] [--bench-json FILE]
+
+Replays a deterministic multi-building request stream over C concurrent
+connections against a self-hosted daemon (default), a self-hosted
+sharded router (--shards N), or an external endpoint (--addr), and
+reports throughput, per-request p50/p99 latency, and server stats.";
 
 fn parse_opts() -> Result<Opts, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut map = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
         let key = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
@@ -94,6 +144,12 @@ fn parse_opts() -> Result<Opts, String> {
         evict_every: num("evict-every", 0)?,
         assign_cache: num("assign-cache", 0)?,
         zipf: fnum("zipf", 0.0)?.max(0.0),
+        connections: num("connections", 1)?.max(1),
+        idle: num("idle", 0)?,
+        pool: num("pool", 0)?,
+        shards: num("shards", 0)?,
+        replicas: num("replicas", 2)?.max(1),
+        bench_json: map.get("bench-json").cloned(),
         addr: map.get("addr").cloned(),
         shutdown: num("shutdown", 0)? != 0,
     })
@@ -128,73 +184,21 @@ fn zipf_cumulative(n: usize, alpha: f64) -> Vec<f64> {
         .collect()
 }
 
-fn main() -> Result<(), String> {
-    let opts = parse_opts()?;
-    let buildings = fleet(&opts);
+/// One precomputed request of the stream.
+struct Entry {
+    request: String,
+    /// `assign_batch` entries are checked for zero per-scan failures;
+    /// injected evicts only for `ok`.
+    is_batch: bool,
+    scans: usize,
+}
 
-    // Self-hosted mode: fit + save the fleet, start the daemon thread.
-    let (addr, daemon_thread, model_dir) = match &opts.addr {
-        Some(addr) => (addr.clone(), None, None),
-        None => {
-            let dir = std::env::temp_dir().join(format!("fis_loadgen_{}", std::process::id()));
-            std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
-            let corpus = Dataset::new("loadgen", buildings.clone());
-            let fit_started = Instant::now();
-            let engine = FisEngine::new(
-                EngineConfig::default()
-                    .pipeline(FisOneConfig::quick(opts.seed))
-                    .threads(opts.threads),
-            );
-            let fit = engine.fit_corpus(&corpus);
-            if let Some((run, err)) = fit.failures().next() {
-                return Err(format!("fitting {} failed: {err}", run.building));
-            }
-            for (run, model) in fit.successes() {
-                model
-                    .save(dir.join(format!("{}.json", run.building)))
-                    .map_err(|e| e.to_string())?;
-            }
-            eprintln!(
-                "# loadgen: fitted {} models in {:.2?}",
-                corpus.len(),
-                fit_started.elapsed()
-            );
-            let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
-            let addr = listener
-                .local_addr()
-                .map_err(|e| format!("local_addr: {e}"))?
-                .to_string();
-            let mut daemon = Daemon::new(
-                DaemonConfig::new(
-                    RegistryConfig::new(&dir)
-                        .max_models(opts.max_models)
-                        .assign_cache(opts.assign_cache),
-                )
-                .threads(opts.threads),
-            );
-            let handle = std::thread::spawn(move || {
-                daemon.serve_tcp(&listener).expect("daemon accept loop");
-            });
-            (addr, Some(handle), Some(dir))
-        }
-    };
-
-    // Replay a deterministic request stream.
-    let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = stream;
+/// Precomputes the entire request stream with a single seeded RNG. The
+/// stream — not the connection that happens to carry each request — is
+/// the unit of determinism: replaying entry `r` on connection `r mod C`
+/// keeps the request set byte-identical at any concurrency.
+fn build_stream(opts: &Opts, buildings: &[Building]) -> Vec<Entry> {
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x010a_d6e4);
-    let mut line = String::new();
-    let mut roundtrip = |writer: &mut TcpStream, request: &Json| -> Result<Json, String> {
-        writeln!(writer, "{request}").map_err(|e| format!("send: {e}"))?;
-        line.clear();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| format!("recv: {e}"))?;
-        Json::parse(line.trim()).map_err(|e| format!("bad response: {e}"))
-    };
-
     let zipf_tables: Vec<Vec<f64>> = buildings
         .iter()
         .map(|b| {
@@ -205,9 +209,7 @@ fn main() -> Result<(), String> {
             }
         })
         .collect();
-    let started = Instant::now();
-    let mut scans_sent = 0usize;
-    let mut failed_requests = 0usize;
+    let mut entries = Vec::new();
     for r in 0..opts.requests {
         let b = rng.gen_range(0..buildings.len());
         let building = &buildings[b];
@@ -216,7 +218,11 @@ fn main() -> Result<(), String> {
                 ("op", Json::Str("evict".into())),
                 ("building", Json::Str(building.name().to_owned())),
             ]);
-            roundtrip(&mut writer, &evict)?;
+            entries.push(Entry {
+                request: evict.to_string(),
+                is_batch: false,
+                scans: 0,
+            });
         }
         let scans: Vec<Json> = (0..opts.batch)
             .map(|_| {
@@ -231,49 +237,314 @@ fn main() -> Result<(), String> {
                 building.samples()[s].to_json()
             })
             .collect();
-        scans_sent += scans.len();
+        let count = scans.len();
         let request = Json::obj([
             ("op", Json::Str("assign_batch".into())),
             ("building", Json::Str(building.name().to_owned())),
             ("scans", Json::Arr(scans)),
             ("id", Json::Num(r as f64)),
         ]);
-        let response = roundtrip(&mut writer, &request)?;
-        if response.get("ok") != Some(&Json::Bool(true))
-            || response.get("failures").and_then(Json::as_usize) != Some(0)
-        {
-            failed_requests += 1;
+        entries.push(Entry {
+            request: request.to_string(),
+            is_batch: true,
+            scans: count,
+        });
+    }
+    entries
+}
+
+/// One connected NDJSON client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    line: String,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(Self {
+            reader,
+            writer: stream,
+            line: String::new(),
+        })
+    }
+
+    fn roundtrip(&mut self, request: &str) -> Result<Json, String> {
+        writeln!(self.writer, "{request}").map_err(|e| format!("send: {e}"))?;
+        self.line.clear();
+        self.reader
+            .read_line(&mut self.line)
+            .map_err(|e| format!("recv: {e}"))?;
+        Json::parse(self.line.trim()).map_err(|e| format!("bad response: {e}"))
+    }
+}
+
+/// What one replay connection measured.
+struct ConnReport {
+    latencies_ns: Vec<f64>,
+    scans: usize,
+    failed: usize,
+}
+
+/// Replays `entries` (already filtered to this connection's share) over
+/// one connection, timing each request.
+fn replay(addr: &str, entries: &[&Entry]) -> Result<ConnReport, String> {
+    let mut client = Client::connect(addr)?;
+    let mut report = ConnReport {
+        latencies_ns: Vec::with_capacity(entries.len()),
+        scans: 0,
+        failed: 0,
+    };
+    for entry in entries {
+        let started = Instant::now();
+        let response = client.roundtrip(&entry.request)?;
+        report
+            .latencies_ns
+            .push(started.elapsed().as_secs_f64() * 1e9);
+        let ok = response.get("ok") == Some(&Json::Bool(true))
+            && (!entry.is_batch || response.get("failures").and_then(Json::as_usize) == Some(0));
+        if ok {
+            report.scans += entry.scans;
+        } else {
+            report.failed += 1;
         }
     }
-    let wall = started.elapsed();
+    Ok(report)
+}
 
-    let stats = roundtrip(&mut writer, &Json::obj([("op", Json::Str("stats".into()))]))?;
-    if daemon_thread.is_some() || opts.shutdown {
-        roundtrip(
-            &mut writer,
-            &Json::obj([("op", Json::Str("shutdown".into()))]),
-        )?;
+/// Merges a `serve/loadgen` stage into a `fis-one/bench-report` file
+/// (creating the file when absent), leaving every other stage intact.
+fn merge_bench_stage(path: &str, latencies_ns: &[f64]) -> Result<(), String> {
+    let mut sorted = latencies_ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    if sorted.is_empty() {
+        return Err("no latencies to report".into());
     }
-    drop(writer);
-    if let Some(handle) = daemon_thread {
-        handle.join().map_err(|_| "daemon thread panicked")?;
+    let median = sorted[sorted.len() / 2];
+    let best = sorted[0];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let stage = Json::obj([
+        ("median_ns", Json::Num(median)),
+        ("best_ns", Json::Num(best)),
+        ("mean_ns", Json::Num(mean)),
+        ("samples", Json::Num(sorted.len() as f64)),
+        ("iters", Json::Num(1.0)),
+    ]);
+    let mut report = match std::fs::read_to_string(path) {
+        Ok(text) => Json::parse(text.trim()).map_err(|e| format!("parsing {path}: {e}"))?,
+        Err(_) => Json::obj([
+            ("schema", Json::Str("fis-one/bench-report".into())),
+            ("version", Json::Num(1.0)),
+            ("mode", Json::Str("loadgen".into())),
+            ("stages", Json::obj([])),
+        ]),
+    };
+    let Json::Obj(root) = &mut report else {
+        return Err(format!("{path}: report is not an object"));
+    };
+    let Some(Json::Obj(stages)) = root.get_mut("stages") else {
+        return Err(format!("{path}: missing `stages` object"));
+    };
+    stages.insert("serve/loadgen".to_owned(), stage);
+    std::fs::write(path, format!("{report}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# loadgen: merged stage serve/loadgen into {path} (median {median:.0} ns)");
+    Ok(())
+}
+
+/// The self-hosted serving tier: daemon/router threads to join and the
+/// endpoint clients dial.
+struct Hosted {
+    addr: String,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    model_dir: Option<std::path::PathBuf>,
+}
+
+/// Fits the fleet's models and starts the self-hosted tier: one pooled
+/// daemon, or `--shards` pooled daemons behind an in-process router.
+fn host(opts: &Opts, buildings: &[Building]) -> Result<Hosted, String> {
+    let dir = std::env::temp_dir().join(format!("fis_loadgen_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let corpus = Dataset::new("loadgen", buildings.to_vec());
+    let fit_started = Instant::now();
+    let engine = FisEngine::new(
+        EngineConfig::default()
+            .pipeline(FisOneConfig::quick(opts.seed))
+            .threads(opts.threads),
+    );
+    let fit = engine.fit_corpus(&corpus);
+    if let Some((run, err)) = fit.failures().next() {
+        return Err(format!("fitting {} failed: {err}", run.building));
     }
-    if let Some(dir) = model_dir {
+    for (run, model) in fit.successes() {
+        model
+            .save(dir.join(format!("{}.json", run.building)))
+            .map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "# loadgen: fitted {} models in {:.2?}",
+        corpus.len(),
+        fit_started.elapsed()
+    );
+
+    // Enough workers that the measured contention is the protocol's,
+    // not an artificially starved pool (idle connections pin a worker
+    // each; +1 for the control connection).
+    let pool = if opts.pool > 0 {
+        opts.pool
+    } else {
+        opts.connections + opts.idle + 1
+    };
+    let daemon_config = || {
+        DaemonConfig::new(
+            RegistryConfig::new(&dir)
+                .max_models(opts.max_models)
+                .assign_cache(opts.assign_cache),
+        )
+        .threads(opts.threads)
+        .pool(pool)
+    };
+    let mut handles = Vec::new();
+    let spawn_daemon = |handles: &mut Vec<std::thread::JoinHandle<()>>| -> Result<String, String> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?
+            .to_string();
+        let daemon = Daemon::new(daemon_config());
+        handles.push(std::thread::spawn(move || {
+            daemon.serve_tcp(&listener).expect("daemon accept loop");
+        }));
+        Ok(addr)
+    };
+    let addr = if opts.shards == 0 {
+        spawn_daemon(&mut handles)?
+    } else {
+        let shard_addrs = (0..opts.shards)
+            .map(|_| spawn_daemon(&mut handles))
+            .collect::<Result<Vec<_>, _>>()?;
+        eprintln!(
+            "# loadgen: {} shard(s) [{}], {} replica(s) per building",
+            shard_addrs.len(),
+            shard_addrs.join(", "),
+            opts.replicas.min(opts.shards)
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?
+            .to_string();
+        let router = Router::new(
+            RouterConfig::new(shard_addrs)
+                .replicas(opts.replicas)
+                .pool(pool),
+        );
+        handles.push(std::thread::spawn(move || {
+            router.serve_tcp(&listener).expect("router accept loop");
+        }));
+        addr
+    };
+    Ok(Hosted {
+        addr,
+        handles,
+        model_dir: Some(dir),
+    })
+}
+
+fn main() -> Result<(), String> {
+    let opts = parse_opts()?;
+    let buildings = fleet(&opts);
+    let hosted = match &opts.addr {
+        Some(addr) => Hosted {
+            addr: addr.clone(),
+            handles: Vec::new(),
+            model_dir: None,
+        },
+        None => host(&opts, &buildings)?,
+    };
+    let addr = hosted.addr.clone();
+
+    // Idle connections first: they sit open, sending nothing, for the
+    // whole measured run. Under a sequential accept loop these would
+    // stall every later connection; under the pool they only pin a
+    // worker each.
+    let idle: Vec<TcpStream> = (0..opts.idle)
+        .map(|_| TcpStream::connect(&addr).map_err(|e| format!("idle connect {addr}: {e}")))
+        .collect::<Result<_, _>>()?;
+
+    let entries = build_stream(&opts, &buildings);
+    let started = Instant::now();
+    let reports: Vec<ConnReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|c| {
+                let share: Vec<&Entry> = entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % opts.connections == c)
+                    .map(|(_, e)| e)
+                    .collect();
+                let addr = &addr;
+                scope.spawn(move || replay(addr, &share))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay thread panicked"))
+            .collect::<Result<_, _>>()
+    })?;
+    let wall = started.elapsed();
+    drop(idle);
+
+    // Control connection: stats, then shutdown for self-hosted tiers
+    // (the router broadcasts it to its shards).
+    let mut control = Client::connect(&addr)?;
+    let stats = control.roundtrip(r#"{"op":"stats"}"#)?;
+    if !hosted.handles.is_empty() || opts.shutdown {
+        control.roundtrip(r#"{"op":"shutdown"}"#)?;
+    }
+    drop(control);
+    for handle in hosted.handles {
+        handle.join().map_err(|_| "serving thread panicked")?;
+    }
+    if let Some(dir) = hosted.model_dir {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    let mut latency = Quantiles::new();
+    let mut all_latencies = Vec::new();
+    let (mut scans_ok, mut failed_requests) = (0usize, 0usize);
+    for report in &reports {
+        for &ns in &report.latencies_ns {
+            latency.push(ns);
+            all_latencies.push(ns);
+        }
+        scans_ok += report.scans;
+        failed_requests += report.failed;
+    }
     let secs = wall.as_secs_f64().max(1e-9);
+    let total = entries.len();
     println!(
-        "loadgen: {} requests ({} scans) over {} buildings in {:.2?} — {:.0} req/s, {:.0} scans/s, {} failed",
-        opts.requests,
-        scans_sent,
+        "loadgen: {} requests ({} scans ok) over {} buildings, {} connection(s) + {} idle in {:.2?} — {:.0} req/s, {:.0} scans/s, {} failed",
+        total,
+        scans_ok,
         opts.buildings,
+        opts.connections,
+        opts.idle,
         wall,
-        opts.requests as f64 / secs,
-        scans_sent as f64 / secs,
+        total as f64 / secs,
+        scans_ok as f64 / secs,
         failed_requests,
     );
-    println!("daemon stats: {}", stats.get("stats").unwrap_or(&stats));
+    println!(
+        "latency: p50 {:.2} ms, p99 {:.2} ms, mean {:.2} ms, max {:.2} ms (per request, client-side)",
+        latency.p50().unwrap_or(0.0) / 1e6,
+        latency.p99().unwrap_or(0.0) / 1e6,
+        latency.mean().unwrap_or(0.0) / 1e6,
+        latency.max().unwrap_or(0.0) / 1e6,
+    );
+    println!("server stats: {}", stats.get("stats").unwrap_or(&stats));
     if let Some(cache) = stats.get("stats").and_then(|s| s.get("assign_cache")) {
         let count = |key: &str| cache.get(key).and_then(Json::as_usize).unwrap_or(0);
         let (hits, misses) = (count("hits"), count("misses"));
@@ -284,6 +555,9 @@ fn main() -> Result<(), String> {
             100.0 * hits as f64 / ((hits + misses).max(1)) as f64,
             count("evictions"),
         );
+    }
+    if let Some(path) = &opts.bench_json {
+        merge_bench_stage(path, &all_latencies)?;
     }
     if failed_requests > 0 {
         return Err(format!("{failed_requests} request(s) failed"));

@@ -1,0 +1,106 @@
+//! `fis-router`: the sharding front tier for a fleet of `fis-serve`
+//! daemons. See [`fis_serve::router`] for the routing/failover design.
+//!
+//! ```text
+//! fis-router --listen 127.0.0.1:9100 \
+//!     --shards 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
+//!     [--replicas R] [--pool W]
+//! ```
+//!
+//! The router speaks the daemon's NDJSON protocol on `--listen` and
+//! places each building on `R` of the shards via consistent hashing,
+//! failing over between replicas when a shard dies. A client `shutdown`
+//! is broadcast to every shard before the router exits.
+
+use std::process::ExitCode;
+
+use fis_serve::{Router, RouterConfig};
+
+const USAGE: &str = "usage:
+  fis-router --listen HOST:PORT --shards HOST:PORT[,HOST:PORT...] \
+[--replicas R] [--pool W]
+
+Fronts N fis-serve TCP daemons with consistent hashing on building id.
+Each building lives on R shards (default 2, clamped to the shard
+count); assign/assign_batch/load fail over between its replicas,
+evict hits all of them, stats aggregates every shard, and shutdown is
+broadcast before the router stops. All shards must serve the same
+model directory so failover is answer-preserving. --pool W bounds the
+front-side worker threads (default: one per core, clamped to 2..=8).";
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let mut listen = None;
+    let mut shards: Vec<String> = Vec::new();
+    let mut replicas = 2usize;
+    let mut pool = 0usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |key: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag --{key} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => listen = Some(value("listen")?),
+            "--shards" => {
+                shards = value("shards")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--replicas" => {
+                replicas = value("replicas")?
+                    .parse()
+                    .map_err(|e| format!("--replicas: {e}"))?;
+            }
+            "--pool" => {
+                pool = value("pool")?.parse().map_err(|e| format!("--pool: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let listen = listen.ok_or_else(|| format!("missing required flag --listen\n{USAGE}"))?;
+    if shards.is_empty() {
+        return Err(format!("missing required flag --shards\n{USAGE}"));
+    }
+    let listener =
+        std::net::TcpListener::bind(&listen).map_err(|e| format!("binding `{listen}`: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("resolving local address: {e}"))?;
+    let router = Router::new(
+        RouterConfig::new(shards.clone())
+            .replicas(replicas)
+            .pool(pool),
+    );
+    eprintln!(
+        "# fis-router: listening on {local}, {} shard(s) [{}], {} replica(s) per building",
+        shards.len(),
+        shards.join(", "),
+        replicas.clamp(1, shards.len())
+    );
+    router
+        .serve_tcp(&listener)
+        .map_err(|e| format!("serving {local}: {e}"))?;
+    eprintln!("# fis-router: stopped");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

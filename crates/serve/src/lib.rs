@@ -44,6 +44,20 @@
 //! and at several cache capacities — and diffs against
 //! `FittedModel::assign`.
 //!
+//! # Concurrency and scale-out
+//!
+//! The daemon's shared state ([`registry::SharedRegistry`] + a metrics
+//! mutex) makes [`Daemon::handle_line`] a `&self` method: TCP mode
+//! serves many connections at once on a bounded worker pool
+//! ([`pool`]), inference running outside every lock, with graceful
+//! shutdown that drains in-flight connections. One tier up,
+//! [`router::Router`] (the `fis-router` bin) fronts N daemon shards
+//! with a consistent-hash ring on building id, replicating each
+//! building onto R shards and failing over mid-request when a shard
+//! dies. Both layers preserve the determinism contract: answers are a
+//! pure function of (model artifact, scan content), so any worker, any
+//! replica, and any retry produces the same bytes.
+//!
 //! # Example
 //!
 //! ```
@@ -51,7 +65,7 @@
 //!
 //! let dir = std::env::temp_dir().join("fis_serve_doc_example");
 //! std::fs::create_dir_all(&dir).unwrap();
-//! let mut daemon = Daemon::new(DaemonConfig::new(
+//! let daemon = Daemon::new(DaemonConfig::new(
 //!     RegistryConfig::new(&dir).max_models(4),
 //! ));
 //! let (response, shutdown) = daemon.handle_line(r#"{"op":"stats"}"#);
@@ -61,12 +75,18 @@
 
 pub mod error;
 pub mod metrics;
+pub mod pool;
 pub mod protocol;
 pub mod registry;
+pub mod router;
 pub mod server;
 
 pub use error::ServeError;
 pub use metrics::{OpMetrics, ServingMetrics};
+pub use pool::LineServer;
 pub use protocol::{Frame, Request};
-pub use registry::{AssignCache, Fetch, ModelRegistry, RegistryConfig, RegistryStats, ScanKey};
+pub use registry::{
+    AssignCache, Fetch, ModelRegistry, RegistryConfig, RegistryStats, ScanKey, SharedRegistry,
+};
+pub use router::{Router, RouterConfig};
 pub use server::{Daemon, DaemonConfig};

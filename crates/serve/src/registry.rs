@@ -45,7 +45,7 @@
 //!   that collide on the 64-bit hash can never alias each other's
 //!   answers.
 //! - **Per-entry lifetime** — the cache lives inside the registry
-//!   [`Entry`] next to its model, so eviction, hot reload, and deletion
+//!   `Entry` next to its model, so eviction, hot reload, and deletion
 //!   detection drop it automatically: a cached answer can never outlive
 //!   the exact artifact generation that produced it.
 //! - **Bounded FIFO** — at most `assign_cache` answers per model,
@@ -523,6 +523,41 @@ impl ModelRegistry {
         self.entries.values().map(|e| e.cache.len()).sum()
     }
 
+    /// Peeks the answer cache without touching the counters. Used by
+    /// [`SharedRegistry`], which holds the registry lock only around the
+    /// lookup and accounts for hits/misses itself.
+    pub fn cached_answer(&self, building: &str, key: &ScanKey) -> Option<FloorId> {
+        self.entries
+            .get(building)
+            .and_then(|entry| entry.cache.get(key))
+    }
+
+    /// The assign answer-cache counters, for callers that replay or
+    /// dedupe answers outside [`ModelRegistry::assign`].
+    pub fn assign_counters_mut(&mut self) -> &mut CacheCounters {
+        &mut self.stats.assign_cache
+    }
+
+    /// Stores an answer that was computed *outside* the registry lock —
+    /// but only if the cached entry still holds exactly the model that
+    /// produced it. If the entry was evicted or hot-reloaded in the
+    /// meantime, the answer is silently dropped: caching it against a
+    /// different model generation could serve a stale floor after the
+    /// artifact changed.
+    pub fn store_answer(
+        &mut self,
+        building: &str,
+        model: &Arc<FittedModel>,
+        key: ScanKey,
+        floor: FloorId,
+    ) {
+        if let Some(entry) = self.entries.get_mut(building) {
+            if Arc::ptr_eq(&entry.model, model) {
+                entry.cache.insert(key, floor, &mut self.stats.assign_cache);
+            }
+        }
+    }
+
     /// Drops a cached model; returns whether it was cached. The artifact
     /// stays on disk and the next request reloads it.
     pub fn evict(&mut self, building: &str) -> bool {
@@ -579,6 +614,184 @@ impl ModelRegistry {
                 None => return,
             }
         }
+    }
+}
+
+/// A thread-safe handle over one [`ModelRegistry`], cheap to clone.
+///
+/// The registry itself stays single-threaded behind a mutex; what makes
+/// this scale is that the lock is held only for *bookkeeping* — fetching
+/// the `Arc<FittedModel>`, consulting the answer cache, storing results —
+/// while the actual inference (`FittedModel::assign` /
+/// `assign_stream`) always runs **outside** the lock. Many connections
+/// can therefore label scans concurrently against the same or different
+/// models; they serialize only on cache lookups and disk loads.
+///
+/// Determinism is unaffected by any interleaving: an assignment is a
+/// pure function of `(model, scan content)`, so the lock acquisition
+/// order can reorder *when* answers are computed or cached, never *what*
+/// they are. The one race that could matter — caching an answer after
+/// the model it came from was hot-reloaded — is closed by
+/// [`ModelRegistry::store_answer`]'s same-`Arc` guard.
+#[derive(Debug, Clone)]
+pub struct SharedRegistry {
+    inner: Arc<std::sync::Mutex<ModelRegistry>>,
+    /// Copied out of the (immutable) config so the hot path can check it
+    /// without taking the lock.
+    assign_cache: usize,
+}
+
+impl SharedRegistry {
+    /// Wraps a fresh registry over the configured model directory.
+    pub fn new(config: RegistryConfig) -> Self {
+        let assign_cache = config.assign_cache;
+        Self {
+            inner: Arc::new(std::sync::Mutex::new(ModelRegistry::new(config))),
+            assign_cache,
+        }
+    }
+
+    /// Runs `f` under the registry lock. Keep the closure short — every
+    /// connection serializes on this lock — and never run inference
+    /// inside it.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ModelRegistry) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut guard)
+    }
+
+    /// Fetches the model for `building` (see [`ModelRegistry::get`]).
+    ///
+    /// # Errors
+    ///
+    /// The [`ModelRegistry::get`] errors.
+    pub fn get(&self, building: &str) -> Result<(Arc<FittedModel>, Fetch), ServeError> {
+        self.with(|reg| reg.get(building))
+    }
+
+    /// Labels one scan, replaying the answer cache when enabled; the
+    /// inference itself runs outside the registry lock. Bit-identical to
+    /// [`ModelRegistry::assign`] for any thread interleaving.
+    ///
+    /// # Errors
+    ///
+    /// The [`ModelRegistry::get`] errors, plus [`ServeError::Inference`]
+    /// when the scan cannot be embedded.
+    pub fn assign(&self, building: &str, scan: &SignalSample) -> Result<FloorId, ServeError> {
+        if self.assign_cache == 0 {
+            let (model, _) = self.get(building)?;
+            return model.assign(scan).map_err(ServeError::from);
+        }
+        let key = ScanKey::of(scan);
+        let model = self.with(|reg| -> Result<_, ServeError> {
+            let (model, _) = reg.get(building)?;
+            if let Some(floor) = reg.cached_answer(building, &key) {
+                reg.assign_counters_mut().hit();
+                return Ok(Err(floor));
+            }
+            reg.assign_counters_mut().miss();
+            Ok(Ok(model))
+        })?;
+        let model = match model {
+            Err(cached) => return Ok(cached),
+            Ok(model) => model,
+        };
+        let floor = model.assign(scan).map_err(ServeError::from)?;
+        self.with(|reg| reg.store_answer(building, &model, key, floor));
+        Ok(floor)
+    }
+
+    /// Labels a batch with the same semantics as
+    /// [`ModelRegistry::assign_batch`] — results in input order, cached
+    /// and in-batch-duplicate scans replayed, only unique missing scans
+    /// fanned out over `threads` — but with the fan-out outside the
+    /// registry lock, so concurrent batches against different models
+    /// overlap fully.
+    ///
+    /// # Errors
+    ///
+    /// Only the [`ModelRegistry::get`] errors; per-scan failures land in
+    /// their result slot.
+    #[allow(clippy::type_complexity)]
+    pub fn assign_batch(
+        &self,
+        building: &str,
+        scans: &[SignalSample],
+        threads: usize,
+    ) -> Result<Vec<Result<FloorId, FisError>>, ServeError> {
+        if self.assign_cache == 0 {
+            let (model, _) = self.get(building)?;
+            return Ok(model.assign_stream(scans, threads));
+        }
+        let keys: Vec<ScanKey> = scans.iter().map(ScanKey::of).collect();
+        let mut results: Vec<Option<Result<FloorId, FisError>>> = vec![None; scans.len()];
+        let mut first_of: HashMap<&ScanKey, usize> = HashMap::new();
+        let mut missing: Vec<usize> = Vec::new();
+        // One lock hold for the whole lookup phase: model fetch plus the
+        // per-scan cache peek (hits fill their slots, the first
+        // occurrence of each missing content queues for compute).
+        let model = self.with(|reg| -> Result<_, ServeError> {
+            let (model, _) = reg.get(building)?;
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(floor) = reg.cached_answer(building, key) {
+                    reg.assign_counters_mut().hit();
+                    results[i] = Some(Ok(floor));
+                } else if first_of.contains_key(key) {
+                    reg.assign_counters_mut().hit();
+                } else {
+                    reg.assign_counters_mut().miss();
+                    first_of.insert(key, i);
+                    missing.push(i);
+                }
+            }
+            Ok(model)
+        })?;
+        let subset: Vec<SignalSample> = missing.iter().map(|&i| scans[i].clone()).collect();
+        let computed = model.assign_stream(&subset, threads);
+        self.with(|reg| {
+            for (&i, result) in missing.iter().zip(&computed) {
+                if let Ok(floor) = result {
+                    reg.store_answer(building, &model, keys[i].clone(), *floor);
+                }
+            }
+        });
+        for (&i, result) in missing.iter().zip(computed) {
+            results[i] = Some(result);
+        }
+        for i in 0..results.len() {
+            if results[i].is_none() {
+                let first = first_of[&keys[i]];
+                results[i] = results[first].clone();
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|slot| slot.expect("every slot resolved"))
+            .collect())
+    }
+
+    /// Drops a cached model (see [`ModelRegistry::evict`]).
+    pub fn evict(&self, building: &str) -> bool {
+        self.with(|reg| reg.evict(building))
+    }
+
+    /// Lifetime cache counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.with(|reg| reg.stats())
+    }
+
+    /// Number of models currently cached.
+    pub fn len(&self) -> usize {
+        self.with(|reg| reg.len())
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.with(|reg| reg.is_empty())
+    }
+
+    /// Answers cached across all resident models right now.
+    pub fn assign_cache_entries(&self) -> usize {
+        self.with(|reg| reg.assign_cache_entries())
     }
 }
 

@@ -1,0 +1,524 @@
+//! `fis-router`: a sharding front tier over N daemon backends.
+//!
+//! The router speaks the exact daemon wire protocol on its front side
+//! and forwards each request over TCP to one of N `fis-serve` shards.
+//! Placement is a consistent-hash ring on the **building id** (FNV-1a
+//! over virtual nodes), so one building's traffic — and therefore its
+//! model residency and answer cache — concentrates on a stable shard
+//! subset, and adding a shard only remaps `1/N` of the keyspace.
+//!
+//! Every building is replicated onto the first `replicas` distinct
+//! shards clockwise from its hash. Replication is what makes failover
+//! *answer-preserving* rather than best-effort: shards serve from the
+//! same artifact directory and assignment is a pure function of
+//! (artifact bytes, scan content), so when a shard dies mid-request the
+//! router retries the next replica and the client receives the
+//! bit-identical response the dead shard would have sent. A replica
+//! that errors at the transport level is marked down and skipped on
+//! later requests, but remains a last-resort candidate so a restarted
+//! shard is rediscovered without any clock-based probing (probing on
+//! timers would make routing order depend on wall time; counters and
+//! request order keep the router's behavior reproducible).
+//!
+//! Per-op forwarding:
+//!
+//! - `assign` / `assign_batch` / `load`: first healthy replica in ring
+//!   order, failing over across replicas; the shard's response line is
+//!   relayed **verbatim** (the router never re-serializes answers).
+//! - `evict`: applied to *every* reachable replica (all replica caches
+//!   must drop the model together), answering with the first replica's
+//!   response.
+//! - `stats`: fans out to all shards and wraps per-shard payloads plus
+//!   the router's own counters.
+//! - `shutdown`: broadcast to all shards, then the router itself
+//!   drains and exits.
+//!
+//! Frames that fail to parse are answered locally with the same typed
+//! `protocol` error a daemon would send — no shard round-trip.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use fis_types::json::Json;
+
+use crate::error::ServeError;
+use crate::pool::{self, LineServer};
+use crate::protocol::{error_response, ok_response, parse_frame, Frame, Request};
+
+/// Virtual nodes per shard on the hash ring: enough to spread buildings
+/// evenly across small fleets without making ring construction slow.
+const VNODES: usize = 64;
+
+/// Ring hash: FNV-1a (the same cheap stable hash the registry's answer
+/// cache uses) plus a 64-bit avalanche finalizer. Raw FNV-1a clusters
+/// similar keys — building ids sharing a prefix and differing in a
+/// digit land on the same arc, starving shards — so the finalizer
+/// spreads them before they are placed on the ring.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Backend shard addresses (`host:port`), order-significant: ring
+    /// positions are derived from the address strings.
+    pub shards: Vec<String>,
+    /// Replicas per building (clamped to `1..=shards.len()`).
+    pub replicas: usize,
+    /// Front-side worker-pool size (`0` = machine-sized default, as
+    /// [`crate::DaemonConfig::pool`]).
+    pub pool: usize,
+}
+
+impl RouterConfig {
+    /// A router over the given shard addresses, 2 replicas by default.
+    pub fn new(shards: Vec<String>) -> Self {
+        Self {
+            shards,
+            replicas: 2,
+            pool: 0,
+        }
+    }
+
+    /// Sets the replication factor (clamped to the shard count).
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the front-side worker-pool size (`0` = default).
+    pub fn pool(mut self, pool: usize) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    fn effective_replicas(&self) -> usize {
+        self.replicas.clamp(1, self.shards.len().max(1))
+    }
+
+    fn pool_workers(&self) -> usize {
+        if self.pool > 0 {
+            return self.pool;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, 8)
+    }
+}
+
+/// One pooled backend connection: a write half plus a buffered reader
+/// over a clone of the same socket.
+#[derive(Debug)]
+struct ShardConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ShardConn {
+    fn connect(addr: &str) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// One request/response round trip. Shards answer exactly one line
+    /// per line, so a clean EOF here means the shard died mid-request.
+    fn exchange(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "shard closed the connection before answering",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}
+
+/// One backend shard: its address, a pool of idle connections, and a
+/// health flag maintained purely from request outcomes.
+#[derive(Debug)]
+struct Shard {
+    addr: String,
+    idle: Mutex<Vec<ShardConn>>,
+    down: AtomicBool,
+}
+
+impl Shard {
+    fn new(addr: String) -> Self {
+        Self {
+            addr,
+            idle: Mutex::new(Vec::new()),
+            down: AtomicBool::new(false),
+        }
+    }
+
+    fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
+    }
+
+    /// Sends `line` and returns the shard's response line. A pooled
+    /// connection that fails is retired and the call retried once on a
+    /// fresh socket, so an idle-timeout or daemon restart between
+    /// requests doesn't surface as a shard failure. Success clears the
+    /// down flag; failure sets it.
+    fn call(&self, line: &str) -> std::io::Result<String> {
+        let pooled = self.idle.lock().unwrap_or_else(|p| p.into_inner()).pop();
+        let fresh = match pooled {
+            Some(mut conn) => match conn.exchange(line) {
+                Ok(response) => {
+                    self.finish(conn);
+                    return Ok(response);
+                }
+                // The pooled socket was stale; fall through to a fresh
+                // dial before judging the shard.
+                Err(_) => ShardConn::connect(&self.addr),
+            },
+            None => ShardConn::connect(&self.addr),
+        };
+        let result = fresh.and_then(|mut conn| {
+            let response = conn.exchange(line)?;
+            self.finish(conn);
+            Ok(response)
+        });
+        match &result {
+            Ok(_) => {}
+            Err(_) => self.down.store(true, Ordering::Relaxed),
+        }
+        result
+    }
+
+    fn finish(&self, conn: ShardConn) {
+        self.down.store(false, Ordering::Relaxed);
+        let mut idle = self.idle.lock().unwrap_or_else(|p| p.into_inner());
+        // A tiny cap: the front pool bounds concurrency anyway; beyond
+        // that, parked sockets are just fd pressure.
+        if idle.len() < 8 {
+            idle.push(conn);
+        }
+    }
+}
+
+/// Router-side counters, reported under `"router"` in `stats`.
+#[derive(Debug, Default)]
+struct RouterMetrics {
+    /// Requests handled on the front side (including local errors).
+    requests: AtomicU64,
+    /// Requests answered by a replica other than the primary.
+    failovers: AtomicU64,
+    /// Requests for which every replica was unreachable.
+    unavailable: AtomicU64,
+}
+
+/// The sharding router. See the [module docs](self).
+#[derive(Debug)]
+pub struct Router {
+    config: RouterConfig,
+    shards: Vec<Shard>,
+    /// The consistent-hash ring: `(position, shard index)` sorted by
+    /// position. Built once; routing is a binary search + short walk.
+    ring: Vec<(u64, usize)>,
+    metrics: RouterMetrics,
+}
+
+impl Router {
+    /// Builds the ring over `config.shards`.
+    pub fn new(config: RouterConfig) -> Self {
+        let shards: Vec<Shard> = config.shards.iter().cloned().map(Shard::new).collect();
+        let mut ring = Vec::with_capacity(shards.len() * VNODES);
+        for (i, shard) in shards.iter().enumerate() {
+            for v in 0..VNODES {
+                ring.push((fnv1a(format!("{}#{v}", shard.addr).as_bytes()), i));
+            }
+        }
+        ring.sort_unstable();
+        Self {
+            config,
+            shards,
+            ring,
+            metrics: RouterMetrics::default(),
+        }
+    }
+
+    /// The replica set for `building`: the first `replicas` distinct
+    /// shards clockwise from its ring position. Pure function of the
+    /// configuration — placement never depends on load or health.
+    pub fn route(&self, building: &str) -> Vec<usize> {
+        let replicas = self.config.effective_replicas();
+        let mut order = Vec::with_capacity(replicas);
+        if self.ring.is_empty() {
+            return order;
+        }
+        let key = fnv1a(building.as_bytes());
+        let start = self.ring.partition_point(|&(pos, _)| pos < key);
+        for step in 0..self.ring.len() {
+            let (_, shard) = self.ring[(start + step) % self.ring.len()];
+            if !order.contains(&shard) {
+                order.push(shard);
+                if order.len() == replicas {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// Forwards `line` to the replica set in placement order, healthy
+    /// shards first, down shards as last resort. Returns the winning
+    /// replica's response verbatim plus whether a failover happened.
+    fn forward(&self, building: &str, line: &str) -> Result<(String, bool), ServeError> {
+        let order = self.route(building);
+        let attempt_rounds: [&dyn Fn(&Shard) -> bool; 2] =
+            [&|s: &Shard| !s.is_down(), &|s: &Shard| s.is_down()];
+        for (round, eligible) in attempt_rounds.iter().enumerate() {
+            for (rank, &i) in order.iter().enumerate() {
+                let shard = &self.shards[i];
+                if !eligible(shard) {
+                    continue;
+                }
+                if let Ok(response) = shard.call(line) {
+                    return Ok((response, rank > 0 || round > 0));
+                }
+            }
+        }
+        Err(ServeError::Unavailable(format!(
+            "no reachable replica for building `{building}` \
+             ({} candidates tried)",
+            order.len()
+        )))
+    }
+
+    /// Applies `line` to every reachable replica of `building` (used
+    /// for `evict`, which must hit all replica caches), returning the
+    /// first successful response.
+    fn forward_all(&self, building: &str, line: &str) -> Result<(String, bool), ServeError> {
+        let order = self.route(building);
+        let mut first: Option<(String, bool)> = None;
+        for (rank, &i) in order.iter().enumerate() {
+            if let Ok(response) = self.shards[i].call(line) {
+                if first.is_none() {
+                    first = Some((response, rank > 0));
+                }
+            }
+        }
+        first.ok_or_else(|| {
+            ServeError::Unavailable(format!(
+                "no reachable replica for building `{building}` \
+                 ({} candidates tried)",
+                order.len()
+            ))
+        })
+    }
+
+    /// `stats`: the router's own counters plus each shard's payload
+    /// (or its error) keyed by shard address.
+    fn stats_response(&self, id: Option<&Json>) -> Json {
+        let mut per_shard = BTreeMap::new();
+        for shard in &self.shards {
+            let value = match shard.call(r#"{"op":"stats"}"#) {
+                Ok(line) => match Json::parse(&line) {
+                    Ok(json) => json.get("stats").cloned().unwrap_or(json),
+                    Err(e) => {
+                        ServeError::Protocol(format!("unparseable shard stats: {e}")).to_json()
+                    }
+                },
+                Err(e) => ServeError::Unavailable(format!("shard unreachable: {e}")).to_json(),
+            };
+            per_shard.insert(shard.addr.clone(), value);
+        }
+        let router = Json::obj([
+            (
+                "requests",
+                Json::Num(self.metrics.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "failovers",
+                Json::Num(self.metrics.failovers.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "unavailable",
+                Json::Num(self.metrics.unavailable.load(Ordering::Relaxed) as f64),
+            ),
+            ("shards", Json::Num(self.shards.len() as f64)),
+            (
+                "replicas",
+                Json::Num(self.config.effective_replicas() as f64),
+            ),
+        ]);
+        ok_response(
+            "stats",
+            id,
+            [("router", router), ("shards", Json::Obj(per_shard))],
+        )
+    }
+
+    /// Handles one front-side request line; the router-side equivalent
+    /// of [`crate::Daemon::handle_line`].
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let frame = match parse_frame(line) {
+            Ok(frame) => frame,
+            Err(fe) => {
+                return (
+                    error_response(fe.op.as_deref(), fe.id.as_ref(), &fe.error).to_string(),
+                    false,
+                )
+            }
+        };
+        let Frame { id, request } = frame;
+        let op = request.op();
+        let forwarded = match &request {
+            Request::Assign { building, .. }
+            | Request::AssignBatch { building, .. }
+            | Request::Load { building } => self.forward(building, line.trim()),
+            Request::Evict { building } => self.forward_all(building, line.trim()),
+            Request::Stats => return (self.stats_response(id.as_ref()).to_string(), false),
+            Request::Shutdown => {
+                for shard in &self.shards {
+                    shard.call(line.trim()).ok();
+                }
+                return (ok_response("shutdown", id.as_ref(), []).to_string(), true);
+            }
+        };
+        match forwarded {
+            Ok((response, failed_over)) => {
+                if failed_over {
+                    self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                (response, false)
+            }
+            Err(e) => {
+                self.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+                (error_response(Some(op), id.as_ref(), &e).to_string(), false)
+            }
+        }
+    }
+
+    /// Serves the front side on a bounded worker pool until a client
+    /// sends `shutdown` (which is broadcast to the shards first).
+    ///
+    /// # Errors
+    ///
+    /// Only non-transient accept-level I/O errors.
+    pub fn serve_tcp(&self, listener: &TcpListener) -> std::io::Result<()> {
+        pool::serve_pooled(listener, self, self.config.pool_workers())
+    }
+}
+
+impl LineServer for Router {
+    fn handle(&self, line: &str) -> (String, bool) {
+        self.handle_line(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_router(n: usize, replicas: usize) -> Router {
+        let shards = (0..n).map(|i| format!("127.0.0.1:{}", 40000 + i)).collect();
+        Router::new(RouterConfig::new(shards).replicas(replicas))
+    }
+
+    #[test]
+    fn route_is_stable_distinct_and_replica_sized() {
+        let router = test_router(5, 3);
+        for building in ["hq", "lab", "annex", "tower-9", ""] {
+            let order = router.route(building);
+            assert_eq!(order.len(), 3, "{building}: replica count");
+            let mut dedup = order.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "{building}: replicas are distinct");
+            assert_eq!(order, router.route(building), "{building}: stable");
+            assert!(order.iter().all(|&i| i < 5));
+        }
+    }
+
+    #[test]
+    fn replicas_clamp_to_shard_count() {
+        assert_eq!(test_router(2, 8).route("hq").len(), 2);
+        assert_eq!(test_router(3, 0).route("hq").len(), 1);
+    }
+
+    #[test]
+    fn ring_spreads_buildings_across_shards() {
+        let router = test_router(4, 1);
+        let mut hits = [0usize; 4];
+        for i in 0..512 {
+            hits[router.route(&format!("building-{i}"))[0]] += 1;
+        }
+        // Perfect balance is 128 each; require every shard to carry a
+        // real share of the keyspace (no starved or hot-spotted shard).
+        assert!(
+            hits.iter().all(|&h| h >= 32),
+            "512 buildings spread poorly: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn adding_a_shard_only_remaps_a_fraction() {
+        let before = test_router(4, 1);
+        let shards = (0..5).map(|i| format!("127.0.0.1:{}", 40000 + i)).collect();
+        let after = Router::new(RouterConfig::new(shards).replicas(1));
+        let moved = (0..200)
+            .filter(|i| {
+                let b = format!("building-{i}");
+                before.route(&b) != after.route(&b)
+            })
+            .count();
+        // Ideal is 1/5 = 40 of 200; allow generous slack, but far below
+        // the full reshuffle a modulo scheme would cause.
+        assert!(moved < 100, "{moved}/200 buildings moved on scale-out");
+    }
+
+    #[test]
+    fn unreachable_shards_yield_typed_unavailable_error() {
+        // Nothing listens on these ports.
+        let router = test_router(2, 2);
+        let (response, shutdown) = router.handle_line(r#"{"op":"load","building":"hq","id":7}"#);
+        assert!(!shutdown);
+        let json = Json::parse(&response).unwrap();
+        assert_eq!(json.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            json.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("unavailable")
+        );
+        assert_eq!(json.get("id").unwrap().as_usize(), Some(7));
+        assert_eq!(json.get("op").unwrap().as_str(), Some("load"));
+    }
+
+    #[test]
+    fn malformed_frames_are_answered_locally() {
+        let router = test_router(2, 2);
+        let (response, _) = router.handle_line("not json");
+        let json = Json::parse(&response).unwrap();
+        assert_eq!(
+            json.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("protocol"),
+            "no shard needed to reject a bad frame"
+        );
+    }
+}

@@ -1,32 +1,41 @@
-//! The serving daemon: dispatch loop, pipe mode, TCP mode.
+//! The serving daemon: dispatch loop, pipe mode, concurrent TCP mode.
 //!
-//! [`Daemon`] owns the [`ModelRegistry`] and [`ServingMetrics`] and
-//! turns request lines into response lines. Three front-ends share the
-//! exact same dispatch path:
+//! [`Daemon`] owns a [`SharedRegistry`] and [`ServingMetrics`] and turns
+//! request lines into response lines. Three front-ends share the exact
+//! same dispatch path:
 //!
 //! - [`Daemon::serve_connection`] — any `BufRead`/`Write` pair,
 //! - [`Daemon::serve_stdio`] — pipe mode (`fis-one serve` default),
-//! - [`Daemon::serve_tcp`] — a TCP listener; connections are served one
-//!   at a time to completion, which keeps the daemon single-writer over
-//!   the registry while batches still fan out over `fis-parallel`
-//!   internally. A client disconnect moves on to the next connection; a
-//!   `shutdown` request stops the daemon.
+//! - [`Daemon::serve_tcp`] — a TCP listener served by a bounded
+//!   worker-thread pool ([`crate::pool`]), so many connections are in
+//!   flight at once and one slow or idle client no longer stalls the
+//!   rest. A `shutdown` request from *any* connection drains the pool
+//!   and stops the daemon; a dropped connection just frees its worker.
 //!
-//! Responses are written in request order and flushed per line, so a
-//! pipelined client never deadlocks. Every failure is a typed error
-//! response; the loop itself only exits on EOF, `shutdown`, or a dead
-//! transport.
+//! Per connection, responses are written in request order and flushed
+//! per line, so a pipelined client never deadlocks. Every failure is a
+//! typed error response; a connection loop only exits on EOF, shutdown,
+//! or a dead transport.
+//!
+//! Shared state is interior: [`Daemon::handle_line`] takes `&self`, the
+//! registry serializes only its bookkeeping (inference runs outside the
+//! lock — see [`SharedRegistry`]), and metrics sit behind their own
+//! mutex. Locking order is always registry-then-metrics-free: the two
+//! locks are never held at once, so the daemon cannot deadlock on
+//! itself.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Write};
 use std::net::TcpListener;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use fis_types::json::Json;
 
 use crate::error::ServeError;
 use crate::metrics::ServingMetrics;
+use crate::pool::{self, LineServer};
 use crate::protocol::{error_response, ok_response, parse_frame, Frame, Request};
-use crate::registry::{Fetch, ModelRegistry, RegistryConfig};
+use crate::registry::{Fetch, RegistryConfig, SharedRegistry};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +47,10 @@ pub struct DaemonConfig {
     pub threads: usize,
     /// Largest accepted `assign_batch` size (`0` = unlimited).
     pub max_batch: usize,
+    /// TCP connection-pool workers (`0` = a machine-sized default,
+    /// `available_parallelism` clamped to `2..=8`). Pipe mode ignores
+    /// this.
+    pub pool: usize,
 }
 
 impl DaemonConfig {
@@ -47,6 +60,7 @@ impl DaemonConfig {
             registry,
             threads: 0,
             max_batch: 0,
+            pool: 0,
         }
     }
 
@@ -60,6 +74,23 @@ impl DaemonConfig {
     pub fn max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch;
         self
+    }
+
+    /// Sets the TCP worker-pool size (`0` = machine-sized default).
+    pub fn pool(mut self, pool: usize) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The effective TCP pool size.
+    pub fn pool_workers(&self) -> usize {
+        if self.pool > 0 {
+            return self.pool;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, 8)
     }
 }
 
@@ -110,41 +141,46 @@ impl RequestOutcome {
 #[derive(Debug)]
 pub struct Daemon {
     config: DaemonConfig,
-    registry: ModelRegistry,
-    metrics: ServingMetrics,
+    registry: SharedRegistry,
+    metrics: Mutex<ServingMetrics>,
 }
 
 impl Daemon {
     /// Creates a daemon with an empty cache and fresh metrics.
     pub fn new(config: DaemonConfig) -> Self {
-        let registry = ModelRegistry::new(config.registry.clone());
+        let registry = SharedRegistry::new(config.registry.clone());
         Self {
             config,
             registry,
-            metrics: ServingMetrics::new(),
+            metrics: Mutex::new(ServingMetrics::new()),
         }
     }
 
-    /// The daemon's registry (cache state and counters).
-    pub fn registry(&self) -> &ModelRegistry {
+    /// The daemon's registry handle (cache state and counters).
+    pub fn registry(&self) -> &SharedRegistry {
         &self.registry
     }
 
-    /// The daemon's serving metrics.
-    pub fn metrics(&self) -> &ServingMetrics {
-        &self.metrics
+    /// The current `stats` payload (also printed on daemon exit).
+    pub fn stats_json(&self) -> Json {
+        let metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        self.registry.with(|reg| metrics.to_json(reg))
     }
 
     /// Handles one request line and returns `(response, shutdown)`.
     /// Infallible by design: malformed input becomes a typed error
-    /// response.
-    pub fn handle_line(&mut self, line: &str) -> (Json, bool) {
+    /// response. Safe to call from many threads at once; answers are
+    /// bit-identical for any interleaving.
+    pub fn handle_line(&self, line: &str) -> (Json, bool) {
         let started = Instant::now();
         let frame = match parse_frame(line) {
             Ok(frame) => frame,
             Err(fe) => {
                 let latency = started.elapsed().as_secs_f64() * 1e9;
-                self.metrics.record(None, 0, 0, true, latency);
+                self.metrics
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .record(None, 0, 0, true, latency);
                 return (
                     error_response(fe.op.as_deref(), fe.id.as_ref(), &fe.error),
                     false,
@@ -162,15 +198,18 @@ impl Daemon {
         };
         let outcome = self.dispatch(request, id.as_ref());
         let latency = started.elapsed().as_secs_f64() * 1e9;
-        // Per-model scopes only for buildings that resolved to a real
-        // artifact (or already have a scope) — a client spraying made-up
-        // ids must not grow the metrics map without bound.
-        let scope = model_key
-            .as_deref()
-            .filter(|b| outcome.tenant_exists || self.metrics.has_scope(b));
-        let failed = outcome.result.is_err() || outcome.scan_failures > 0;
-        self.metrics
-            .record(scope, outcome.attempted, outcome.labeled, failed, latency);
+        {
+            // Per-model scopes only for buildings that resolved to a
+            // real artifact (or already have a scope) — a client
+            // spraying made-up ids must not grow the metrics map
+            // without bound.
+            let mut metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+            let scope = model_key
+                .as_deref()
+                .filter(|b| outcome.tenant_exists || metrics.has_scope(b));
+            let failed = outcome.result.is_err() || outcome.scan_failures > 0;
+            metrics.record(scope, outcome.attempted, outcome.labeled, failed, latency);
+        }
         let response = match outcome.result {
             Ok(json) => json,
             Err(e) => error_response(Some(op), id.as_ref(), &e),
@@ -178,7 +217,7 @@ impl Daemon {
         (response, outcome.shutdown)
     }
 
-    fn dispatch(&mut self, request: Request, id: Option<&Json>) -> RequestOutcome {
+    fn dispatch(&self, request: Request, id: Option<&Json>) -> RequestOutcome {
         match request {
             // The registry's cached assign path: exact answers whether
             // they replay from the cache or compute fresh.
@@ -248,7 +287,8 @@ impl Daemon {
                 }
             }
             Request::Stats => {
-                let stats = self.metrics.to_json(&self.registry);
+                let metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+                let stats = self.registry.with(|reg| metrics.to_json(reg));
                 RequestOutcome::ok(ok_response("stats", id, [("stats", stats)]))
             }
             Request::Shutdown => RequestOutcome {
@@ -259,7 +299,7 @@ impl Daemon {
     }
 
     fn assign_batch(
-        &mut self,
+        &self,
         building: &str,
         scans: &[fis_types::SignalSample],
         id: Option<&Json>,
@@ -317,33 +357,20 @@ impl Daemon {
     }
 
     /// Serves one transport to completion. Returns `Ok(true)` when a
-    /// `shutdown` request ended the session, `Ok(false)` on EOF.
+    /// `shutdown` request ended the session, `Ok(false)` on EOF. Lines
+    /// are read as raw bytes and decoded lossily, so invalid UTF-8 on
+    /// the wire yields a typed `protocol` error response instead of an
+    /// `InvalidData` transport error.
     ///
     /// # Errors
     ///
     /// Only transport-level I/O errors; bad requests never error here.
     pub fn serve_connection<R: BufRead, W: Write>(
-        &mut self,
-        mut reader: R,
-        mut writer: W,
+        &self,
+        reader: R,
+        writer: W,
     ) -> std::io::Result<bool> {
-        let mut line = String::new();
-        loop {
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                return Ok(false);
-            }
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
-            let (response, shutdown) = self.handle_line(trimmed);
-            writeln!(writer, "{response}")?;
-            writer.flush()?;
-            if shutdown {
-                return Ok(true);
-            }
-        }
+        pool::serve_lines(reader, writer, self)
     }
 
     /// Pipe mode: serves stdin → stdout until EOF or `shutdown`.
@@ -351,37 +378,30 @@ impl Daemon {
     /// # Errors
     ///
     /// Only stdin/stdout I/O errors.
-    pub fn serve_stdio(&mut self) -> std::io::Result<bool> {
+    pub fn serve_stdio(&self) -> std::io::Result<bool> {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         self.serve_connection(stdin.lock(), stdout.lock())
     }
 
-    /// TCP mode: accepts connections one at a time until a client sends
-    /// `shutdown`. A dropped connection is not fatal — the daemon logs
-    /// it and accepts the next one.
+    /// TCP mode: serves connections concurrently on a bounded worker
+    /// pool ([`DaemonConfig::pool`]) until a client sends `shutdown`;
+    /// queued and in-flight connections are drained before returning.
+    /// A dropped connection is not fatal, and transient accept errors
+    /// (`ECONNABORTED`, fd exhaustion, …) are logged and survived.
     ///
     /// # Errors
     ///
-    /// Only accept-level I/O errors.
-    pub fn serve_tcp(&mut self, listener: &TcpListener) -> std::io::Result<()> {
-        for stream in listener.incoming() {
-            let stream = stream?;
-            // Request/response frames are small; Nagle + delayed ACK
-            // would add ~40ms per round-trip.
-            stream.set_nodelay(true).ok();
-            let peer = stream.peer_addr().ok();
-            let reader = BufReader::new(stream.try_clone()?);
-            match self.serve_connection(reader, &stream) {
-                Ok(true) => return Ok(()),
-                Ok(false) => {}
-                Err(e) => {
-                    let peer = peer.map_or_else(|| "client".to_owned(), |p| p.to_string());
-                    eprintln!("# fis-serve: connection to {peer} failed: {e}");
-                }
-            }
-        }
-        Ok(())
+    /// Only non-transient accept-level I/O errors.
+    pub fn serve_tcp(&self, listener: &TcpListener) -> std::io::Result<()> {
+        pool::serve_pooled(listener, self, self.config.pool_workers())
+    }
+}
+
+impl LineServer for Daemon {
+    fn handle(&self, line: &str) -> (String, bool) {
+        let (response, shutdown) = self.handle_line(line);
+        (response.to_string(), shutdown)
     }
 }
 
@@ -429,7 +449,7 @@ mod tests {
 
     #[test]
     fn assign_via_daemon_matches_direct_assign() {
-        let (mut daemon, dir, buildings) = daemon_over(&[("srv", 21)], "assign");
+        let (daemon, dir, buildings) = daemon_over(&[("srv", 21)], "assign");
         let b = &buildings[0];
         let model = FittedModel::load(dir.join("srv.json")).unwrap();
         for scan in b.samples().iter().take(5) {
@@ -450,7 +470,7 @@ mod tests {
 
     #[test]
     fn batch_results_in_input_order_with_per_scan_errors() {
-        let (mut daemon, dir, buildings) = daemon_over(&[("batch", 22)], "batch");
+        let (daemon, dir, buildings) = daemon_over(&[("batch", 22)], "batch");
         let b = &buildings[0];
         let mut scans: Vec<Json> = b.samples().iter().take(4).map(|s| s.to_json()).collect();
         // An alien scan in the middle: the batch continues around it.
@@ -487,7 +507,7 @@ mod tests {
     fn oversized_batch_is_capacity_error() {
         let dir = std::env::temp_dir().join(format!("fis_server_cap_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)).max_batch(2));
+        let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)).max_batch(2));
         let (response, _) = daemon.handle_line(
             r#"{"op":"assign_batch","building":"x","scans":[{"id":0,"readings":[]},{"id":1,"readings":[]},{"id":2,"readings":[]}]}"#,
         );
@@ -501,7 +521,7 @@ mod tests {
 
     #[test]
     fn serve_connection_pipeline_and_shutdown() {
-        let (mut daemon, dir, buildings) = daemon_over(&[("pipe", 23)], "pipe");
+        let (daemon, dir, buildings) = daemon_over(&[("pipe", 23)], "pipe");
         let scan = buildings[0].samples()[0].to_json();
         let script = format!(
             "{}\n\nnot json at all\n{}\n{}\n",
@@ -554,7 +574,6 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let handle = std::thread::spawn(move || {
-            let mut daemon = daemon;
             daemon.serve_tcp(&listener).unwrap();
             daemon
         });
@@ -599,6 +618,41 @@ mod tests {
         }
         let daemon = handle.join().unwrap();
         assert_eq!(daemon.registry().stats().hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_utf8_line_is_typed_protocol_error_not_transport_death() {
+        let (daemon, dir, buildings) = daemon_over(&[("bytes", 25)], "bytes");
+        let scan = buildings[0].samples()[0].to_json();
+        let assign = Json::obj([
+            ("op", Json::Str("assign".into())),
+            ("building", Json::Str("bytes".into())),
+            ("scan", scan),
+        ])
+        .to_string();
+        // A raw 0xFF byte mid-stream previously surfaced as an
+        // InvalidData error from read_line and killed the connection.
+        let mut script = Vec::new();
+        script.extend_from_slice(b"{\"op\":\"stats\",\xff\xfe}\n");
+        script.extend_from_slice(assign.as_bytes());
+        script.extend_from_slice(b"\n{\"op\":\"shutdown\"}\n");
+        let mut out = Vec::new();
+        let shutdown = daemon.serve_connection(&script[..], &mut out).unwrap();
+        assert!(shutdown, "connection survived to the shutdown line");
+        let lines: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3, "every line answered");
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            lines[0].get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("protocol"),
+            "non-UTF-8 frame must be a typed protocol error"
+        );
+        assert_eq!(lines[1].get("ok"), Some(&Json::Bool(true)));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -145,11 +145,22 @@ impl ToJson for SignalSample {
 
 impl FromJson for SignalSample {
     fn from_json(value: &Json) -> Result<Self, TypeError> {
+        // Ids ride the wire as JSON numbers (f64): anything past 2^32-1
+        // is rejected here, *before* any floor-identification work, so
+        // an id can never silently lose precision at the f64 boundary
+        // (2^53) and collide with another scan's id in a response.
         let id = value
             .field("id")?
             .as_usize()
             .and_then(|v| u32::try_from(v).ok())
-            .ok_or_else(|| TypeError::Io("sample id must be a u32".to_owned()))?;
+            .ok_or_else(|| {
+                TypeError::Io(format!(
+                    "sample id must be an integer in 0..=4294967295, got {}",
+                    value
+                        .field("id")
+                        .map_or_else(|_| "nothing".into(), Json::to_string)
+                ))
+            })?;
         let mut builder = SignalSample::builder(id);
         for pair in value
             .field("readings")?
@@ -231,6 +242,34 @@ mod tests {
         assert!(s.contains(m));
         assert!(!s.contains(other));
         assert_eq!(s.rssi_of(other), None);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected_at_parse_time() {
+        // In-range boundary parses.
+        let max = Json::parse(r#"{"id":4294967295,"readings":[]}"#).unwrap();
+        assert_eq!(
+            SignalSample::from_json(&max).unwrap().id().index(),
+            u32::MAX as usize
+        );
+        // Everything that cannot round-trip as a u32 through an f64 wire
+        // number is a parse error, not a silently mangled id: past u32,
+        // past f64's 2^53 integer precision, fractional, or negative.
+        for bad in [
+            r#"{"id":4294967296,"readings":[]}"#,
+            r#"{"id":9007199254740993,"readings":[]}"#,
+            r#"{"id":18446744073709551615,"readings":[]}"#,
+            r#"{"id":1.5,"readings":[]}"#,
+            r#"{"id":-1,"readings":[]}"#,
+            r#"{"id":"7","readings":[]}"#,
+        ] {
+            let err = SignalSample::from_json(&Json::parse(bad).unwrap())
+                .expect_err(&format!("{bad} must be rejected"));
+            assert!(
+                err.to_string().contains("0..=4294967295"),
+                "{bad}: error names the accepted range, got: {err}"
+            );
+        }
     }
 
     #[test]

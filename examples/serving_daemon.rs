@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. A daemon over the directory: cache capped at one model so the
     //    second tenant forces an LRU eviction.
-    let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir).max_models(1)));
+    let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir).max_models(1)));
 
     // 3. Drive the wire protocol.
     let hq_scan = tenants[0].samples()[0].to_json();

@@ -72,7 +72,7 @@ const USAGE: &str = "usage:
   fis-one fit      --corpus FILE --out FILE [--building NAME] [--seed S] \
 [--threads T]
   fis-one assign   --model FILE --scans FILE [--building NAME] [--threads T]
-  fis-one serve    --models DIR [--tcp ADDR] [--max-models N] \
+  fis-one serve    --models DIR [--tcp ADDR] [--pool W] [--max-models N] \
 [--max-bytes B] [--max-batch K] [--threads T] [--assign-cache C]
   fis-one stats    --corpus FILE
 
@@ -93,10 +93,14 @@ printing the same format as identify so the two can be diffed.
 serve runs the long-lived multi-tenant daemon over a directory of
 fitted artifacts (DIR/<building>.json, lazy-loaded, LRU-evicted,
 hot-reloaded on change), speaking newline-delimited JSON on
-stdin/stdout, or on a TCP listener with --tcp HOST:PORT.
+stdin/stdout, or on a TCP listener with --tcp HOST:PORT. TCP mode
+serves connections concurrently on a bounded pool of --pool W worker
+threads (default: one per core, clamped to 2..=8).
 --assign-cache C keeps up to C recent answers per model, keyed by
 scan content — answers are bit-identical with the cache on or off.
-Send {\"op\":\"shutdown\"} for a clean stop; final stats go to stderr.";
+Send {\"op\":\"shutdown\"} for a clean stop; final stats go to stderr.
+A sharded front tier for multi-daemon fleets ships as the separate
+fis-router binary (see crates/serve).";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -374,10 +378,11 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         .max_models(flag("max-models")? as usize)
         .max_bytes(flag("max-bytes")?)
         .assign_cache(flag("assign-cache")? as usize);
-    let mut daemon = Daemon::new(
+    let daemon = Daemon::new(
         DaemonConfig::new(registry)
             .threads(flag("threads")? as usize)
-            .max_batch(flag("max-batch")? as usize),
+            .max_batch(flag("max-batch")? as usize)
+            .pool(flag("pool")? as usize),
     );
     match opts.get("tcp") {
         None => {
@@ -398,10 +403,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|e| format!("serving {local}: {e}"))?;
         }
     }
-    eprintln!(
-        "# fis-serve: stopped; final stats {}",
-        daemon.metrics().to_json(daemon.registry())
-    );
+    eprintln!("# fis-serve: stopped; final stats {}", daemon.stats_json());
     Ok(())
 }
 

@@ -1,0 +1,273 @@
+//! Concurrent-serving determinism against the golden fixtures.
+//!
+//! The concurrency layers added on top of the daemon — the bounded
+//! connection pool and the sharding `fis-router` with replica failover —
+//! must be *invisible* in the answers: golden scans served by N
+//! interleaved clients, through any shard placement, and across a shard
+//! dying mid-run, produce floors **bit-identical** to the checked-in
+//! `tests/fixtures/golden_assign.jsonl` and to a sequential
+//! single-connection baseline. Assignment is a pure function of
+//! (model artifact, scan content), so interleaving, lock acquisition
+//! order, worker scheduling, and failover retries may only change
+//! timing — never bytes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use fis_one::types::io;
+use fis_one::types::json::{Json, ToJson};
+use fis_one::{
+    Building, Daemon, DaemonConfig, FisOne, FisOneConfig, RegistryConfig, Router, RouterConfig,
+};
+
+const GOLDEN_SEED: u64 = 7;
+const CLIENTS: usize = 4;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Loads the golden building and stages its fitted artifact in a fresh
+/// temp model directory.
+fn stage_golden(tag: &str) -> (Building, PathBuf) {
+    let corpus = io::load_jsonl(fixture("golden_corpus.jsonl")).expect("golden corpus");
+    let building = corpus.buildings()[0].clone();
+    let model = FisOne::new(FisOneConfig::default().seed(GOLDEN_SEED))
+        .fit(
+            building.name(),
+            building.samples(),
+            building.floors(),
+            building.bottom_anchor().expect("bottom surveyed"),
+        )
+        .expect("golden building fits");
+    let dir = std::env::temp_dir().join(format!("fis_conc_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    model
+        .save(dir.join(format!("{}.json", building.name())))
+        .unwrap();
+    (building, dir)
+}
+
+/// One NDJSON round trip on an existing connection.
+fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, request: &str) -> Json {
+    writeln!(writer, "{request}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"))
+}
+
+fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).ok();
+    (BufReader::new(stream.try_clone().unwrap()), stream)
+}
+
+/// Serves `scans[range]` through `addr` over `CLIENTS` interleaved
+/// connections (scan `i` rides connection `i mod CLIENTS`, all clients
+/// in flight at once) and returns `(scan index, floor)` pairs.
+fn assign_interleaved(addr: &str, building: &Building, indices: &[usize]) -> Vec<(usize, usize)> {
+    let mut results: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let share: Vec<usize> = indices
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(pos, _)| pos % CLIENTS == c)
+                    .map(|(_, i)| i)
+                    .collect();
+                scope.spawn(move || {
+                    let (mut reader, mut writer) = connect(addr);
+                    share
+                        .into_iter()
+                        .map(|i| {
+                            let request = Json::obj([
+                                ("op", Json::Str("assign".into())),
+                                ("building", Json::Str(building.name().to_owned())),
+                                ("scan", building.samples()[i].to_json()),
+                                ("id", Json::Num(i as f64)),
+                            ])
+                            .to_string();
+                            let response = roundtrip(&mut reader, &mut writer, &request);
+                            assert_eq!(
+                                response.get("ok"),
+                                Some(&Json::Bool(true)),
+                                "scan {i}: {response}"
+                            );
+                            // The correlation id must round-trip exactly.
+                            assert_eq!(response.get("id").unwrap().as_usize(), Some(i));
+                            (i, response.get("floor").unwrap().as_usize().unwrap())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    results.sort_unstable();
+    results
+}
+
+/// Renders floors in the `golden_assign.jsonl` line format.
+fn render(building: &Building, floors: &[(usize, usize)]) -> String {
+    floors
+        .iter()
+        .map(|&(i, floor)| {
+            let line = Json::obj([
+                ("building", Json::Str(building.name().to_owned())),
+                ("floor", Json::Num(floor as f64)),
+                ("id", Json::Num(i as f64)),
+            ]);
+            format!("{line}\n")
+        })
+        .collect()
+}
+
+fn golden_expected() -> String {
+    std::fs::read_to_string(fixture("golden_assign.jsonl"))
+        .expect("golden assign fixture (run FIS_REGEN_GOLDEN=1 via golden_fixtures once)")
+}
+
+#[test]
+fn pooled_daemon_serves_interleaved_clients_bit_identically() {
+    let (building, dir) = stage_golden("pool");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let daemon = Daemon::new(
+        DaemonConfig::new(RegistryConfig::new(&dir).assign_cache(64)).pool(CLIENTS + 2),
+    );
+    let server = std::thread::spawn(move || daemon.serve_tcp(&listener).unwrap());
+
+    let all: Vec<usize> = (0..building.samples().len()).collect();
+
+    // Sequential single-connection baseline first, then the same scans
+    // again over interleaved concurrent clients — the second pass also
+    // replays against a *warm* answer cache, which must be invisible.
+    let sequential = assign_interleaved_baseline(&addr, &building, &all);
+    let concurrent = assign_interleaved(&addr, &building, &all);
+    assert_eq!(
+        sequential, concurrent,
+        "concurrent interleaving changed answers vs the sequential baseline"
+    );
+    assert_eq!(
+        render(&building, &concurrent),
+        golden_expected(),
+        "pooled daemon diverged from tests/fixtures/golden_assign.jsonl"
+    );
+
+    let (mut reader, mut writer) = connect(&addr);
+    roundtrip(&mut reader, &mut writer, r#"{"op":"shutdown"}"#);
+    server.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The sequential reference: one connection, scans in order.
+fn assign_interleaved_baseline(
+    addr: &str,
+    building: &Building,
+    indices: &[usize],
+) -> Vec<(usize, usize)> {
+    let (mut reader, mut writer) = connect(addr);
+    indices
+        .iter()
+        .map(|&i| {
+            let request = Json::obj([
+                ("op", Json::Str("assign".into())),
+                ("building", Json::Str(building.name().to_owned())),
+                ("scan", building.samples()[i].to_json()),
+            ])
+            .to_string();
+            let response = roundtrip(&mut reader, &mut writer, &request);
+            assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response}");
+            (i, response.get("floor").unwrap().as_usize().unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn router_survives_shard_death_mid_run_bit_identically() {
+    let (building, dir) = stage_golden("router");
+
+    // Three shards over the same artifact directory.
+    let mut shard_addrs = Vec::new();
+    let mut shard_handles = Vec::new();
+    for _ in 0..3 {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        shard_addrs.push(listener.local_addr().unwrap().to_string());
+        let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)).pool(CLIENTS + 2));
+        shard_handles.push(Some(std::thread::spawn(move || {
+            daemon.serve_tcp(&listener).unwrap();
+        })));
+    }
+
+    let router = Arc::new(Router::new(
+        RouterConfig::new(shard_addrs.clone())
+            .replicas(2)
+            .pool(CLIENTS + 2),
+    ));
+    let placement = router.route(building.name());
+    assert_eq!(placement.len(), 2, "golden building has two replicas");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let front = {
+        let router = Arc::clone(&router);
+        std::thread::spawn(move || router.serve_tcp(&listener).unwrap())
+    };
+
+    // Phase 1: first half of the golden scans, interleaved clients, all
+    // replicas alive.
+    let n = building.samples().len();
+    let first_half: Vec<usize> = (0..n / 2).collect();
+    let second_half: Vec<usize> = (n / 2..n).collect();
+    let mut floors = assign_interleaved(&addr, &building, &first_half);
+
+    // Kill the building's *primary* replica mid-run — direct shutdown to
+    // that shard, then join its thread so its listener is fully gone and
+    // the router must fail over to the surviving replica.
+    let primary = placement[0];
+    {
+        let (mut reader, mut writer) = connect(&shard_addrs[primary]);
+        let response = roundtrip(&mut reader, &mut writer, r#"{"op":"shutdown"}"#);
+        assert_eq!(response.get("op").unwrap().as_str(), Some("shutdown"));
+    }
+    shard_handles[primary].take().unwrap().join().unwrap();
+
+    // Phase 2: the rest of the scans; every answer now comes from the
+    // surviving replica and must still match the fixture bit-for-bit.
+    floors.extend(assign_interleaved(&addr, &building, &second_half));
+    floors.sort_unstable();
+    assert_eq!(
+        render(&building, &floors),
+        golden_expected(),
+        "failover changed answers vs tests/fixtures/golden_assign.jsonl"
+    );
+
+    // The router observed the failover (phase 2 requests were answered
+    // by a non-primary replica).
+    let (mut reader, mut writer) = connect(&addr);
+    let stats = roundtrip(&mut reader, &mut writer, r#"{"op":"stats"}"#);
+    let failovers = stats
+        .get("router")
+        .and_then(|r| r.get("failovers"))
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    assert!(
+        failovers >= second_half.len(),
+        "expected every post-death request to fail over, saw {failovers}"
+    );
+
+    // Shutdown through the router broadcasts to the surviving shards.
+    roundtrip(&mut reader, &mut writer, r#"{"op":"shutdown"}"#);
+    front.join().unwrap();
+    for handle in shard_handles.into_iter().flatten() {
+        handle.join().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

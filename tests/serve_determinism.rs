@@ -25,7 +25,7 @@ fn fixture(name: &str) -> PathBuf {
 
 /// Serves every golden scan through one `assign_batch` request and
 /// returns the floor per scan, asserting zero failures.
-fn serve_batch(daemon: &mut Daemon, building: &str, scans: &[fis_one::SignalSample]) -> Vec<usize> {
+fn serve_batch(daemon: &Daemon, building: &str, scans: &[fis_one::SignalSample]) -> Vec<usize> {
     let line = Json::obj([
         ("op", Json::Str("assign_batch".into())),
         ("building", Json::Str(building.to_owned())),
@@ -80,14 +80,14 @@ fn daemon_matches_golden_assign_fixture_across_threads_and_evictions() {
     // two batches on the same daemon. Every variant must agree bit-wise.
     let mut served = Vec::new();
     for threads in [1usize, 2, 4] {
-        let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)).threads(threads));
-        let first = serve_batch(&mut daemon, building.name(), building.samples());
+        let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)).threads(threads));
+        let first = serve_batch(&daemon, building.name(), building.samples());
         let (response, _) = daemon.handle_line(&format!(
             r#"{{"op":"evict","building":"{}"}}"#,
             building.name()
         ));
         assert_eq!(response.get("evicted"), Some(&Json::Bool(true)));
-        let second = serve_batch(&mut daemon, building.name(), building.samples());
+        let second = serve_batch(&daemon, building.name(), building.samples());
         assert_eq!(
             first, second,
             "eviction history changed responses at {threads} threads"
@@ -154,17 +154,17 @@ fn answer_cache_never_changes_answers() {
         .collect();
 
     for capacity in [0usize, 1, 1 << 14] {
-        let mut daemon = Daemon::new(DaemonConfig::new(
+        let daemon = Daemon::new(DaemonConfig::new(
             RegistryConfig::new(&dir).assign_cache(capacity),
         ));
         let mut rounds = Vec::new();
         rounds.push((
             "cold",
-            serve_batch(&mut daemon, building.name(), building.samples()),
+            serve_batch(&daemon, building.name(), building.samples()),
         ));
         rounds.push((
             "warm",
-            serve_batch(&mut daemon, building.name(), building.samples()),
+            serve_batch(&daemon, building.name(), building.samples()),
         ));
 
         // Evict drops the model *and* its cache; answers must not move.
@@ -175,7 +175,7 @@ fn answer_cache_never_changes_answers() {
         assert_eq!(response.get("evicted"), Some(&Json::Bool(true)));
         rounds.push((
             "post-evict",
-            serve_batch(&mut daemon, building.name(), building.samples()),
+            serve_batch(&daemon, building.name(), building.samples()),
         ));
 
         // Hot reload: rewrite the artifact with a fresh mtime so the
@@ -184,11 +184,11 @@ fn answer_cache_never_changes_answers() {
         model.save(&artifact).unwrap();
         rounds.push((
             "post-reload",
-            serve_batch(&mut daemon, building.name(), building.samples()),
+            serve_batch(&daemon, building.name(), building.samples()),
         ));
         rounds.push((
             "rewarmed",
-            serve_batch(&mut daemon, building.name(), building.samples()),
+            serve_batch(&daemon, building.name(), building.samples()),
         ));
         assert!(
             daemon.registry().stats().reloads >= 1,

@@ -57,7 +57,7 @@ fn error_kind(response: &Json) -> Option<&str> {
 #[test]
 fn malformed_and_truncated_frames_are_typed_and_nonfatal() {
     let (dir, buildings) = model_dir("frames", &[("ok", 31)]);
-    let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
+    let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
     for bad in [
         "not json at all",
         "{\"op\": \"assign\", \"building\": \"ok\", \"scan\"", // truncated mid-frame
@@ -90,7 +90,7 @@ fn malformed_and_truncated_frames_are_typed_and_nonfatal() {
 #[test]
 fn unknown_building_is_typed() {
     let (dir, _) = model_dir("unknown", &[("real", 32)]);
-    let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
+    let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
     let (response, _) = daemon.handle_line(r#"{"op":"load","building":"phantom"}"#);
     assert_eq!(error_kind(&response), Some("unknown_building"));
     std::fs::remove_dir_all(&dir).ok();
@@ -104,7 +104,7 @@ fn corrupt_artifact_is_model_error() {
         "{\"schema\": \"fis-one/fitted-model\"",
     )
     .unwrap();
-    let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
+    let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
     let (response, _) = daemon.handle_line(r#"{"op":"load","building":"rotten"}"#);
     assert_eq!(error_kind(&response), Some("model"));
     std::fs::remove_dir_all(&dir).ok();
@@ -113,7 +113,7 @@ fn corrupt_artifact_is_model_error() {
 #[test]
 fn artifact_deleted_between_load_and_request() {
     let (dir, buildings) = model_dir("deleted", &[("vanish", 33)]);
-    let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
+    let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
     let (response, _) = daemon.handle_line(r#"{"op":"load","building":"vanish"}"#);
     assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
     std::fs::remove_file(dir.join("vanish.json")).unwrap();
@@ -134,8 +134,8 @@ fn artifact_deleted_between_load_and_request() {
 #[test]
 fn eviction_mid_stream_reloads_with_identical_answers() {
     let (dir, buildings) = model_dir("evict", &[("steady", 34)]);
-    let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
-    let assign = |daemon: &mut Daemon, scan: &fis_one::SignalSample| -> usize {
+    let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
+    let assign = |daemon: &Daemon, scan: &fis_one::SignalSample| -> usize {
         let line = Json::obj([
             ("op", Json::Str("assign".into())),
             ("building", Json::Str("steady".into())),
@@ -150,7 +150,7 @@ fn eviction_mid_stream_reloads_with_identical_answers() {
         .samples()
         .iter()
         .take(8)
-        .map(|s| assign(&mut daemon, s))
+        .map(|s| assign(&daemon, s))
         .collect();
     let (response, _) = daemon.handle_line(r#"{"op":"evict","building":"steady"}"#);
     assert_eq!(response.get("evicted"), Some(&Json::Bool(true)));
@@ -158,7 +158,7 @@ fn eviction_mid_stream_reloads_with_identical_answers() {
         .samples()
         .iter()
         .take(8)
-        .map(|s| assign(&mut daemon, s))
+        .map(|s| assign(&daemon, s))
         .collect();
     assert_eq!(before, after, "evict + reload changed assignments");
     assert!(daemon.registry().stats().evictions >= 1);
@@ -168,7 +168,7 @@ fn eviction_mid_stream_reloads_with_identical_answers() {
 #[test]
 fn oversized_batch_is_capacity_error_and_counted_batches_pass() {
     let (dir, buildings) = model_dir("cap", &[("cap", 35)]);
-    let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)).max_batch(4));
+    let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)).max_batch(4));
     let batch = |n: usize| {
         Json::obj([
             ("op", Json::Str("assign_batch".into())),
@@ -198,7 +198,7 @@ fn oversized_batch_is_capacity_error_and_counted_batches_pass() {
 #[test]
 fn lru_eviction_under_pressure_keeps_serving_all_tenants() {
     let (dir, buildings) = model_dir("lru", &[("t0", 36), ("t1", 37), ("t2", 38)]);
-    let mut daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir).max_models(2)));
+    let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir).max_models(2)));
     // Rotate through more tenants than the cache holds, twice.
     for round in 0..2 {
         for b in &buildings {
@@ -220,6 +220,88 @@ fn lru_eviction_under_pressure_keeps_serving_all_tenants() {
     let stats = daemon.registry().stats();
     assert!(stats.evictions >= 1, "cache pressure must evict");
     assert!(daemon.registry().len() <= 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: a non-UTF-8 byte on the wire used to surface as an
+/// `InvalidData` error from `read_line`, killing the connection with no
+/// response. Lines are now read as raw bytes and decoded lossily, so
+/// the frame fails JSON parsing and earns a typed `protocol` error —
+/// and the connection keeps serving.
+#[test]
+fn non_utf8_bytes_get_a_protocol_error_and_the_connection_survives() {
+    let (dir, buildings) = model_dir("utf8", &[("raw", 40)]);
+    let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
+    let assign = Json::obj([
+        ("op", Json::Str("assign".into())),
+        ("building", Json::Str("raw".into())),
+        ("scan", buildings[0].samples()[0].to_json()),
+    ])
+    .to_string();
+    // 0xFF/0xFE can never appear in UTF-8; splice them mid-stream.
+    let mut script: Vec<u8> = Vec::new();
+    script.extend_from_slice(b"\xff\xfe\xfd\n");
+    script.extend_from_slice(b"{\"op\":\"stats\"\xff}\n");
+    script.extend_from_slice(assign.as_bytes());
+    script.push(b'\n');
+    let mut out = Vec::new();
+    let shutdown = daemon
+        .serve_connection(&script[..], &mut out)
+        .expect("invalid UTF-8 must not be a transport error");
+    assert!(!shutdown);
+    let lines: Vec<Json> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 3, "every line answered, none dropped");
+    assert_eq!(error_kind(&lines[0]), Some("protocol"));
+    assert_eq!(error_kind(&lines[1]), Some("protocol"));
+    assert_eq!(
+        lines[2].get("ok"),
+        Some(&Json::Bool(true)),
+        "the connection still serves real work after garbage bytes"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: scan ids ride the wire as JSON numbers (f64), so ids at
+/// or past 2^53 lose integer precision and could collide across a
+/// batch. Out-of-range ids must die at parse time as typed `protocol`
+/// errors — never get truncated into someone else's id.
+#[test]
+fn out_of_range_scan_ids_are_protocol_errors() {
+    let (dir, _) = model_dir("ids", &[("ids", 41)]);
+    let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
+    for bad in [
+        // Just past u32: the full id space the daemon accepts.
+        r#"{"op":"assign","building":"ids","scan":{"id":4294967296,"readings":[]}}"#,
+        // Past 2^53: would silently collide with 2^53 as an f64.
+        r#"{"op":"assign","building":"ids","scan":{"id":9007199254740993,"readings":[]}}"#,
+        r#"{"op":"assign","building":"ids","scan":{"id":-1,"readings":[]}}"#,
+        r#"{"op":"assign","building":"ids","scan":{"id":1.25,"readings":[]}}"#,
+        r#"{"op":"assign_batch","building":"ids","scans":[{"id":18446744073709551616,"readings":[]}]}"#,
+    ] {
+        let (response, shutdown) = daemon.handle_line(bad);
+        assert!(!shutdown);
+        assert_eq!(error_kind(&response), Some("protocol"), "frame: {bad}");
+        let message = response
+            .get("error")
+            .unwrap()
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap();
+        assert!(
+            message.contains("0..=4294967295"),
+            "error names the accepted range: {message}"
+        );
+    }
+    // The boundary id itself is accepted (fails later only because the
+    // scan is empty, which is an inference error, not a protocol one).
+    let (response, _) = daemon
+        .handle_line(r#"{"op":"assign","building":"ids","scan":{"id":4294967295,"readings":[]}}"#);
+    assert_ne!(error_kind(&response), Some("protocol"));
     std::fs::remove_dir_all(&dir).ok();
 }
 
