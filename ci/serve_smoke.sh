@@ -207,3 +207,60 @@ for b in smoke-0 smoke-1 smoke-2; do
   diff "$work/expect-$b.txt" "$work/router-$b.txt"
 done
 echo "serve smoke OK: 4 concurrent connections through the sharded router are bit-identical to the assign CLI"
+
+# Fourth pass: mid-stream online extension + atomic hot-swap (protocol
+# v2). The daemon's `extend` must publish an artifact byte-identical to
+# the offline `fis-one extend` CLI on the same inputs, and every
+# old-vocabulary answer must be bit-identical before and after the swap.
+mkdir "$work/models_ext"
+cp "$work/models/"*.json "$work/models_ext/"
+# Same seed + floors as smoke-0's survey => same AP vocabulary, so the
+# fresh scans are absorbable by the frozen base model.
+"$bin" generate --floors 3 --samples 12 --seed 5 --name smoke-0 \
+    --out "$work/ext.jsonl"
+"$bin" extend --model "$work/models/smoke-0.json" --scans "$work/ext.jsonl" \
+    --out "$work/ref-extended.json" 2>/dev/null
+
+python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+corpus = [json.loads(l) for l in open(f"{work}/corpus.jsonl").read().splitlines()[1:]]
+(smoke0,) = [b for b in corpus if b["name"] == "smoke-0"]
+ext = [json.loads(l) for l in open(f"{work}/ext.jsonl").read().splitlines()[1:]]
+scans = lambda b: [{"id": s["id"], "readings": s["readings"]} for s in b["samples"]]
+with open(f"{work}/script_ext.ndjson", "w") as out:
+    emit = lambda req: out.write(json.dumps(req) + "\n")
+    emit({"op": "assign_batch", "building": "smoke-0", "scans": scans(smoke0)})
+    emit({"v": 2, "op": "extend", "building": "smoke-0",
+          "scans": [s for b in ext for s in scans(b)]})
+    emit({"op": "assign_batch", "building": "smoke-0", "scans": scans(smoke0)})
+    emit({"op": "stats"})
+    emit({"op": "shutdown"})
+EOF
+
+"$bin" serve --models "$work/models_ext" \
+    < "$work/script_ext.ndjson" > "$work/responses_ext.ndjson"
+
+python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+responses = [json.loads(l) for l in open(f"{work}/responses_ext.ndjson")]
+bad = [r for r in responses if not r.get("ok")]
+assert not bad, f"error responses: {bad}"
+(extend,) = [r for r in responses if r["op"] == "extend"]
+assert extend["v"] == 2 and extend["appended"] > 0, extend
+registry = [r for r in responses if r["op"] == "stats"][-1]["stats"]["registry"]
+assert registry["evictions"] >= 1, f"hot-swap never evicted: {registry}"
+batches = [r for r in responses if r["op"] == "assign_batch"]
+assert len(batches) == 2
+for label, r in zip(("pre", "post"), batches):
+    assert r["failures"] == 0, r
+    with open(f"{work}/swap-{label}.txt", "w") as out:
+        for row in r["results"]:
+            out.write(f"s{row['scan_id']} F{row['floor'] + 1}\n")
+EOF
+
+cmp "$work/models_ext/smoke-0.json" "$work/ref-extended.json"
+diff "$work/expect-smoke-0.txt" "$work/swap-pre.txt"
+diff "$work/expect-smoke-0.txt" "$work/swap-post.txt"
+echo "serve smoke OK: mid-stream extend hot-swapped an artifact byte-identical to the CLI and kept old answers bit-identical"

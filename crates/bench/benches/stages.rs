@@ -325,6 +325,46 @@ fn bench_metrics(c: &mut Criterion) {
     });
 }
 
+/// Online extension: growing a fitted model with one epoch of drifted
+/// scans (labeling by the frozen base, vocabulary growth, VP-tree
+/// rebuild). The clone inside the loop is the price of benching a
+/// mutating call; it is dwarfed by the extension itself.
+fn bench_extend(c: &mut Criterion) {
+    use fis_synth::{DriftScenario, TemporalConfig};
+    let corpus = TemporalConfig::new(
+        BuildingConfig::new("bench", 3)
+            .samples_per_floor(40)
+            .aps_per_floor(8)
+            .seed(99),
+        DriftScenario::ApChurn {
+            replaced_per_epoch: 0.15,
+        },
+    )
+    .epochs(1)
+    .scans_per_epoch(60)
+    .generate();
+    let building = &corpus.building;
+    let anchor = building.bottom_anchor().expect("survey has an anchor");
+    let model = fis_core::FisOne::new(fis_core::FisOneConfig::quick(99))
+        .fit(
+            building.name(),
+            building.samples(),
+            building.floors(),
+            anchor,
+        )
+        .expect("survey fits");
+    let scans = &corpus.epochs[0].samples;
+    let mut group = c.benchmark_group("drift");
+    group.sample_size(10);
+    group.bench_function("extend(60 scans)", |bench| {
+        bench.iter(|| {
+            let mut m = model.clone();
+            m.extend(std::hint::black_box(scans)).unwrap()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_graph_construction,
@@ -335,6 +375,7 @@ criterion_group!(
     bench_tsp,
     bench_similarity,
     bench_engine,
+    bench_extend,
     bench_metrics
 );
 criterion_main!(benches);

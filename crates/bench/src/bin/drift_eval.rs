@@ -1,0 +1,288 @@
+//! `drift_eval`: accuracy decay vs. online-extension cadence under drift.
+//!
+//! Replays the temporal scenarios of `fis_synth::TemporalConfig` — AP
+//! churn, fleet-wide RSSI calibration offset, and a one-shot renovation —
+//! against a model fitted on the epoch-0 survey, prequentially: every
+//! epoch is first *assigned* with the model as it stands (scored against
+//! the generator's ground truth), and only then, per the cadence under
+//! test, folded into the model with [`FittedModel::extend`]. Cadence 0
+//! never extends (the frozen-model baseline the paper's refit-only
+//! deployment implies); cadence `c` extends after every `c`-th epoch.
+//!
+//! The run is fully deterministic: corpora come from seeded generators
+//! and extension is a pure function of (model, scans), so the emitted
+//! accuracy table is byte-stable across machines and thread counts.
+//!
+//! Output: `BENCH_drift.json` (override with `--out FILE`), schema
+//! `fis-one/bench-drift` version 1 — one row per (scenario, cadence)
+//! with per-epoch accuracy, extension counters, and a mean. With
+//! `--bench-json FILE` the harness additionally merges a `drift/extend`
+//! stage (nanoseconds per extend call) into a `fis-one/bench-report`
+//! file so the CI perf gate covers extension latency.
+//!
+//! `CRITERION_QUICK=1` (the CI convention shared with the Criterion
+//! benches) shrinks the corpus so the whole sweep stays in CI budget.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use fis_core::{FisOne, FisOneConfig, FittedModel};
+use fis_synth::{BuildingConfig, DriftScenario, TemporalConfig};
+use fis_types::json::Json;
+
+/// Seed shared by every scenario so runs are comparable commit to commit.
+const SEED: u64 = 2023;
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Corpus shape: (floors, samples/floor, aps/floor, epochs, scans/epoch).
+fn shape() -> (usize, usize, usize, usize, usize) {
+    if quick_mode() {
+        (3, 30, 8, 4, 40)
+    } else {
+        (4, 60, 10, 6, 80)
+    }
+}
+
+/// The three drift scenarios the acceptance criteria name, at strengths
+/// that visibly decay a frozen model within the epoch budget.
+fn scenarios(epochs: usize) -> Vec<(&'static str, DriftScenario)> {
+    vec![
+        (
+            "churn",
+            DriftScenario::ApChurn {
+                replaced_per_epoch: 0.15,
+            },
+        ),
+        (
+            "calibration",
+            DriftScenario::CalibrationOffset { db_per_epoch: 1.5 },
+        ),
+        (
+            "renovation",
+            DriftScenario::Renovation {
+                at_epoch: epochs / 2,
+                moved_fraction: 0.5,
+            },
+        ),
+    ]
+}
+
+struct EpochRow {
+    epoch: usize,
+    scans: usize,
+    answered: usize,
+    correct: usize,
+    extended: bool,
+    appended: usize,
+    new_macs: usize,
+}
+
+impl EpochRow {
+    /// Unanswerable scans (no vocabulary overlap at all) count against
+    /// accuracy: a deployment cannot shrug them off either.
+    fn accuracy(&self) -> f64 {
+        self.correct as f64 / self.scans as f64
+    }
+}
+
+/// Replays one (scenario, cadence) cell and returns its per-epoch rows,
+/// appending each extend call's duration to `extend_ns`.
+fn replay(
+    scenario: &DriftScenario,
+    cadence: usize,
+    extend_ns: &mut Vec<f64>,
+) -> Result<Vec<EpochRow>, String> {
+    let (floors, samples, aps, epochs, scans_per_epoch) = shape();
+    let corpus = TemporalConfig::new(
+        BuildingConfig::new("drift", floors)
+            .samples_per_floor(samples)
+            .aps_per_floor(aps)
+            .seed(SEED),
+        scenario.clone(),
+    )
+    .epochs(epochs)
+    .scans_per_epoch(scans_per_epoch)
+    .generate();
+
+    let building = &corpus.building;
+    let anchor = building
+        .bottom_anchor()
+        .ok_or("survey has no bottom-floor anchor")?;
+    let pipeline = FisOne::new(FisOneConfig::quick(SEED));
+    let mut model: FittedModel = pipeline
+        .fit(
+            building.name(),
+            building.samples(),
+            building.floors(),
+            anchor,
+        )
+        .map_err(|e| format!("fitting the survey: {e}"))?;
+
+    let mut rows = Vec::with_capacity(corpus.epochs.len());
+    for epoch in &corpus.epochs {
+        // Predict first (prequential): the epoch is scored by the model
+        // as it stood *before* this epoch's scans could teach it anything.
+        let mut answered = 0usize;
+        let mut correct = 0usize;
+        for (scan, truth) in epoch.samples.iter().zip(&epoch.ground_truth) {
+            if let Ok(floor) = model.assign(scan) {
+                answered += 1;
+                if floor == *truth {
+                    correct += 1;
+                }
+            }
+        }
+        let mut row = EpochRow {
+            epoch: epoch.epoch,
+            scans: epoch.samples.len(),
+            answered,
+            correct,
+            extended: false,
+            appended: 0,
+            new_macs: 0,
+        };
+        if cadence > 0 && epoch.epoch % cadence == 0 {
+            let started = Instant::now();
+            match model.extend(&epoch.samples) {
+                Ok(report) => {
+                    extend_ns.push(started.elapsed().as_secs_f64() * 1e9);
+                    row.extended = true;
+                    row.appended = report.appended;
+                    row.new_macs = report.new_macs;
+                }
+                // A fully disjoint epoch (every scan skipped) is a legal
+                // drift outcome, not a harness bug: the model simply
+                // cannot absorb it and stays frozen this round.
+                Err(fis_core::FisError::Model(_)) => {}
+                Err(e) => return Err(format!("extending at epoch {}: {e}", epoch.epoch)),
+            }
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn row_json(row: &EpochRow) -> Json {
+    Json::obj([
+        ("epoch", Json::Num(row.epoch as f64)),
+        ("scans", Json::Num(row.scans as f64)),
+        ("answered", Json::Num(row.answered as f64)),
+        ("correct", Json::Num(row.correct as f64)),
+        ("accuracy", Json::Num(row.accuracy())),
+        ("extended", Json::Bool(row.extended)),
+        ("appended", Json::Num(row.appended as f64)),
+        ("new_macs", Json::Num(row.new_macs as f64)),
+    ])
+}
+
+/// Merges a `drift/extend` stage into a `fis-one/bench-report` file,
+/// mirroring loadgen's `serve/loadgen` merge so one report feeds the gate.
+fn merge_bench_stage(path: &str, latencies_ns: &[f64]) -> Result<(), String> {
+    let mut sorted = latencies_ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    if sorted.is_empty() {
+        return Err("no extend calls ran; nothing to merge".into());
+    }
+    let median = sorted[sorted.len() / 2];
+    let stage = Json::obj([
+        ("median_ns", Json::Num(median)),
+        ("best_ns", Json::Num(sorted[0])),
+        (
+            "mean_ns",
+            Json::Num(sorted.iter().sum::<f64>() / sorted.len() as f64),
+        ),
+        ("samples", Json::Num(sorted.len() as f64)),
+        ("iters", Json::Num(1.0)),
+    ]);
+    let mut report = match std::fs::read_to_string(path) {
+        Ok(text) => Json::parse(text.trim()).map_err(|e| format!("parsing {path}: {e}"))?,
+        Err(_) => Json::obj([
+            ("schema", Json::Str("fis-one/bench-report".into())),
+            ("version", Json::Num(1.0)),
+            ("mode", Json::Str("drift".into())),
+            ("stages", Json::obj([])),
+        ]),
+    };
+    let Json::Obj(root) = &mut report else {
+        return Err(format!("{path}: report is not an object"));
+    };
+    let Some(Json::Obj(stages)) = root.get_mut("stages") else {
+        return Err(format!("{path}: missing `stages` object"));
+    };
+    stages.insert("drift/extend".to_owned(), stage);
+    std::fs::write(path, format!("{report}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# drift_eval: merged stage drift/extend into {path} (median {median:.0} ns)");
+    Ok(())
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{flag}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        map.insert(key.to_owned(), value.clone());
+    }
+    Ok(map)
+}
+
+fn main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_flags(&args).map_err(|e| {
+        format!("{e}\nusage: drift_eval [--out BENCH_drift.json] [--bench-json FILE]")
+    })?;
+    let out = opts
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_drift.json");
+
+    let (_, _, _, epochs, _) = shape();
+    let cadences = [0usize, 1, 2];
+    let mut extend_ns = Vec::new();
+    let mut scenario_rows = Vec::new();
+    for (name, scenario) in scenarios(epochs) {
+        for cadence in cadences {
+            let started = Instant::now();
+            let rows = replay(&scenario, cadence, &mut extend_ns)
+                .map_err(|e| format!("scenario `{name}` cadence {cadence}: {e}"))?;
+            let mean = rows.iter().map(EpochRow::accuracy).sum::<f64>() / rows.len().max(1) as f64;
+            eprintln!(
+                "# drift_eval: {name:<12} cadence {cadence}: mean accuracy {mean:.3} \
+                 over {} epochs in {:.2?}",
+                rows.len(),
+                started.elapsed()
+            );
+            scenario_rows.push(Json::obj([
+                ("scenario", Json::Str(name.into())),
+                ("cadence", Json::Num(cadence as f64)),
+                ("mean_accuracy", Json::Num(mean)),
+                ("epochs", Json::Arr(rows.iter().map(row_json).collect())),
+            ]));
+        }
+    }
+
+    let report = Json::obj([
+        ("schema", Json::Str("fis-one/bench-drift".into())),
+        ("version", Json::Num(1.0)),
+        (
+            "mode",
+            Json::Str(if quick_mode() { "quick" } else { "full" }.into()),
+        ),
+        ("seed", Json::Num(SEED as f64)),
+        ("scenarios", Json::Arr(scenario_rows)),
+    ]);
+    std::fs::write(out, format!("{report}\n")).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("# drift_eval: wrote {out}");
+
+    if let Some(path) = opts.get("bench-json") {
+        merge_bench_stage(path, &extend_ns)?;
+    }
+    Ok(())
+}

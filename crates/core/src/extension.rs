@@ -1,4 +1,7 @@
-//! §VI extension: the labeled sample comes from an *arbitrary* floor.
+//! Model extensions beyond the fixed-anchor pipeline: the §VI
+//! arbitrary-anchor variant, and *online* extension of a fitted model.
+//!
+//! # Arbitrary anchor (§VI)
 //!
 //! With no fixed starting cluster, the TSP is solved from every start and
 //! the minimum-cost ordering kept. The anchor's disclosed floor then pins
@@ -8,12 +11,42 @@
 //! number of floors and the anchor sits exactly in the middle, both
 //! candidates coincide positionally and the orientation is undecidable
 //! (Case 1) — reported as [`ArbitraryAnchorOutcome::Ambiguous`].
+//!
+//! # Online extension (drift)
+//!
+//! [`crate::model::FittedModel::extend`] appends freshly served scans as
+//! new reference points and grows the MAC vocabulary *without retraining
+//! the encoder* — the serving-side answer to AP churn and renovations.
+//! The mechanism lives here as `ExtendedState` (crate-private) plus the
+//! public [`ExtensionReport`]:
+//!
+//! - The **base model is frozen**. Its graph, feature matrix, references,
+//!   and VP-tree are untouched, and any scan whose known MACs all belong
+//!   to the base vocabulary is answered by exactly the base code path —
+//!   which is what makes old-vocabulary answers bit-identical before and
+//!   after an extension (appending samples to the shared graph would shift
+//!   every MAC node index and perturb neighbor sampling otherwise).
+//! - Scans that hear at least one *extension-only* MAC take the extended
+//!   path: a second bipartite graph over base + extension scans, the same
+//!   trained weights over a feature matrix grown with synthesized rows
+//!   (an extension scan's feature is the f(RSS)-weighted mean of its base
+//!   MAC features; a new MAC's feature is the weighted mean of the scans
+//!   attached to it), and a second VP-tree over every reference re-embedded
+//!   in that space. All of it is a pure deterministic function of
+//!   `(base model, extension scans)`, so artifacts stay byte-identical
+//!   across save → load → save.
 
+use std::collections::HashMap;
+
+use fis_gnn::RfGnn;
+use fis_graph::BipartiteGraph;
 use fis_linalg::Matrix;
-use fis_types::{FloorId, LabeledAnchor, SignalSample};
+use fis_types::{FloorId, LabeledAnchor, MacAddr, SignalSample};
 
 use crate::error::FisError;
 use crate::indexing::solve_path;
+use crate::model::{known_neighbors, scan_seed};
+use crate::nn::VpTree;
 use crate::pipeline::{FisOne, FloorPrediction};
 use crate::similarity::{similarity_matrix, ClusterMacProfile};
 
@@ -179,6 +212,228 @@ impl ArbitraryAnchorOutcome {
     /// Predicted floor labels, if resolved.
     pub fn labels(&self) -> Option<&[FloorId]> {
         self.prediction().map(FloorPrediction::labels)
+    }
+}
+
+/// What [`crate::model::FittedModel::extend`] did; see the
+/// [module docs](self) for the mechanism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtensionReport {
+    /// Scans appended as new reference points in this call.
+    pub appended: usize,
+    /// Scans skipped because they share no MAC with the base vocabulary
+    /// (nothing to anchor their synthesized features or label to).
+    pub skipped: usize,
+    /// MACs the *whole* extension added beyond the base vocabulary
+    /// (cumulative across repeated `extend` calls).
+    pub new_macs: usize,
+    /// Reference scans the model now holds (base survey + extension).
+    pub total_scans: usize,
+    /// MAC vocabulary size the model now recognizes.
+    pub total_macs: usize,
+    /// Floor label handed to each newly appended scan, as counts per
+    /// floor index.
+    pub floor_counts: Vec<usize>,
+}
+
+/// The extended-path state riding alongside a frozen base model:
+/// extension scans, their labels, and everything derived from them.
+/// Only `samples`, `assignment`, and `references` are persisted; the
+/// rest rebuilds deterministically (see [`build_extended_state`]).
+#[derive(Debug, Clone)]
+pub(crate) struct ExtendedState {
+    /// Extension scans, ids continuing the base sample numbering.
+    pub(crate) samples: Vec<SignalSample>,
+    /// Cluster per extension scan (self-labeled at extend time).
+    pub(crate) assignment: Vec<usize>,
+    /// Extended-space embeddings of *every* reference scan
+    /// (base + extension), in unified sample order.
+    pub(crate) references: Vec<Vec<f64>>,
+    /// Bipartite graph over base + extension scans.
+    pub(crate) graph: BipartiteGraph,
+    /// The base encoder's weights over the grown feature matrix.
+    pub(crate) gnn: RfGnn,
+    /// Full (base + new) MAC → interned index lookup.
+    pub(crate) mac_index: HashMap<MacAddr, usize>,
+    /// MACs interned beyond the base vocabulary.
+    pub(crate) n_new_macs: usize,
+    /// Exact 1-NN index over `references` (empty scans excluded).
+    pub(crate) nn: VpTree,
+}
+
+/// Builds (or revalidates, when `stored_references` comes from an
+/// artifact) the extended-path state. Pure in its inputs: called with the
+/// same base model and extension scans it produces bit-identical state,
+/// which is what keeps extended artifacts byte-stable across
+/// save → load → save.
+///
+/// # Errors
+///
+/// Returns [`FisError::Model`] when the extension scans cannot rebuild a
+/// graph (non-dense ids), reorder the base vocabulary, hear no MAC, share
+/// no MAC with the base vocabulary, or the stored references have the
+/// wrong shape; [`FisError::Inference`] if re-embedding fails.
+pub(crate) fn build_extended_state(
+    base_samples: &[SignalSample],
+    base_macs: &[MacAddr],
+    base_gnn: &RfGnn,
+    seed: u64,
+    ext_samples: Vec<SignalSample>,
+    ext_assignment: Vec<usize>,
+    stored_references: Option<Vec<Vec<f64>>>,
+) -> Result<ExtendedState, FisError> {
+    debug_assert_eq!(ext_samples.len(), ext_assignment.len());
+    if let Some(empty) = ext_samples.iter().find(|s| s.is_empty()) {
+        return Err(FisError::Model(format!(
+            "extension scan {} heard no MAC",
+            empty.id()
+        )));
+    }
+
+    let mut combined: Vec<SignalSample> = base_samples.to_vec();
+    combined.extend(ext_samples.iter().cloned());
+    let graph = BipartiteGraph::from_samples(&combined)
+        .map_err(|e| FisError::Model(format!("extension scans do not rebuild a graph: {e}")))?;
+    // Base samples come first, so interning must reproduce the base
+    // vocabulary as a prefix; anything else means the inputs are not the
+    // model's own samples.
+    if graph.n_macs() < base_macs.len() || &graph.macs()[..base_macs.len()] != base_macs {
+        return Err(FisError::Model(
+            "extension scans do not preserve the base MAC vocabulary prefix".into(),
+        ));
+    }
+    let n_new_macs = graph.n_macs() - base_macs.len();
+
+    let d = base_gnn.dim();
+    let n_samples = combined.len();
+    let n_base = base_samples.len();
+    let base_feats = base_gnn.features();
+    let mut data = vec![0.0; graph.n_nodes() * d];
+    // Base rows keep their trained features; only the node *indices* move
+    // (MAC nodes shift by the number of appended samples).
+    for i in 0..n_base {
+        data[i * d..(i + 1) * d].copy_from_slice(base_feats.row(i));
+    }
+    for j in 0..base_macs.len() {
+        let dst = (n_samples + j) * d;
+        data[dst..dst + d].copy_from_slice(base_feats.row(n_base + j));
+    }
+    // Synthesized rows for extension scans: f(RSS)-weighted mean of their
+    // *base* MAC features (the frozen anchor that makes this well-defined),
+    // l2-normalized like every inference embedding.
+    let base_index: HashMap<MacAddr, usize> =
+        base_macs.iter().enumerate().map(|(j, &m)| (m, j)).collect();
+    for (k, scan) in ext_samples.iter().enumerate() {
+        let mut acc = vec![0.0; d];
+        let mut wsum = 0.0;
+        for (mac, rssi) in scan.iter() {
+            if let Some(&j) = base_index.get(&mac) {
+                let w = rssi.edge_weight();
+                for (slot, x) in acc.iter_mut().zip(base_feats.row(n_base + j)) {
+                    *slot += w * x;
+                }
+                wsum += w;
+            }
+        }
+        if wsum <= 0.0 {
+            return Err(FisError::Model(format!(
+                "extension scan {} shares no MAC with the base vocabulary",
+                scan.id()
+            )));
+        }
+        for slot in acc.iter_mut() {
+            *slot /= wsum;
+        }
+        l2_normalize(&mut acc);
+        let dst = (n_base + k) * d;
+        data[dst..dst + d].copy_from_slice(&acc);
+    }
+    // Synthesized rows for new MACs: weighted mean of the (extension)
+    // scans attached to them — every interned MAC has at least one edge.
+    for j in base_macs.len()..graph.n_macs() {
+        let mut acc = vec![0.0; d];
+        let mut wsum = 0.0;
+        for &(sample_node, w) in graph.neighbors(graph.mac_node(j)) {
+            let src = sample_node * d;
+            for (slot, x) in acc.iter_mut().zip(&data[src..src + d]) {
+                *slot += w * x;
+            }
+            wsum += w;
+        }
+        for slot in acc.iter_mut() {
+            *slot /= wsum;
+        }
+        l2_normalize(&mut acc);
+        let dst = (n_samples + j) * d;
+        data[dst..dst + d].copy_from_slice(&acc);
+    }
+
+    let gnn = RfGnn::from_parts(
+        base_gnn.config().clone(),
+        Matrix::from_vec(graph.n_nodes(), d, data),
+        base_gnn.weights().to_vec(),
+    )
+    .map_err(FisError::Model)?;
+    let mac_index: HashMap<MacAddr, usize> = graph
+        .macs()
+        .iter()
+        .enumerate()
+        .map(|(j, &m)| (m, j))
+        .collect();
+
+    let references = match stored_references {
+        Some(refs) => {
+            if refs.len() != combined.len() {
+                return Err(FisError::Model(format!(
+                    "{} extension references for {} reference scans",
+                    refs.len(),
+                    combined.len()
+                )));
+            }
+            if refs.iter().any(|r| r.len() != d) {
+                return Err(FisError::Model(format!(
+                    "extension reference dimension disagrees with embedding dim {d}"
+                )));
+            }
+            refs
+        }
+        None => {
+            // Re-embed every reference scan in the extended space through
+            // the same content-seeded inference pass streaming scans take.
+            // One scan per work item, so bit-identical at any thread count.
+            let rows: Vec<Result<Vec<f64>, String>> =
+                fis_parallel::par_map(&combined, 1, |_, scan| {
+                    let nbrs = known_neighbors(&graph, &mac_index, scan);
+                    if nbrs.is_empty() {
+                        return Ok(vec![0.0; d]);
+                    }
+                    gnn.infer_scan(&graph, &nbrs, scan_seed(seed, scan))
+                });
+            rows.into_iter()
+                .collect::<Result<Vec<Vec<f64>>, String>>()
+                .map_err(FisError::Inference)?
+        }
+    };
+
+    let nn = VpTree::build(&references, |i| !combined[i].is_empty());
+    Ok(ExtendedState {
+        samples: ext_samples,
+        assignment: ext_assignment,
+        references,
+        graph,
+        gnn,
+        mac_index,
+        n_new_macs,
+        nn,
+    })
+}
+
+fn l2_normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
     }
 }
 

@@ -14,8 +14,9 @@
 //!    cluster holding the single labeled sample.
 //!
 //! The §VI extension for an anchor on an arbitrary floor lives in
-//! [`extension`], and [`evaluate`] scores predictions with ARI / NMI /
-//! Jaro–Winkler edit distance against ground truth.
+//! [`extension`] — alongside the *online* extension machinery behind
+//! [`model::FittedModel::extend`] — and [`evaluate`] scores predictions
+//! with ARI / NMI / Jaro–Winkler edit distance against ground truth.
 //!
 //! # Batch execution
 //!
@@ -65,9 +66,9 @@ pub use engine::{
 };
 pub use error::FisError;
 pub use evaluate::{evaluate_building, EvalResult};
-pub use extension::{identify_with_arbitrary_anchor, ArbitraryAnchorOutcome};
+pub use extension::{identify_with_arbitrary_anchor, ArbitraryAnchorOutcome, ExtensionReport};
 pub use indexing::{index_clusters, ClusterIndexing, TspSolver};
-pub use model::{FittedModel, MODEL_SCHEMA, MODEL_SCHEMA_VERSION};
+pub use model::{FittedModel, MODEL_SCHEMA, MODEL_SCHEMA_VERSION, MODEL_SCHEMA_VERSION_EXTENDED};
 pub use nn::VpTree;
 pub use pipeline::{ClusteringMethod, FisOne, FisOneConfig, FloorPrediction};
 pub use similarity::{ClusterMacProfile, SimilarityMethod};

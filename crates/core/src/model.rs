@@ -55,8 +55,33 @@
 //! }
 //! ```
 //!
+//! # Artifact schema (version 2: online extension)
+//!
+//! [`FittedModel::extend`] grows a model with freshly served scans
+//! without refitting. An extended model serializes as version `2`: the
+//! version-1 object plus one `extension` field:
+//!
+//! ```json
+//! {
+//!   "...": "all version-1 fields, unchanged",
+//!   "version": 2,
+//!   "extension": {
+//!     "samples": [{"id": 120, "readings": [...]}, ...],
+//!     "assignment": [...],
+//!     "references": [[...], ...]
+//!   }
+//! }
+//! ```
+//!
+//! `extension.samples` continue the base sample numbering,
+//! `extension.assignment` records the self-assigned cluster per extension
+//! scan, and `extension.references` holds the extended-space embeddings of
+//! *every* reference scan (base + extension). Everything else about the
+//! extended path rebuilds deterministically at load. Unextended models
+//! keep writing version 1 **byte-identically**.
+//!
 //! Compatibility policy: loaders accept exactly the schema versions they
-//! know (currently `1`) and reject anything else with a typed
+//! know (currently `1` and `2`) and reject anything else with a typed
 //! [`FisError::Model`]; any change to the serialized geometry or the
 //! content-seed derivation must bump [`MODEL_SCHEMA_VERSION`].
 
@@ -70,6 +95,7 @@ use fis_types::{FloorId, LabeledAnchor, MacAddr, SignalSample};
 
 use crate::engine::BudgetGuard;
 use crate::error::FisError;
+use crate::extension::{build_extended_state, ExtendedState, ExtensionReport};
 use crate::indexing::TspSolver;
 use crate::nn::VpTree;
 use crate::pipeline::{ClusteringMethod, FisOne, FisOneConfig};
@@ -80,6 +106,13 @@ pub const MODEL_SCHEMA: &str = "fis-one/fitted-model";
 
 /// Current artifact schema version; see the module docs for the policy.
 pub const MODEL_SCHEMA_VERSION: usize = 1;
+
+/// Schema version written for models that carry an online extension
+/// (see [`FittedModel::extend`]): version 2 = version 1 plus an
+/// `extension` object `{samples, assignment, references}`. Unextended
+/// models keep writing version 1 byte-identically, so pre-extension
+/// artifacts and tooling are unaffected.
+pub const MODEL_SCHEMA_VERSION_EXTENDED: usize = 2;
 
 /// Everything needed to label new scans for one building without
 /// refitting; see the [module docs](self).
@@ -106,6 +139,10 @@ pub struct FittedModel {
     /// at fit/load time (like `graph`); bit-identical to the linear scan
     /// by the [`crate::nn`] exactness contract.
     nn: VpTree,
+    /// Online-extension state ([`FittedModel::extend`]); `None` until the
+    /// model is extended. The base fields above stay frozen either way —
+    /// that freeze is what keeps old-vocabulary answers bit-identical.
+    extension: Option<ExtendedState>,
 }
 
 /// Whether `FIS_ASSIGN_LINEAR=1` forces [`FittedModel::assign`] onto the
@@ -211,6 +248,7 @@ impl FisOne {
             graph,
             mac_index,
             nn,
+            extension: None,
         })
     }
 }
@@ -306,6 +344,9 @@ impl FittedModel {
         if force_linear_assign() {
             return self.assign_linear(scan);
         }
+        if self.uses_extension(scan) {
+            return self.assign_extended(scan);
+        }
         let emb = self.infer_embedding(scan)?;
         let best = self.nn.nearest(&emb).ok_or_else(no_reference_error)?;
         Ok(FloorId::from_index(
@@ -321,6 +362,9 @@ impl FittedModel {
     ///
     /// See [`FittedModel::assign`].
     pub fn assign_linear(&self, scan: &SignalSample) -> Result<FloorId, FisError> {
+        if self.uses_extension(scan) {
+            return self.assign_extended_linear(scan);
+        }
         let emb = self.infer_embedding(scan)?;
         let mut best = None;
         let mut best_d = f64::INFINITY;
@@ -341,6 +385,91 @@ impl FittedModel {
         Ok(FloorId::from_index(
             self.floor_of_cluster[self.assignment[best]],
         ))
+    }
+
+    /// True when `scan` hears a MAC that only the extension vocabulary
+    /// knows. Such scans take the extended path; every other scan —
+    /// in particular every scan expressible over the *old* vocabulary —
+    /// takes exactly the frozen base path, which is what makes extension
+    /// answer-preserving (see [`FittedModel::extend`]).
+    fn uses_extension(&self, scan: &SignalSample) -> bool {
+        match &self.extension {
+            Some(ext) => scan.iter().any(|(mac, _)| {
+                !self.mac_index.contains_key(&mac) && ext.mac_index.contains_key(&mac)
+            }),
+            None => false,
+        }
+    }
+
+    /// Cluster of reference scan `i` in unified (base + extension) order.
+    fn cluster_of_reference(&self, i: usize) -> usize {
+        if i < self.assignment.len() {
+            self.assignment[i]
+        } else {
+            let ext = self.extension.as_ref().expect("extended reference index");
+            ext.assignment[i - self.assignment.len()]
+        }
+    }
+
+    /// Extended-path [`FittedModel::assign`]: 1-NN over every reference
+    /// re-embedded in the extended space, via that space's VP-tree.
+    fn assign_extended(&self, scan: &SignalSample) -> Result<FloorId, FisError> {
+        let ext = self.extension.as_ref().expect("routed to extended path");
+        let emb = self.infer_embedding_extended(ext, scan)?;
+        let best = ext.nn.nearest(&emb).ok_or_else(no_reference_error)?;
+        Ok(FloorId::from_index(
+            self.floor_of_cluster[self.cluster_of_reference(best)],
+        ))
+    }
+
+    /// Linear-scan reference implementation of the extended path (the
+    /// `FIS_ASSIGN_LINEAR=1` / [`FittedModel::assign_linear`] twin).
+    fn assign_extended_linear(&self, scan: &SignalSample) -> Result<FloorId, FisError> {
+        let ext = self.extension.as_ref().expect("routed to extended path");
+        let emb = self.infer_embedding_extended(ext, scan)?;
+        let mut best = None;
+        let mut best_d = f64::INFINITY;
+        for (i, reference) in ext.references.iter().enumerate() {
+            let empty = if i < self.samples.len() {
+                self.samples[i].is_empty()
+            } else {
+                ext.samples[i - self.samples.len()].is_empty()
+            };
+            if empty {
+                continue;
+            }
+            let d = fis_linalg::vec_ops::euclidean(&emb, reference);
+            // Strict `<` keeps the lowest sample index on exact ties.
+            if d < best_d {
+                best = Some(i);
+                best_d = d;
+            }
+        }
+        let best = best.ok_or_else(no_reference_error)?;
+        Ok(FloorId::from_index(
+            self.floor_of_cluster[self.cluster_of_reference(best)],
+        ))
+    }
+
+    /// Embeds one scan in the extended space (content-seeded, like the
+    /// base path).
+    fn infer_embedding_extended(
+        &self,
+        ext: &ExtendedState,
+        scan: &SignalSample,
+    ) -> Result<Vec<f64>, FisError> {
+        let nbrs = known_neighbors(&ext.graph, &ext.mac_index, scan);
+        if nbrs.is_empty() {
+            return Err(FisError::Inference(format!(
+                "scan {} heard {} MAC(s), none known to the model for {}",
+                scan.id(),
+                scan.len(),
+                self.building
+            )));
+        }
+        ext.gnn
+            .infer_scan(&ext.graph, &nbrs, scan_seed(self.seed(), scan))
+            .map_err(FisError::Inference)
     }
 
     /// The exact-1-NN index over the reference embeddings.
@@ -400,6 +529,127 @@ impl FittedModel {
     ) -> Vec<Result<FloorId, FisError>> {
         let _budget_guard = (threads != 0).then(|| BudgetGuard::set(threads));
         fis_parallel::par_map(scans, 1, |_, scan| self.assign(scan))
+    }
+
+    /// Extends the model online with freshly served scans — the answer to
+    /// drift (AP churn, renovations) without a full refit: the scans are
+    /// self-labeled with the model's *current* answers, appended as new
+    /// reference points, and any MACs the base survey never heard grow the
+    /// vocabulary. The trained encoder weights are untouched.
+    ///
+    /// **Answer-preservation invariant:** the base model is frozen and
+    /// only scans hearing at least one *extension-only* MAC take the new
+    /// extended path, so every scan over the old vocabulary answers
+    /// **bit-identically** before and after this call (including error
+    /// cases). Repeated extensions compose: each call re-derives the
+    /// extended state from the base model plus all extension scans so far.
+    ///
+    /// Scans that share no MAC with the **base** vocabulary are skipped
+    /// (counted in [`ExtensionReport::skipped`]): with no anchor into the
+    /// trained feature space there is nothing sound to attach them to.
+    ///
+    /// Cost: O(total scans) content-seeded re-embeddings in the extended
+    /// space (no encoder retraining). The 1-NN VP-trees for both paths are
+    /// rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FisError::Model`] when `scans` is empty, any scan heard
+    /// nothing, or every scan lacks a base-vocabulary MAC; propagates
+    /// [`FisError::Inference`] if labeling or re-embedding fails. On error
+    /// the model is left exactly as it was.
+    pub fn extend(&mut self, scans: &[SignalSample]) -> Result<ExtensionReport, FisError> {
+        if scans.is_empty() {
+            return Err(FisError::Model("extension needs at least one scan".into()));
+        }
+        if let Some(empty) = scans.iter().find(|s| s.is_empty()) {
+            return Err(FisError::Model(format!(
+                "extension scan {} heard no MAC",
+                empty.id()
+            )));
+        }
+        let mut accepted: Vec<&SignalSample> = Vec::new();
+        let mut skipped = 0usize;
+        for scan in scans {
+            if scan
+                .iter()
+                .any(|(mac, _)| self.mac_index.contains_key(&mac))
+            {
+                accepted.push(scan);
+            } else {
+                skipped += 1;
+            }
+        }
+        if accepted.is_empty() {
+            return Err(FisError::Model(
+                "no extension scan shares a MAC with the base vocabulary".into(),
+            ));
+        }
+
+        // Self-label with the model's *current* answers (pre-extension),
+        // so the extension can never rewrite served history.
+        let mut floor_counts = vec![0usize; self.floors];
+        let mut new_assignment = Vec::with_capacity(accepted.len());
+        for scan in &accepted {
+            let floor = self.assign(scan)?;
+            floor_counts[floor.index()] += 1;
+            new_assignment.push(self.cluster_order[floor.index()]);
+        }
+
+        // Compose with any earlier extension: the state is always derived
+        // from (base model, all extension scans so far).
+        let (mut ext_samples, mut ext_assignment) = match &self.extension {
+            Some(ext) => (ext.samples.clone(), ext.assignment.clone()),
+            None => (Vec::new(), Vec::new()),
+        };
+        let next_id = (self.samples.len() + ext_samples.len()) as u32;
+        for (k, scan) in accepted.iter().enumerate() {
+            // Ids continue the unified numbering so the combined graph
+            // rebuilds (dense ids are a `BipartiteGraph` invariant).
+            ext_samples.push((*scan).clone().with_id(next_id + k as u32));
+        }
+        ext_assignment.extend(new_assignment);
+
+        let state = build_extended_state(
+            &self.samples,
+            &self.macs,
+            &self.gnn,
+            self.seed(),
+            ext_samples,
+            ext_assignment,
+            None,
+        )?;
+        let report = ExtensionReport {
+            appended: accepted.len(),
+            skipped,
+            new_macs: state.n_new_macs,
+            total_scans: self.samples.len() + state.samples.len(),
+            total_macs: self.macs.len() + state.n_new_macs,
+            floor_counts,
+        };
+        self.extension = Some(state);
+        Ok(report)
+    }
+
+    /// Whether the model carries an online extension.
+    pub fn is_extended(&self) -> bool {
+        self.extension.is_some()
+    }
+
+    /// Number of extension scans appended by [`FittedModel::extend`]
+    /// (0 when unextended).
+    pub fn extension_len(&self) -> usize {
+        self.extension.as_ref().map_or(0, |e| e.samples.len())
+    }
+
+    /// Total reference scans: base survey plus extension.
+    pub fn total_scans(&self) -> usize {
+        self.samples.len() + self.extension_len()
+    }
+
+    /// Total MAC vocabulary: base plus extension-grown.
+    pub fn total_macs(&self) -> usize {
+        self.macs.len() + self.extension.as_ref().map_or(0, |e| e.n_new_macs)
     }
 
     /// Serializes the whole model into one JSON artifact string (single
@@ -469,9 +719,10 @@ impl FittedModel {
             .get("version")
             .and_then(Json::as_usize)
             .ok_or_else(|| model_err("missing `version`".into()))?;
-        if version != MODEL_SCHEMA_VERSION {
+        if version != MODEL_SCHEMA_VERSION && version != MODEL_SCHEMA_VERSION_EXTENDED {
             return Err(model_err(format!(
-                "unsupported artifact version {version} (this build reads {MODEL_SCHEMA_VERSION})"
+                "unsupported artifact version {version} (this build reads \
+                 {MODEL_SCHEMA_VERSION} and {MODEL_SCHEMA_VERSION_EXTENDED})"
             )));
         }
         let field = |key: &str| {
@@ -580,6 +831,52 @@ impl FittedModel {
             ));
         }
 
+        let extension = if version == MODEL_SCHEMA_VERSION_EXTENDED {
+            let ext = field("extension")?;
+            let efield = |key: &str| {
+                ext.get(key)
+                    .ok_or_else(|| model_err(format!("missing extension field `{key}`")))
+            };
+            let ext_samples = usize_like_array(efield("samples")?, "extension.samples", |v| {
+                SignalSample::from_json(v).map_err(|e| model_err(e.to_string()))
+            })?;
+            if ext_samples.is_empty() {
+                return Err(model_err(
+                    "version 2 artifact carries an empty extension".into(),
+                ));
+            }
+            let ext_assignment = index_array(efield("assignment")?, "extension.assignment")?;
+            if ext_assignment.len() != ext_samples.len() {
+                return Err(model_err(format!(
+                    "extension assignment covers {} scans, extension has {}",
+                    ext_assignment.len(),
+                    ext_samples.len()
+                )));
+            }
+            if ext_assignment.iter().any(|&c| c >= floors) {
+                return Err(model_err(
+                    "extension assignment references a cluster beyond the floor count".into(),
+                ));
+            }
+            let ext_references = float_rows(efield("references")?, "extension.references")?;
+            Some(build_extended_state(
+                &samples,
+                &macs,
+                &gnn,
+                gnn.config().seed,
+                ext_samples,
+                ext_assignment,
+                Some(ext_references),
+            )?)
+        } else {
+            if json.get("extension").is_some() {
+                return Err(model_err(
+                    "version 1 artifact must not carry an `extension` field".into(),
+                ));
+            }
+            None
+        };
+
         let mac_index = macs.iter().enumerate().map(|(j, &m)| (m, j)).collect();
         let nn = VpTree::build(&references, |i| !samples[i].is_empty());
         Ok(Self {
@@ -597,15 +894,23 @@ impl FittedModel {
             graph,
             mac_index,
             nn,
+            extension,
         })
     }
 }
 
 impl ToJson for FittedModel {
     fn to_json(&self) -> Json {
-        Json::obj([
+        // Unextended models keep writing version 1 byte-identically;
+        // an extension bumps the artifact to version 2 and adds one field.
+        let version = if self.extension.is_some() {
+            MODEL_SCHEMA_VERSION_EXTENDED
+        } else {
+            MODEL_SCHEMA_VERSION
+        };
+        let mut fields = vec![
             ("schema", Json::Str(MODEL_SCHEMA.to_owned())),
-            ("version", Json::Num(MODEL_SCHEMA_VERSION as f64)),
+            ("version", Json::Num(version as f64)),
             ("building", Json::Str(self.building.clone())),
             ("floors", Json::Num(self.floors as f64)),
             ("config", pipeline_config_to_json(&self.config)),
@@ -647,7 +952,29 @@ impl ToJson for FittedModel {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(ext) = &self.extension {
+            fields.push((
+                "extension",
+                Json::obj([
+                    (
+                        "samples",
+                        Json::Arr(ext.samples.iter().map(|s| s.to_json()).collect()),
+                    ),
+                    (
+                        "assignment",
+                        Json::Arr(
+                            ext.assignment
+                                .iter()
+                                .map(|&c| Json::Num(c as f64))
+                                .collect(),
+                        ),
+                    ),
+                    ("references", float_rows_to_json(&ext.references)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -658,8 +985,9 @@ fn no_reference_error() -> FisError {
 }
 
 /// Maps a scan's readings onto the model's MAC nodes with `f(RSS)`
-/// weights, dropping MACs outside the vocabulary.
-fn known_neighbors(
+/// weights, dropping MACs outside the vocabulary. Shared with the
+/// extended path (`crate::extension`), which passes its own graph/index.
+pub(crate) fn known_neighbors(
     graph: &BipartiteGraph,
     mac_index: &HashMap<MacAddr, usize>,
     scan: &SignalSample,
@@ -677,7 +1005,7 @@ fn known_neighbors(
 /// readings (FNV-1a over MAC/RSSI bits). Content-only on purpose: the
 /// same scan gets the same embedding no matter when, where, or next to
 /// which other scans it is served.
-fn scan_seed(model_seed: u64, scan: &SignalSample) -> u64 {
+pub(crate) fn scan_seed(model_seed: u64, scan: &SignalSample) -> u64 {
     const PRIME: u64 = 0x100_0000_01b3;
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |bytes: [u8; 8]| {
@@ -908,6 +1236,127 @@ mod tests {
             model.assign(&empty).unwrap_err(),
             FisError::Inference(_)
         ));
+    }
+
+    /// Clones the first `n` training scans and adds one fresh (never
+    /// surveyed) AP reading to each — the minimal churn-shaped input.
+    fn churned_scans(b: &Building, n: usize) -> Vec<SignalSample> {
+        b.samples()
+            .iter()
+            .take(n)
+            .enumerate()
+            .map(|(i, s)| {
+                let mut readings: Vec<_> = s.iter().collect();
+                readings.push((
+                    MacAddr::from_u64(0xAB_0000 + i as u64),
+                    fis_types::Rssi::new(-45.0).unwrap(),
+                ));
+                SignalSample::builder(i as u32).readings(readings).build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extend_preserves_old_vocab_answers_bit_identically() {
+        let (b, mut model) = quick_fit(11);
+        let before: Vec<FloorId> = b
+            .samples()
+            .iter()
+            .map(|s| model.assign(s).unwrap())
+            .collect();
+        let report = model.extend(&churned_scans(&b, 6)).unwrap();
+        assert_eq!(report.appended, 6);
+        assert_eq!(report.new_macs, 6);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.total_scans, b.len() + 6);
+        assert!(model.is_extended());
+        let after: Vec<FloorId> = b
+            .samples()
+            .iter()
+            .map(|s| model.assign(s).unwrap())
+            .collect();
+        assert_eq!(before, after, "old-vocabulary answers must not move");
+    }
+
+    #[test]
+    fn extended_model_answers_new_mac_scans_and_round_trips() {
+        let (b, mut model) = quick_fit(12);
+        let ext = churned_scans(&b, 4);
+        model.extend(&ext).unwrap();
+        // A scan heard only through a brand-new AP is now answerable.
+        let new_only = SignalSample::builder(9)
+            .reading(
+                MacAddr::from_u64(0xAB_0000),
+                fis_types::Rssi::new(-50.0).unwrap(),
+            )
+            .build();
+        let floor = model.assign(&new_only).unwrap();
+        assert!(floor.index() < model.floors());
+        assert_eq!(model.assign(&new_only).unwrap(), floor);
+        // Extended artifacts stay byte-identical across save→load→save.
+        let first = model.to_json_string();
+        let loaded = FittedModel::from_json_str(&first).unwrap();
+        assert!(loaded.is_extended());
+        assert_eq!(loaded.to_json_string(), first);
+        assert_eq!(loaded.assign(&new_only).unwrap(), floor);
+        for scan in b.samples().iter().take(10) {
+            assert_eq!(model.assign(scan).unwrap(), loaded.assign(scan).unwrap());
+        }
+    }
+
+    #[test]
+    fn repeated_extension_composes_and_keeps_old_answers() {
+        let (b, mut model) = quick_fit(13);
+        let before: Vec<FloorId> = b
+            .samples()
+            .iter()
+            .map(|s| model.assign(s).unwrap())
+            .collect();
+        let ext = churned_scans(&b, 8);
+        model.extend(&ext[..4]).unwrap();
+        let mid = model.assign(&ext[0]).unwrap();
+        let report = model.extend(&ext[4..]).unwrap();
+        assert_eq!(report.appended, 4);
+        assert_eq!(model.extension_len(), 8);
+        // The first extension's scans still answer the same after the
+        // second extension (their MACs stay in the extended vocabulary).
+        assert_eq!(model.assign(&ext[0]).unwrap(), mid);
+        let after: Vec<FloorId> = b
+            .samples()
+            .iter()
+            .map(|s| model.assign(s).unwrap())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn extend_rejects_degenerate_inputs_with_typed_errors() {
+        let (_, mut model) = quick_fit(14);
+        // Empty batch.
+        assert!(matches!(model.extend(&[]).unwrap_err(), FisError::Model(_)));
+        // A scan that heard nothing.
+        let empty = SignalSample::builder(0).build();
+        assert!(matches!(
+            model.extend(&[empty]).unwrap_err(),
+            FisError::Model(_)
+        ));
+        // Scans sharing no MAC with the base vocabulary.
+        let alien = SignalSample::builder(1)
+            .reading(
+                MacAddr::from_u64(0xFFFF_FFFF_FF02),
+                fis_types::Rssi::new(-40.0).unwrap(),
+            )
+            .build();
+        let err = model.extend(std::slice::from_ref(&alien)).unwrap_err();
+        assert!(matches!(err, FisError::Model(_)), "{err}");
+        assert!(!model.is_extended(), "failed extends must not mutate");
+        // Mixed batch: the alien scan is skipped, not fatal.
+        let (b2, mut model2) = quick_fit(14);
+        let mut batch = churned_scans(&b2, 2);
+        batch.push(alien);
+        let report = model2.extend(&batch).unwrap();
+        assert_eq!(report.appended, 2);
+        assert_eq!(report.skipped, 1);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //!
 //! One request per line, one response per line, in order. See
 //! [`protocol`] for the exact shapes. Operations: `assign`,
-//! `assign_batch`, `load`, `evict`, `stats`, `shutdown`. Every failure —
+//! `assign_batch`, `load`, `evict`, `stats`, `shutdown`, and — behind
+//! the v2 envelope (`"v": 2`) — the mutation ops `extend` and `swap`.
+//! Frames without a `"v"` key speak v1 and are answered byte-for-byte
+//! as before versioning existed. Every failure —
 //! malformed frame, unknown building, corrupt or vanished artifact,
 //! failed inference, oversized batch — is a typed error response
 //! (`{"ok":false,"error":{"kind":...,"message":...}}`); the daemon never
@@ -84,7 +87,7 @@ pub mod server;
 pub use error::ServeError;
 pub use metrics::{OpMetrics, ServingMetrics};
 pub use pool::LineServer;
-pub use protocol::{Frame, Request};
+pub use protocol::{BatchRow, Frame, Request, Response, PROTOCOL_VERSION};
 pub use registry::{
     AssignCache, Fetch, ModelRegistry, RegistryConfig, RegistryStats, ScanKey, SharedRegistry,
 };

@@ -16,9 +16,20 @@
 //!   the next request, no restart. [`FittedModel::save`] writes
 //!   atomically (temp file + rename), so refitting over a live serving
 //!   directory never exposes a half-written artifact; other writers
-//!   should do the same. (A rewrite that keeps both mtime and byte
-//!   length identical is indistinguishable and will be missed — the
-//!   standard stat-cache caveat.)
+//!   should do the same.
+//! - **Racy-clean verification** — a rewrite that keeps both mtime and
+//!   byte length identical (possible within the filesystem's mtime
+//!   granularity) is invisible to the stat fingerprint — the classic
+//!   stat-cache race. Each entry therefore keeps the FNV-1a hash of its
+//!   artifact bytes: while the artifact's mtime is close enough to the
+//!   last verification that a same-fingerprint rewrite is possible
+//!   (within [`MTIME_GRANULARITY`]), a fingerprint "hit" re-reads the
+//!   file and compares hashes, reloading on mismatch. Once the mtime is
+//!   safely older than a verification, hits go back to stat-only — the
+//!   hash check self-retires, so steady-state serving never re-reads.
+//!   Conversely, a fingerprint *change* with an unchanged hash (e.g. a
+//!   `touch`) just refreshes the fingerprint instead of reloading, so
+//!   answer caches survive metadata-only rewrites.
 //! - **Deletion detection** — if the artifact vanished after load, the
 //!   cached model is dropped and the request fails with a typed `model`
 //!   error rather than serving from a file that no longer exists.
@@ -243,6 +254,12 @@ pub struct RegistryStats {
     pub assign_cache: CacheCounters,
 }
 
+/// The coarsest artifact-mtime granularity the registry defends
+/// against: a rewrite within this window of the last content
+/// verification can leave the `(mtime, len)` fingerprint unchanged, so
+/// fingerprint hits inside the window are re-verified by content hash.
+pub const MTIME_GRANULARITY: std::time::Duration = std::time::Duration::from_secs(2);
+
 #[derive(Debug)]
 struct Entry {
     model: Arc<FittedModel>,
@@ -250,6 +267,14 @@ struct Entry {
     /// with `mtime` — the change-detection fingerprint.
     bytes: u64,
     mtime: Option<SystemTime>,
+    /// FNV-1a over the artifact bytes as loaded: the ground truth the
+    /// fingerprint is only a proxy for.
+    content_hash: u64,
+    /// When the cached model was last proven to match the file content
+    /// (load, reload, or an explicit hash check). A fingerprint hit is
+    /// trusted without re-reading only once the artifact's mtime is at
+    /// least [`MTIME_GRANULARITY`] older than this.
+    verified_at: SystemTime,
     last_used: u64,
     /// Answers for exactly this model generation; dropped with the
     /// entry on evict/reload, so invalidation is structural.
@@ -372,21 +397,77 @@ impl ModelRegistry {
         let bytes = meta.len();
 
         self.tick += 1;
-        let cached = match self.entries.get_mut(building) {
-            Some(entry) if entry.mtime == mtime && entry.bytes == bytes => {
+        // Stat-only fast path: the fingerprint matches AND the artifact
+        // mtime is old enough that a same-fingerprint rewrite since the
+        // last content verification is impossible.
+        let fresh_hit = match self.entries.get(building) {
+            Some(entry) if entry.mtime == mtime && entry.bytes == bytes => match mtime {
+                Some(m) => m
+                    .checked_add(MTIME_GRANULARITY)
+                    .is_some_and(|edge| edge < entry.verified_at),
+                // No readable mtime: the fingerprint is length alone,
+                // too weak to ever trust without a hash check.
+                None => false,
+            },
+            _ => false,
+        };
+        if fresh_hit {
+            let entry = self.entries.get_mut(building).expect("checked fresh above");
+            entry.last_used = self.tick;
+            self.stats.hits += 1;
+            return Ok((Arc::clone(&entry.model), Fetch::Hit));
+        }
+
+        // Anything else needs the file content: first load, changed
+        // fingerprint, or a fingerprint hit still inside the racy
+        // window. One read serves both the hash check and the parse.
+        let cached = self.entries.contains_key(building);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Vanished between stat and read: same handling as a
+                // missing artifact at stat time.
+                if self.entries.remove(building).is_some() {
+                    self.stats.evictions += 1;
+                    return Err(ServeError::Model(format!(
+                        "artifact {} was deleted after load; evicted `{building}`",
+                        path.display()
+                    )));
+                }
+                return Err(ServeError::UnknownBuilding(format!(
+                    "no artifact for `{building}` (expected {})",
+                    path.display()
+                )));
+            }
+            Err(e) => {
+                return Err(ServeError::Model(format!(
+                    "read {} failed: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let content_hash = fnv1a(text.as_bytes());
+        if let Some(entry) = self.entries.get_mut(building) {
+            if entry.content_hash == content_hash {
+                // Content unchanged — either a racy-window verification
+                // or a metadata-only rewrite (e.g. touch). Refresh the
+                // fingerprint and keep the model and its answer cache.
+                entry.mtime = mtime;
+                entry.bytes = bytes;
+                entry.verified_at = SystemTime::now();
                 entry.last_used = self.tick;
                 self.stats.hits += 1;
                 return Ok((Arc::clone(&entry.model), Fetch::Hit));
             }
-            cached => cached.is_some(),
-        };
+        }
 
-        // Cache miss, or the artifact changed on disk (hot reload). A
-        // failed reload drops the stale entry — serving the old model
-        // after the artifact was replaced would silently violate mtime
-        // semantics.
+        // Cache miss, or the artifact content really changed (hot
+        // reload — including a same-fingerprint rewrite the stat cache
+        // alone would have missed). A failed reload drops the stale
+        // entry — serving the old model after the artifact was replaced
+        // would silently violate the hot-reload contract.
         let fetch = if cached { Fetch::Reload } else { Fetch::Miss };
-        let model = match self.load_artifact(building, &path) {
+        let model = match self.load_artifact(building, &path, &text) {
             Ok(model) => Arc::new(model),
             Err(e) => {
                 if self.entries.remove(building).is_some() {
@@ -405,6 +486,8 @@ impl ModelRegistry {
                 model: Arc::clone(&model),
                 bytes,
                 mtime,
+                content_hash,
+                verified_at: SystemTime::now(),
                 last_used: self.tick,
                 cache: AssignCache::new(self.config.assign_cache),
             },
@@ -568,8 +651,16 @@ impl ModelRegistry {
         evicted
     }
 
-    fn load_artifact(&mut self, building: &str, path: &Path) -> Result<FittedModel, ServeError> {
-        let model = FittedModel::load(path).map_err(|e| {
+    /// Parses an artifact from its already-read text (the caller reads
+    /// the file once for both hashing and parsing) and validates the
+    /// building-id pairing.
+    fn load_artifact(
+        &mut self,
+        building: &str,
+        path: &Path,
+        text: &str,
+    ) -> Result<FittedModel, ServeError> {
+        let model = FittedModel::from_json_str(text.trim_end_matches('\n')).map_err(|e| {
             self.stats.load_failures += 1;
             ServeError::from(e)
         })?;
@@ -795,6 +886,18 @@ impl SharedRegistry {
     }
 }
 
+/// FNV-1a over a byte slice, used as the artifact content hash for
+/// racy-clean verification (same constants as [`ScanKey`]'s reading
+/// hash).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
 fn validate_building_id(building: &str) -> Result<(), ServeError> {
     if building.is_empty()
         || building == "."
@@ -965,6 +1068,64 @@ mod tests {
         assert_eq!(fetch, Fetch::Reload);
         assert_eq!(reg.stats().reloads, 1);
         assert_ne!(old.samples().len(), new.samples().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn same_length_same_mtime_rewrite_is_caught_by_content_hash() {
+        let dir = temp_dir("racy");
+        let path = dir.join("racy.json");
+        quick_model("racy", 15, 30).save(&path).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir));
+        reg.get("racy").unwrap();
+        let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+        // Rewrite with identical byte length, then pin the mtime back to
+        // the original — the same fingerprint a same-tick rewrite leaves
+        // on a coarse-mtime filesystem. The stale stat cache used to
+        // serve the old model here; the content hash must notice.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(mtime)
+            .unwrap();
+        let err = reg.get("racy").unwrap_err();
+        assert_eq!(
+            err.kind(),
+            "model",
+            "a same-fingerprint rewrite must never serve the stale model"
+        );
+        assert_eq!(reg.stats().load_failures, 1);
+        assert_eq!(reg.len(), 0, "the stale entry was dropped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metadata_only_rewrite_keeps_model_and_answer_cache() {
+        let dir = temp_dir("touch");
+        let path = dir.join("touch.json");
+        let model = quick_model("touch", 15, 31);
+        model.save(&path).unwrap();
+        let mut reg = ModelRegistry::new(RegistryConfig::new(&dir).assign_cache(8));
+        let scan = model.samples()[0].clone();
+        reg.assign("touch", &scan).unwrap();
+        assert_eq!(reg.assign_cache_entries(), 1);
+        // A fingerprint change with identical content (a `touch`) must
+        // refresh the fingerprint, not reload: the answer cache and the
+        // loaded generation survive.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(SystemTime::now() - std::time::Duration::from_secs(30))
+            .unwrap();
+        let (_, fetch) = reg.get("touch").unwrap();
+        assert_eq!(fetch, Fetch::Hit);
+        assert_eq!(reg.stats().reloads, 0);
+        assert_eq!(reg.assign_cache_entries(), 1, "answer cache survived");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -311,8 +311,8 @@ impl Router {
     }
 
     /// Applies `line` to every reachable replica of `building` (used
-    /// for `evict`, which must hit all replica caches), returning the
-    /// first successful response.
+    /// for `evict` and the v2 mutations `extend`/`swap`, which must hit
+    /// all replica caches), returning the first successful response.
     fn forward_all(&self, building: &str, line: &str) -> Result<(String, bool), ServeError> {
         let order = self.route(building);
         let mut first: Option<(String, bool)> = None;
@@ -334,7 +334,7 @@ impl Router {
 
     /// `stats`: the router's own counters plus each shard's payload
     /// (or its error) keyed by shard address.
-    fn stats_response(&self, id: Option<&Json>) -> Json {
+    fn stats_response(&self, version: u8, id: Option<&Json>) -> Json {
         let mut per_shard = BTreeMap::new();
         for shard in &self.shards {
             let value = match shard.call(r#"{"op":"stats"}"#) {
@@ -368,6 +368,7 @@ impl Router {
             ),
         ]);
         ok_response(
+            version,
             "stats",
             id,
             [("router", router), ("shards", Json::Obj(per_shard))],
@@ -382,24 +383,40 @@ impl Router {
             Ok(frame) => frame,
             Err(fe) => {
                 return (
-                    error_response(fe.op.as_deref(), fe.id.as_ref(), &fe.error).to_string(),
+                    error_response(fe.version, fe.op.as_deref(), fe.id.as_ref(), &fe.error)
+                        .to_string(),
                     false,
                 )
             }
         };
-        let Frame { id, request } = frame;
+        let Frame {
+            id,
+            version,
+            request,
+        } = frame;
         let op = request.op();
         let forwarded = match &request {
             Request::Assign { building, .. }
             | Request::AssignBatch { building, .. }
             | Request::Load { building } => self.forward(building, line.trim()),
-            Request::Evict { building } => self.forward_all(building, line.trim()),
-            Request::Stats => return (self.stats_response(id.as_ref()).to_string(), false),
+            // Mutations must reach every replica cache. For `extend`
+            // this also *converges* the replicas: extension is a pure
+            // function of (artifact, scans), so each shard republishes
+            // byte-identical extended artifacts independently.
+            Request::Evict { building }
+            | Request::Extend { building, .. }
+            | Request::Swap { building } => self.forward_all(building, line.trim()),
+            Request::Stats => {
+                return (self.stats_response(version, id.as_ref()).to_string(), false)
+            }
             Request::Shutdown => {
                 for shard in &self.shards {
                     shard.call(line.trim()).ok();
                 }
-                return (ok_response("shutdown", id.as_ref(), []).to_string(), true);
+                return (
+                    ok_response(version, "shutdown", id.as_ref(), []).to_string(),
+                    true,
+                );
             }
         };
         match forwarded {
@@ -411,7 +428,10 @@ impl Router {
             }
             Err(e) => {
                 self.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
-                (error_response(Some(op), id.as_ref(), &e).to_string(), false)
+                (
+                    error_response(version, Some(op), id.as_ref(), &e).to_string(),
+                    false,
+                )
             }
         }
     }

@@ -34,7 +34,7 @@ use fis_types::json::Json;
 use crate::error::ServeError;
 use crate::metrics::ServingMetrics;
 use crate::pool::{self, LineServer};
-use crate::protocol::{error_response, ok_response, parse_frame, Frame, Request};
+use crate::protocol::{error_response, parse_frame, BatchRow, Frame, Request, Response};
 use crate::registry::{Fetch, RegistryConfig, SharedRegistry};
 
 /// Daemon configuration.
@@ -96,7 +96,7 @@ impl DaemonConfig {
 
 /// What one dispatched request did, for the response and the metrics.
 struct RequestOutcome {
-    result: Result<Json, ServeError>,
+    result: Result<Response, ServeError>,
     /// Scans in an *accepted* assign/assign_batch (0 when rejected).
     attempted: u64,
     /// Scans successfully labeled.
@@ -110,9 +110,9 @@ struct RequestOutcome {
 }
 
 impl RequestOutcome {
-    fn ok(json: Json) -> Self {
+    fn ok(response: Response) -> Self {
         Self {
-            result: Ok(json),
+            result: Ok(response),
             attempted: 0,
             labeled: 0,
             scan_failures: 0,
@@ -143,6 +143,12 @@ pub struct Daemon {
     config: DaemonConfig,
     registry: SharedRegistry,
     metrics: Mutex<ServingMetrics>,
+    /// Serializes artifact mutations (`extend`, `swap`) against each
+    /// other. Inference never takes this lock: while a mutation clones,
+    /// grows, and atomically republishes an artifact, assigns keep
+    /// serving the old generation; the new one goes live only when the
+    /// rename lands and the cache entry is dropped.
+    mutation: Mutex<()>,
 }
 
 impl Daemon {
@@ -153,6 +159,7 @@ impl Daemon {
             config,
             registry,
             metrics: Mutex::new(ServingMetrics::new()),
+            mutation: Mutex::new(()),
         }
     }
 
@@ -182,21 +189,27 @@ impl Daemon {
                     .unwrap_or_else(|p| p.into_inner())
                     .record(None, 0, 0, true, latency);
                 return (
-                    error_response(fe.op.as_deref(), fe.id.as_ref(), &fe.error),
+                    error_response(fe.version, fe.op.as_deref(), fe.id.as_ref(), &fe.error),
                     false,
                 );
             }
         };
-        let Frame { id, request } = frame;
+        let Frame {
+            id,
+            version,
+            request,
+        } = frame;
         let op = request.op();
         let model_key = match &request {
             Request::Assign { building, .. }
             | Request::AssignBatch { building, .. }
             | Request::Load { building }
-            | Request::Evict { building } => Some(building.clone()),
+            | Request::Evict { building }
+            | Request::Extend { building, .. }
+            | Request::Swap { building } => Some(building.clone()),
             Request::Stats | Request::Shutdown => None,
         };
-        let outcome = self.dispatch(request, id.as_ref());
+        let outcome = self.dispatch(request);
         let latency = started.elapsed().as_secs_f64() * 1e9;
         {
             // Per-model scopes only for buildings that resolved to a
@@ -211,43 +224,72 @@ impl Daemon {
             metrics.record(scope, outcome.attempted, outcome.labeled, failed, latency);
         }
         let response = match outcome.result {
-            Ok(json) => json,
-            Err(e) => error_response(Some(op), id.as_ref(), &e),
+            Ok(typed) => typed.to_json(version, id.as_ref()),
+            Err(e) => error_response(version, Some(op), id.as_ref(), &e),
         };
         (response, outcome.shutdown)
     }
 
-    fn dispatch(&self, request: Request, id: Option<&Json>) -> RequestOutcome {
+    fn dispatch(&self, request: Request) -> RequestOutcome {
         match request {
-            // The registry's cached assign path: exact answers whether
-            // they replay from the cache or compute fresh.
-            Request::Assign { building, scan } => match self.registry.assign(&building, &scan) {
-                Err(e) => {
-                    // An inference failure proves the model loaded and
-                    // the scan was attempted; registry-level failures
-                    // attempted nothing.
-                    let attempted = u64::from(matches!(e, ServeError::Inference(_)));
-                    RequestOutcome {
-                        attempted,
-                        ..RequestOutcome::rejected(e)
-                    }
+            // Both assign shapes run through the single batch path
+            // (`run_assign`): a lone scan is a batch of one, so caching,
+            // fan-out, and per-scan error semantics cannot diverge
+            // between the two ops.
+            Request::Assign { building, scan } => {
+                let mut results = match self.run_assign(&building, std::slice::from_ref(&scan)) {
+                    Ok(results) => results,
+                    Err(e) => return RequestOutcome::rejected(e),
+                };
+                match results.pop().expect("one scan in, one result out") {
+                    Err(e) => RequestOutcome {
+                        // The scan reached inference, so it counts as
+                        // attempted; registry-level failures above
+                        // attempted nothing.
+                        attempted: 1,
+                        ..RequestOutcome::rejected(ServeError::from(e))
+                    },
+                    Ok(floor) => RequestOutcome {
+                        attempted: 1,
+                        labeled: 1,
+                        tenant_exists: true,
+                        ..RequestOutcome::ok(Response::Assign {
+                            building,
+                            scan_id: scan.id().index(),
+                            floor: floor.index(),
+                        })
+                    },
                 }
-                Ok(floor) => RequestOutcome {
-                    attempted: 1,
-                    labeled: 1,
+            }
+            Request::AssignBatch { building, scans } => {
+                if self.config.max_batch > 0 && scans.len() > self.config.max_batch {
+                    return RequestOutcome::rejected(ServeError::Capacity(format!(
+                        "batch of {} scans exceeds the configured maximum of {}",
+                        scans.len(),
+                        self.config.max_batch
+                    )));
+                }
+                let results = match self.run_assign(&building, &scans) {
+                    Ok(results) => results,
+                    Err(e) => return RequestOutcome::rejected(e),
+                };
+                let rows: Vec<BatchRow> = scans
+                    .iter()
+                    .zip(results)
+                    .map(|(scan, result)| BatchRow {
+                        scan_id: scan.id().index(),
+                        result: result.map(|f| f.index()).map_err(ServeError::from),
+                    })
+                    .collect();
+                let failures = rows.iter().filter(|r| r.result.is_err()).count() as u64;
+                RequestOutcome {
+                    attempted: rows.len() as u64,
+                    labeled: rows.len() as u64 - failures,
+                    scan_failures: failures,
                     tenant_exists: true,
-                    ..RequestOutcome::ok(ok_response(
-                        "assign",
-                        id,
-                        [
-                            ("building", Json::Str(building.clone())),
-                            ("scan_id", Json::Num(scan.id().index() as f64)),
-                            ("floor", Json::Num(floor.index() as f64)),
-                        ],
-                    ))
-                },
-            },
-            Request::AssignBatch { building, scans } => self.assign_batch(&building, &scans, id),
+                    ..RequestOutcome::ok(Response::AssignBatch { building, rows })
+                }
+            }
             Request::Load { building } => match self.registry.get(&building) {
                 Err(e) => RequestOutcome::rejected(e),
                 Ok((model, fetch)) => {
@@ -258,16 +300,12 @@ impl Daemon {
                     };
                     RequestOutcome {
                         tenant_exists: true,
-                        ..RequestOutcome::ok(ok_response(
-                            "load",
-                            id,
-                            [
-                                ("building", Json::Str(building.clone())),
-                                ("floors", Json::Num(model.floors() as f64)),
-                                ("scans", Json::Num(model.samples().len() as f64)),
-                                ("fetch", Json::Str(fetch.to_owned())),
-                            ],
-                        ))
+                        ..RequestOutcome::ok(Response::Load {
+                            building,
+                            floors: model.floors(),
+                            scans: model.samples().len(),
+                            fetch,
+                        })
                     }
                 }
             },
@@ -276,84 +314,92 @@ impl Daemon {
                 RequestOutcome {
                     // An entry was cached, so the tenant is real.
                     tenant_exists: evicted,
-                    ..RequestOutcome::ok(ok_response(
-                        "evict",
-                        id,
-                        [
-                            ("building", Json::Str(building)),
-                            ("evicted", Json::Bool(evicted)),
-                        ],
-                    ))
+                    ..RequestOutcome::ok(Response::Evict { building, evicted })
                 }
             }
+            Request::Extend { building, scans } => match self.extend(&building, &scans) {
+                Err(e) => RequestOutcome::rejected(e),
+                Ok(response) => RequestOutcome {
+                    tenant_exists: true,
+                    ..RequestOutcome::ok(response)
+                },
+            },
+            Request::Swap { building } => match self.swap(&building) {
+                Err(e) => RequestOutcome::rejected(e),
+                Ok(response) => RequestOutcome {
+                    tenant_exists: true,
+                    ..RequestOutcome::ok(response)
+                },
+            },
             Request::Stats => {
                 let metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
                 let stats = self.registry.with(|reg| metrics.to_json(reg));
-                RequestOutcome::ok(ok_response("stats", id, [("stats", stats)]))
+                RequestOutcome::ok(Response::Stats { stats })
             }
             Request::Shutdown => RequestOutcome {
                 shutdown: true,
-                ..RequestOutcome::ok(ok_response("shutdown", id, []))
+                ..RequestOutcome::ok(Response::Shutdown)
             },
         }
     }
 
-    fn assign_batch(
+    /// The single assign path both `assign` and `assign_batch` share.
+    /// Content-seeded per-scan RNGs keep the fan-out on the PR 2
+    /// determinism contract for any thread count or batch order, and the
+    /// registry's answer cache only replays answers that contract
+    /// already fixes.
+    #[allow(clippy::type_complexity)]
+    fn run_assign(
         &self,
         building: &str,
         scans: &[fis_types::SignalSample],
-        id: Option<&Json>,
-    ) -> RequestOutcome {
-        if self.config.max_batch > 0 && scans.len() > self.config.max_batch {
-            return RequestOutcome::rejected(ServeError::Capacity(format!(
-                "batch of {} scans exceeds the configured maximum of {}",
-                scans.len(),
-                self.config.max_batch
-            )));
-        }
-        // Content-seeded per-scan RNGs: the fan-out preserves the PR 2
-        // determinism contract for any thread count or batch order, and
-        // the registry's answer cache only replays answers that contract
-        // already fixes.
-        let results = match self
-            .registry
+    ) -> Result<Vec<Result<fis_types::FloorId, fis_core::FisError>>, ServeError> {
+        self.registry
             .assign_batch(building, scans, self.config.threads)
-        {
-            Ok(results) => results,
-            Err(e) => return RequestOutcome::rejected(e),
-        };
-        let mut failures = 0u64;
-        let rows: Vec<Json> = scans
-            .iter()
-            .zip(results)
-            .map(|(scan, result)| {
-                let scan_id = ("scan_id", Json::Num(scan.id().index() as f64));
-                match result {
-                    Ok(floor) => Json::obj([scan_id, ("floor", Json::Num(floor.index() as f64))]),
-                    Err(e) => {
-                        failures += 1;
-                        Json::obj([scan_id, ("error", ServeError::from(e).to_json())])
-                    }
-                }
-            })
-            .collect();
-        let response = ok_response(
-            "assign_batch",
-            id,
-            [
-                ("building", Json::Str(building.to_owned())),
-                ("count", Json::Num(rows.len() as f64)),
-                ("failures", Json::Num(failures as f64)),
-                ("results", Json::Arr(rows)),
-            ],
-        );
-        RequestOutcome {
-            attempted: scans.len() as u64,
-            labeled: scans.len() as u64 - failures,
-            scan_failures: failures,
-            tenant_exists: true,
-            ..RequestOutcome::ok(response)
-        }
+    }
+
+    /// The v2 `extend` op: clone the live model, grow it with the new
+    /// reference scans, atomically republish the artifact (temp file +
+    /// rename via [`fis_core::FittedModel::save`]), and drop the cached
+    /// generation so the next request serves the extension. Holds the
+    /// mutation lock throughout; concurrent assigns keep answering from
+    /// the old generation and are never blocked.
+    fn extend(
+        &self,
+        building: &str,
+        scans: &[fis_types::SignalSample],
+    ) -> Result<Response, ServeError> {
+        let _mutation = self.mutation.lock().unwrap_or_else(|p| p.into_inner());
+        let (model, _) = self.registry.get(building)?;
+        let mut extended = (*model).clone();
+        let report = extended.extend(scans).map_err(ServeError::from)?;
+        let path = self.registry.with(|reg| reg.artifact_path(building));
+        extended.save(&path).map_err(ServeError::from)?;
+        self.registry.evict(building);
+        Ok(Response::Extend {
+            building: building.to_owned(),
+            appended: report.appended,
+            skipped: report.skipped,
+            new_macs: report.new_macs,
+            total_scans: report.total_scans,
+            total_macs: report.total_macs,
+        })
+    }
+
+    /// The v2 `swap` op: force the on-disk artifact generation live now
+    /// by dropping the cached entry (answer cache included) and
+    /// reloading, instead of waiting for the registry's change
+    /// detection to notice.
+    fn swap(&self, building: &str) -> Result<Response, ServeError> {
+        let _mutation = self.mutation.lock().unwrap_or_else(|p| p.into_inner());
+        let evicted = self.registry.evict(building);
+        let (model, _) = self.registry.get(building)?;
+        Ok(Response::Swap {
+            building: building.to_owned(),
+            floors: model.floors(),
+            scans: model.total_scans(),
+            evicted,
+        })
     }
 
     /// Serves one transport to completion. Returns `Ok(true)` when a
@@ -618,6 +664,83 @@ mod tests {
         }
         let daemon = handle.join().unwrap();
         assert_eq!(daemon.registry().stats().hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn extend_and_swap_publish_atomically_and_keep_old_answers() {
+        let (daemon, dir, buildings) = daemon_over(&[("ext", 26)], "extend");
+        let b = &buildings[0];
+        let assign_line = |scan: &fis_types::SignalSample| {
+            Json::obj([
+                ("op", Json::Str("assign".into())),
+                ("building", Json::Str("ext".into())),
+                ("scan", scan.to_json()),
+            ])
+            .to_string()
+        };
+        let before: Vec<Json> = b
+            .samples()
+            .iter()
+            .take(5)
+            .map(|s| daemon.handle_line(&assign_line(s)).0)
+            .collect();
+
+        // A v1 frame must not see the v2 mutation ops at all.
+        let (v1, _) = daemon.handle_line(r#"{"op":"extend","building":"ext","scans":[]}"#);
+        assert_eq!(v1.get("ok"), Some(&Json::Bool(false)));
+        assert!(v1
+            .get("error")
+            .unwrap()
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown op `extend`"));
+
+        let scans: Vec<Json> = b.samples().iter().take(3).map(|s| s.to_json()).collect();
+        let line = Json::obj([
+            ("v", Json::Num(2.0)),
+            ("op", Json::Str("extend".into())),
+            ("building", Json::Str("ext".into())),
+            ("scans", Json::Arr(scans)),
+        ])
+        .to_string();
+        let (resp, _) = daemon.handle_line(&line);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "extend: {resp}");
+        assert_eq!(resp.get("v"), Some(&Json::Num(2.0)));
+        assert_eq!(resp.get("appended").unwrap().as_usize(), Some(3));
+        assert_eq!(resp.get("total_scans").unwrap().as_usize(), Some(48));
+
+        // The on-disk artifact is the extended generation now, and the
+        // daemon serves it — with old-vocabulary answers bit-identical.
+        let published = FittedModel::load(dir.join("ext.json")).unwrap();
+        assert!(published.is_extended());
+        for (scan, old) in b.samples().iter().take(5).zip(&before) {
+            assert_eq!(&daemon.handle_line(&assign_line(scan)).0, old);
+        }
+
+        let (swap, _) = daemon.handle_line(r#"{"v":2,"op":"swap","building":"ext"}"#);
+        assert_eq!(swap.get("ok"), Some(&Json::Bool(true)), "swap: {swap}");
+        assert_eq!(swap.get("evicted"), Some(&Json::Bool(true)));
+        assert_eq!(swap.get("scans").unwrap().as_usize(), Some(48));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn extend_of_unknown_building_is_typed_and_publishes_nothing() {
+        let dir = std::env::temp_dir().join(format!("fis_server_extnone_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let daemon = Daemon::new(DaemonConfig::new(RegistryConfig::new(&dir)));
+        let (resp, _) =
+            daemon.handle_line(r#"{"v":2,"op":"extend","building":"ghost","scans":[]}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            resp.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("unknown_building")
+        );
+        assert_eq!(resp.get("v"), Some(&Json::Num(2.0)));
+        assert!(!dir.join("ghost.json").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

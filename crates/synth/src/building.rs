@@ -7,15 +7,16 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::propagation::{gaussian, PropagationModel};
 
-/// A placed access point.
+/// A placed access point. Shared with the [`crate::temporal`] scenarios,
+/// which mutate the placement between epochs.
 #[derive(Debug, Clone)]
-struct PlacedAp {
-    mac: MacAddr,
-    x: f64,
-    y: f64,
-    floor: usize,
+pub(crate) struct PlacedAp {
+    pub(crate) mac: MacAddr,
+    pub(crate) x: f64,
+    pub(crate) y: f64,
+    pub(crate) floor: usize,
     /// Atrium APs propagate with the low floor-attenuation model.
-    atrium: bool,
+    pub(crate) atrium: bool,
 }
 
 /// Configuration (builder) for generating one synthetic building.
@@ -37,20 +38,20 @@ struct PlacedAp {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BuildingConfig {
-    name: String,
-    floors: usize,
-    width_m: f64,
-    length_m: f64,
-    floor_height_m: f64,
-    aps_per_floor: usize,
-    atrium_aps: usize,
-    samples_per_floor: usize,
-    device_sigma_db: f64,
-    max_aps_per_scan: usize,
-    scan_dropout: f64,
-    model: PropagationModel,
-    atrium_model: PropagationModel,
-    seed: u64,
+    pub(crate) name: String,
+    pub(crate) floors: usize,
+    pub(crate) width_m: f64,
+    pub(crate) length_m: f64,
+    pub(crate) floor_height_m: f64,
+    pub(crate) aps_per_floor: usize,
+    pub(crate) atrium_aps: usize,
+    pub(crate) samples_per_floor: usize,
+    pub(crate) device_sigma_db: f64,
+    pub(crate) max_aps_per_scan: usize,
+    pub(crate) scan_dropout: f64,
+    pub(crate) model: PropagationModel,
+    pub(crate) atrium_model: PropagationModel,
+    pub(crate) seed: u64,
 }
 
 impl BuildingConfig {
@@ -194,7 +195,7 @@ impl BuildingConfig {
             .expect("generator maintains building invariants")
     }
 
-    fn place_aps<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<PlacedAp> {
+    pub(crate) fn place_aps<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<PlacedAp> {
         let mut aps = Vec::new();
         let mut mac_counter: u64 = (self.seed << 20) | 1;
         for floor in 0..self.floors {
@@ -223,7 +224,7 @@ impl BuildingConfig {
         aps
     }
 
-    fn scan_at<R: Rng + ?Sized>(
+    pub(crate) fn scan_at<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         aps: &[PlacedAp],

@@ -15,6 +15,9 @@
 //! - [`corpus`]: ready-made corpora shaped like the paper's two datasets
 //!   (building-count distribution of Figure 7, ~1000 samples/floor, 5/5/7
 //!   floor malls, a 168-MAC 8-floor mall for Figure 1(b)).
+//! - [`temporal`]: timestamped drift epochs over an evolving site — AP
+//!   churn, fleet calibration offsets, renovations, and mixed scan
+//!   densities — for evaluating online model extension.
 //!
 //! All generation is deterministic given a seed.
 //!
@@ -35,7 +38,9 @@
 pub mod building;
 pub mod corpus;
 pub mod propagation;
+pub mod temporal;
 
 pub use building::BuildingConfig;
 pub use corpus::{fig1b_mall, malls_like, microsoft_like, Scale};
 pub use propagation::PropagationModel;
+pub use temporal::{DriftScenario, EpochScans, TemporalConfig, TemporalCorpus};

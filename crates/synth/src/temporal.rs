@@ -1,0 +1,404 @@
+//! Temporal drift scenarios: timestamped scan epochs over an evolving site.
+//!
+//! A fitted model is a snapshot of one survey, but real deployments drift:
+//! APs are replaced (MAC churn), device fleets change their RSSI
+//! calibration, renovations move hardware, and crowdsourcing density waxes
+//! and wanes. This module replays that drift as a sequence of *epochs* —
+//! each a timestamped batch of query scans generated against the building's
+//! AP population *as of that epoch* — so the serving tier's online
+//! extension path (`FittedModel::extend`) can be evaluated against a known
+//! ground truth.
+//!
+//! Everything is deterministic given the base config's seed: epoch `e`
+//! derives its own ChaCha8 stream from `(seed, e)`, so corpora are
+//! reproducible regardless of how many epochs a caller consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use fis_synth::{BuildingConfig, DriftScenario, TemporalConfig};
+//!
+//! let corpus = TemporalConfig::new(
+//!     BuildingConfig::new("mall", 3)
+//!         .samples_per_floor(40)
+//!         .aps_per_floor(8)
+//!         .seed(7),
+//!     DriftScenario::ApChurn { replaced_per_epoch: 0.1 },
+//! )
+//! .epochs(4)
+//! .scans_per_epoch(50)
+//! .generate();
+//! assert_eq!(corpus.epochs.len(), 4);
+//! assert_eq!(corpus.building.floors(), 3);
+//! ```
+
+use fis_types::{Building, FloorId, MacAddr, SignalSample};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::building::{BuildingConfig, PlacedAp};
+use crate::propagation::gaussian;
+
+/// How the site drifts away from the epoch-0 survey.
+#[derive(Debug, Clone)]
+pub enum DriftScenario {
+    /// Every epoch, this fraction of the AP population is replaced: the old
+    /// unit vanishes and a new one (fresh MAC, fresh position) appears.
+    /// Cumulative — after enough epochs little of the original vocabulary
+    /// survives.
+    ApChurn {
+        /// Fraction of APs replaced per epoch, in `[0, 1]`.
+        replaced_per_epoch: f64,
+    },
+    /// The device fleet's RSSI calibration drifts: every scan in epoch `e`
+    /// carries an extra `db_per_epoch * e` offset on top of its per-device
+    /// bias. The AP population (and hence the MAC vocabulary) is unchanged.
+    CalibrationOffset {
+        /// Fleet-wide offset added per epoch, in dB (may be negative).
+        db_per_epoch: f64,
+    },
+    /// A one-shot renovation at `at_epoch`: `moved_fraction` of the APs are
+    /// re-mounted at new random positions, and every second moved unit is
+    /// also replaced with new hardware (fresh MAC).
+    Renovation {
+        /// Epoch (1-based) at which the renovation lands.
+        at_epoch: usize,
+        /// Fraction of APs affected, in `[0, 1]`.
+        moved_fraction: f64,
+    },
+    /// Crowdsourcing density varies: epoch `e` emits
+    /// `scans_per_epoch * cycle[(e - 1) % cycle.len()]` scans. The site
+    /// itself does not drift.
+    MixedDensity {
+        /// Scan-count multipliers cycled epoch by epoch; must be non-empty
+        /// and positive.
+        cycle: Vec<f64>,
+    },
+}
+
+/// One epoch's worth of timestamped query scans.
+#[derive(Debug, Clone)]
+pub struct EpochScans {
+    /// 1-based epoch index (epoch 0 is the training survey itself).
+    pub epoch: usize,
+    /// Seconds since the training survey.
+    pub timestamp_s: u64,
+    /// Query scans, ids dense from 0 within the epoch.
+    pub samples: Vec<SignalSample>,
+    /// True floor per scan, parallel to `samples`.
+    pub ground_truth: Vec<FloorId>,
+}
+
+/// A training survey plus the drifting epochs that follow it.
+#[derive(Debug, Clone)]
+pub struct TemporalCorpus {
+    /// The epoch-0 crowdsourced survey (what a model is fitted on).
+    pub building: Building,
+    /// Subsequent epochs in time order.
+    pub epochs: Vec<EpochScans>,
+}
+
+/// Configuration (builder) for a temporal drift corpus.
+#[derive(Debug, Clone)]
+pub struct TemporalConfig {
+    base: BuildingConfig,
+    scenario: DriftScenario,
+    epochs: usize,
+    scans_per_epoch: usize,
+    epoch_seconds: u64,
+}
+
+impl TemporalConfig {
+    /// Starts a temporal corpus over `base`'s building, drifting per
+    /// `scenario`. Defaults: 6 epochs, 100 scans/epoch, 1 week apart.
+    pub fn new(base: BuildingConfig, scenario: DriftScenario) -> Self {
+        if let DriftScenario::MixedDensity { cycle } = &scenario {
+            assert!(
+                !cycle.is_empty() && cycle.iter().all(|m| *m > 0.0),
+                "density cycle must be non-empty and positive"
+            );
+        }
+        Self {
+            base,
+            scenario,
+            epochs: 6,
+            scans_per_epoch: 100,
+            epoch_seconds: 7 * 24 * 3600,
+        }
+    }
+
+    /// Number of post-survey epochs to generate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn epochs(mut self, n: usize) -> Self {
+        assert!(n > 0, "a temporal corpus needs at least one epoch");
+        self.epochs = n;
+        self
+    }
+
+    /// Baseline number of query scans per epoch (scaled by
+    /// [`DriftScenario::MixedDensity`]'s cycle when active).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn scans_per_epoch(mut self, n: usize) -> Self {
+        assert!(n > 0, "epochs need at least one scan");
+        self.scans_per_epoch = n;
+        self
+    }
+
+    /// Wall-clock spacing between epochs, in seconds.
+    pub fn epoch_seconds(mut self, s: u64) -> Self {
+        self.epoch_seconds = s;
+        self
+    }
+
+    /// Generates the survey building plus every drifting epoch.
+    pub fn generate(&self) -> TemporalCorpus {
+        let building = self.base.generate();
+        // Re-derive the exact AP placement `generate()` used: same seed, and
+        // `place_aps` is the first consumer of the stream.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.base.seed);
+        let mut aps = self.base.place_aps(&mut rng);
+        // Fresh hardware draws MACs from a range disjoint from the base
+        // vocabulary (base counters start at `(seed << 20) | 1` and stay far
+        // below the 2^19 bit).
+        let mut fresh_mac: u64 = (self.base.seed << 20) | (1 << 19);
+
+        let mut epochs = Vec::with_capacity(self.epochs);
+        for epoch in 1..=self.epochs {
+            let mut erng = ChaCha8Rng::seed_from_u64(epoch_seed(self.base.seed, epoch as u64));
+            let mut fleet_offset_db = 0.0;
+            let mut density = 1.0;
+            match &self.scenario {
+                DriftScenario::ApChurn { replaced_per_epoch } => {
+                    let n = ((aps.len() as f64) * replaced_per_epoch).round() as usize;
+                    for _ in 0..n {
+                        let i = erng.gen_range(0..aps.len());
+                        aps[i] = PlacedAp {
+                            mac: MacAddr::from_u64(fresh_mac),
+                            x: erng.gen_range(0.0..self.base.width_m),
+                            y: erng.gen_range(0.0..self.base.length_m),
+                            floor: erng.gen_range(0..self.base.floors),
+                            atrium: false,
+                        };
+                        fresh_mac += 1;
+                    }
+                }
+                DriftScenario::CalibrationOffset { db_per_epoch } => {
+                    fleet_offset_db = db_per_epoch * epoch as f64;
+                }
+                DriftScenario::Renovation {
+                    at_epoch,
+                    moved_fraction,
+                } => {
+                    if epoch == *at_epoch {
+                        let n = ((aps.len() as f64) * moved_fraction).round() as usize;
+                        for k in 0..n {
+                            let i = erng.gen_range(0..aps.len());
+                            aps[i].x = erng.gen_range(0.0..self.base.width_m);
+                            aps[i].y = erng.gen_range(0.0..self.base.length_m);
+                            if k % 2 == 0 {
+                                aps[i].mac = MacAddr::from_u64(fresh_mac);
+                                fresh_mac += 1;
+                            }
+                        }
+                    }
+                }
+                DriftScenario::MixedDensity { cycle } => {
+                    density = cycle[(epoch - 1) % cycle.len()];
+                }
+            }
+
+            let n_scans = ((self.scans_per_epoch as f64) * density).round().max(1.0) as usize;
+            let mut samples = Vec::with_capacity(n_scans);
+            let mut ground_truth = Vec::with_capacity(n_scans);
+            for i in 0..n_scans {
+                let floor = erng.gen_range(0..self.base.floors);
+                let device_bias = gaussian(&mut erng) * self.base.device_sigma_db + fleet_offset_db;
+                let id = i as u32;
+                let mut scan = self.base.scan_at(&mut erng, &aps, floor, device_bias, id);
+                let mut retries = 0;
+                while scan.is_empty() && retries < 16 {
+                    scan = self.base.scan_at(&mut erng, &aps, floor, device_bias, id);
+                    retries += 1;
+                }
+                samples.push(scan);
+                ground_truth.push(FloorId::from_index(floor));
+            }
+            epochs.push(EpochScans {
+                epoch,
+                timestamp_s: epoch as u64 * self.epoch_seconds,
+                samples,
+                ground_truth,
+            });
+        }
+        TemporalCorpus { building, epochs }
+    }
+}
+
+/// Per-epoch stream seed: a splitmix-style mix so epochs are independent
+/// but reproducible in isolation.
+fn epoch_seed(seed: u64, epoch: u64) -> u64 {
+    let mut z = seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn base(seed: u64) -> BuildingConfig {
+        BuildingConfig::new("t", 3)
+            .samples_per_floor(40)
+            .aps_per_floor(8)
+            .seed(seed)
+    }
+
+    fn macs_of(samples: &[SignalSample]) -> BTreeSet<u64> {
+        samples
+            .iter()
+            .flat_map(|s| s.iter().map(|(m, _)| m.to_u64()))
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || {
+            TemporalConfig::new(
+                base(9),
+                DriftScenario::ApChurn {
+                    replaced_per_epoch: 0.2,
+                },
+            )
+            .epochs(3)
+            .scans_per_epoch(30)
+            .generate()
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.building, b.building);
+        assert_eq!(a.epochs.len(), b.epochs.len());
+        for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(ea.samples, eb.samples);
+            assert_eq!(ea.ground_truth, eb.ground_truth);
+        }
+    }
+
+    #[test]
+    fn survey_matches_plain_generate() {
+        let corpus = TemporalConfig::new(
+            base(4),
+            DriftScenario::CalibrationOffset { db_per_epoch: 1.0 },
+        )
+        .epochs(2)
+        .generate();
+        assert_eq!(corpus.building, base(4).generate());
+    }
+
+    #[test]
+    fn epochs_are_timestamped_and_shaped() {
+        let corpus = TemporalConfig::new(
+            base(1),
+            DriftScenario::CalibrationOffset { db_per_epoch: 0.5 },
+        )
+        .epochs(4)
+        .scans_per_epoch(25)
+        .epoch_seconds(3600)
+        .generate();
+        assert_eq!(corpus.epochs.len(), 4);
+        for (i, e) in corpus.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i + 1);
+            assert_eq!(e.timestamp_s, (i as u64 + 1) * 3600);
+            assert_eq!(e.samples.len(), 25);
+            assert_eq!(e.ground_truth.len(), 25);
+            assert!(e.samples.iter().all(|s| !s.is_empty()));
+        }
+    }
+
+    #[test]
+    fn churn_grows_vocabulary_beyond_the_survey() {
+        let corpus = TemporalConfig::new(
+            base(7),
+            DriftScenario::ApChurn {
+                replaced_per_epoch: 0.25,
+            },
+        )
+        .epochs(4)
+        .scans_per_epoch(60)
+        .generate();
+        let survey = macs_of(corpus.building.samples());
+        let last = macs_of(&corpus.epochs.last().unwrap().samples);
+        assert!(
+            last.difference(&survey).count() > 0,
+            "churn must introduce MACs the survey never heard"
+        );
+    }
+
+    #[test]
+    fn calibration_offset_keeps_vocabulary() {
+        let corpus = TemporalConfig::new(
+            base(7),
+            DriftScenario::CalibrationOffset { db_per_epoch: 2.0 },
+        )
+        .epochs(3)
+        .scans_per_epoch(60)
+        .generate();
+        let survey = macs_of(corpus.building.samples());
+        for e in &corpus.epochs {
+            assert!(
+                macs_of(&e.samples).is_subset(&survey),
+                "calibration drift must not invent MACs"
+            );
+        }
+    }
+
+    #[test]
+    fn renovation_changes_vocabulary_only_at_the_epoch() {
+        let corpus = TemporalConfig::new(
+            base(3),
+            DriftScenario::Renovation {
+                at_epoch: 3,
+                moved_fraction: 0.5,
+            },
+        )
+        .epochs(4)
+        .scans_per_epoch(80)
+        .generate();
+        let survey = macs_of(corpus.building.samples());
+        assert!(macs_of(&corpus.epochs[0].samples).is_subset(&survey));
+        assert!(macs_of(&corpus.epochs[1].samples).is_subset(&survey));
+        let after = macs_of(&corpus.epochs[3].samples);
+        assert!(
+            after.difference(&survey).count() > 0,
+            "renovation must replace some hardware"
+        );
+    }
+
+    #[test]
+    fn mixed_density_cycles_scan_counts() {
+        let corpus = TemporalConfig::new(
+            base(2),
+            DriftScenario::MixedDensity {
+                cycle: vec![0.5, 1.0, 2.0],
+            },
+        )
+        .epochs(3)
+        .scans_per_epoch(40)
+        .generate();
+        let counts: Vec<usize> = corpus.epochs.iter().map(|e| e.samples.len()).collect();
+        assert_eq!(counts, vec![20, 40, 80]);
+    }
+
+    #[test]
+    #[should_panic(expected = "density cycle")]
+    fn empty_density_cycle_panics() {
+        let _ = TemporalConfig::new(base(1), DriftScenario::MixedDensity { cycle: vec![] });
+    }
+}

@@ -6,6 +6,7 @@
 //! fis-one evaluate --corpus corpus.jsonl
 //! fis-one fit      --corpus corpus.jsonl --out model.json
 //! fis-one assign   --model model.json --scans corpus.jsonl
+//! fis-one extend   --model model.json --scans drift.jsonl --out model-v2.json
 //! fis-one serve    --models DIR [--tcp ADDR]
 //! fis-one stats    --corpus corpus.jsonl
 //! ```
@@ -16,11 +17,15 @@
 //! with each building's bottom-floor anchor and prints per-sample floors;
 //! `evaluate` scores against the stored ground truth; `fit` persists a
 //! serving artifact and `assign` labels scans against it without
-//! refitting; `serve` runs the long-lived multi-tenant daemon over a
+//! refitting; `extend` grows a fitted artifact with freshly collected
+//! scans — new MAC vocabulary included — without refitting and without
+//! changing any answer the base model would give; `serve` runs the
+//! long-lived multi-tenant daemon over a
 //! directory of fitted artifacts; `stats` prints the spillover
 //! statistics behind Figure 1.
 
 use std::collections::HashMap;
+use std::io::Write;
 use std::process::ExitCode;
 
 use fis_one::core::{EngineConfig, FisEngine};
@@ -47,6 +52,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&opts),
         "fit" => cmd_fit(&opts),
         "assign" => cmd_assign(&opts),
+        "extend" => cmd_extend(&opts),
         "serve" => cmd_serve(&opts),
         "stats" => cmd_stats(&opts),
         "help" | "--help" | "-h" => {
@@ -71,7 +77,9 @@ const USAGE: &str = "usage:
   fis-one evaluate --corpus FILE [--seed S] [--threads T]
   fis-one fit      --corpus FILE --out FILE [--building NAME] [--seed S] \
 [--threads T]
-  fis-one assign   --model FILE --scans FILE [--building NAME] [--threads T]
+  fis-one assign   --model FILE --scans FILE [--building NAME] [--threads T] \
+[--out FILE]
+  fis-one extend   --model FILE --scans FILE [--building NAME] --out FILE
   fis-one serve    --models DIR [--tcp ADDR] [--pool W] [--max-models N] \
 [--max-bytes B] [--max-batch K] [--threads T] [--assign-cache C]
   fis-one stats    --corpus FILE
@@ -88,7 +96,16 @@ Predictions are bit-identical for any thread count at a fixed seed.
 fit persists one building's pipeline output as a serving artifact
 (one JSON document); assign labels scans against it without refitting
 (--building restricts a multi-building scan file to one building),
-printing the same format as identify so the two can be diffed.
+printing the same format as identify so the two can be diffed; --out
+writes those assignment lines to FILE instead of stdout.
+
+extend grows a fitted artifact with freshly collected scans without
+refitting: scans carrying at least one base-vocabulary MAC are labeled
+by the frozen base model and appended, new MACs enter the extended
+vocabulary, and scans with no base overlap are skipped. Assignments
+the base model could answer are bit-identical before and after, and
+the extended artifact bytes depend only on (base artifact, scans) —
+extending the same inputs anywhere yields the same file.
 
 serve runs the long-lived multi-tenant daemon over a directory of
 fitted artifacts (DIR/<building>.json, lazy-loaded, LRU-evicted,
@@ -98,6 +115,10 @@ serves connections concurrently on a bounded pool of --pool W worker
 threads (default: one per core, clamped to 2..=8).
 --assign-cache C keeps up to C recent answers per model, keyed by
 scan content — answers are bit-identical with the cache on or off.
+Frames with \"v\":2 additionally unlock the mutation ops extend (grow
+a served model in place, atomically republished) and swap (evict and
+reload an artifact as one step); plain v1 frames are answered
+byte-for-byte as before versioning existed.
 Send {\"op\":\"shutdown\"} for a clean stop; final stats go to stderr.
 A sharded front tier for multi-daemon fleets ships as the separate
 fis-router binary (see crates/serve).";
@@ -324,6 +345,17 @@ fn cmd_assign(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| parse::<usize>(s, "thread count"))
         .transpose()?
         .unwrap_or(0);
+    // Assignment lines go to stdout by default, or to --out FILE so
+    // scripts can diff serving paths without shell redirection.
+    let mut sink: Box<dyn Write> = match opts.get("out") {
+        None => Box::new(std::io::stdout().lock()),
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("creating `{path}`: {e}"))?,
+        )),
+    };
+    let emit = |sink: &mut dyn Write, line: std::fmt::Arguments| {
+        writeln!(sink, "{line}").map_err(|e| format!("writing assignments: {e}"))
+    };
     let started = std::time::Instant::now();
     let mut scan_count = 0usize;
     let mut failures = 0usize;
@@ -339,12 +371,15 @@ fn cmd_assign(opts: &HashMap<String, String>) -> Result<(), String> {
                 model.building()
             );
         }
-        println!("# {} ({} floors)", building.name(), model.floors());
+        emit(
+            &mut *sink,
+            format_args!("# {} ({} floors)", building.name(), model.floors()),
+        )?;
         let results = model.assign_stream(building.samples(), threads);
         scan_count += results.len();
         for (sample, result) in building.samples().iter().zip(results) {
             match result {
-                Ok(floor) => println!("{} {floor}", sample.id()),
+                Ok(floor) => emit(&mut *sink, format_args!("{} {floor}", sample.id()))?,
                 Err(e) => {
                     failures += 1;
                     eprintln!("# {} {} FAILED: {e}", building.name(), sample.id());
@@ -352,6 +387,8 @@ fn cmd_assign(opts: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
+    sink.flush()
+        .map_err(|e| format!("writing assignments: {e}"))?;
     eprintln!(
         "# assigned {scan_count} scans against model `{}` in {:.2?}",
         model.building(),
@@ -360,6 +397,45 @@ fn cmd_assign(opts: &HashMap<String, String>) -> Result<(), String> {
     if failures > 0 {
         return Err(format!("{failures} scan(s) failed; see stderr"));
     }
+    Ok(())
+}
+
+fn cmd_extend(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut model = FittedModel::load(get(opts, "model")?).map_err(|e| e.to_string())?;
+    let out = get(opts, "out")?;
+    let scans = io::load_jsonl(get(opts, "scans")?).map_err(|e| e.to_string())?;
+    let scans = match opts.get("building") {
+        None => scans,
+        Some(name) => select_buildings(scans, name)?,
+    };
+    let mut samples = Vec::new();
+    for building in scans.buildings() {
+        if building.name() != model.building() {
+            // Same caveat as assign: drift corpora are often collected
+            // under a live label, but a genuinely different site would
+            // pollute the extended vocabulary.
+            eprintln!(
+                "# warning: extending the model fitted on `{}` with scans of `{}`",
+                model.building(),
+                building.name()
+            );
+        }
+        samples.extend_from_slice(building.samples());
+    }
+    let started = std::time::Instant::now();
+    let report = model.extend(&samples).map_err(|e| e.to_string())?;
+    model.save(out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "# extended {}: appended {} scans ({} skipped, {} new MACs), \
+         now {} scans / {} MACs in {:.2?}; wrote {out}",
+        model.building(),
+        report.appended,
+        report.skipped,
+        report.new_macs,
+        report.total_scans,
+        report.total_macs,
+        started.elapsed()
+    );
     Ok(())
 }
 

@@ -153,7 +153,7 @@ fn answer_cache_never_changes_answers() {
         .map(|s| model.assign(s).expect("training scan assigns").index())
         .collect();
 
-    for capacity in [0usize, 1, 1 << 14] {
+    for (round, capacity) in [0usize, 1, 1 << 14].into_iter().enumerate() {
         let daemon = Daemon::new(DaemonConfig::new(
             RegistryConfig::new(&dir).assign_cache(capacity),
         ));
@@ -178,10 +178,20 @@ fn answer_cache_never_changes_answers() {
             serve_batch(&daemon, building.name(), building.samples()),
         ));
 
-        // Hot reload: rewrite the artifact with a fresh mtime so the
-        // registry replaces the entry (and its cache) on the next fetch.
+        // Hot reload: republish the artifact with extra trailing
+        // newlines — different bytes, same parsed model — so the
+        // registry's content hash sees a change and replaces the entry
+        // (and its cache) on the next fetch. A byte-identical rewrite
+        // would be recognized by hash and *keep* the entry; the
+        // registry's own tests cover that path. The newline count is
+        // per-round: the artifact persists across capacity rounds, so a
+        // fixed count would reproduce the exact bytes the next round
+        // cold-loaded and read as unchanged.
         std::thread::sleep(std::time::Duration::from_millis(25));
         model.save(&artifact).unwrap();
+        let mut text = std::fs::read_to_string(&artifact).unwrap();
+        text.push_str(&"\n".repeat(round + 1));
+        std::fs::write(&artifact, text).unwrap();
         rounds.push((
             "post-reload",
             serve_batch(&daemon, building.name(), building.samples()),
