@@ -264,3 +264,105 @@ cmp "$work/models_ext/smoke-0.json" "$work/ref-extended.json"
 diff "$work/expect-smoke-0.txt" "$work/swap-pre.txt"
 diff "$work/expect-smoke-0.txt" "$work/swap-post.txt"
 echo "serve smoke OK: mid-stream extend hot-swapped an artifact byte-identical to the CLI and kept old answers bit-identical"
+
+# Fifth pass: the same router+shards topology with end-to-end tracing
+# on (--trace journals on every tier). Answers must stay bit-identical
+# to the tracing-off reference, the v2 `metrics` op must return
+# parseable Prometheus text on both tiers, and one request's trace id
+# must appear in the router journal *and* a shard journal — the
+# cross-process reconstruction the journals exist for.
+"$bin" serve --models "$work/models" --tcp 127.0.0.1:0 --pool 8 \
+    --trace "$work/shard0-trace.jsonl" 2> "$work/tshard0.log" &
+pids="$pids $!"
+"$bin" serve --models "$work/models" --tcp 127.0.0.1:0 --pool 8 \
+    --trace "$work/shard1-trace.jsonl" 2> "$work/tshard1.log" &
+pids="$pids $!"
+tshard0=$(wait_listen_addr "$work/tshard0.log")
+tshard1=$(wait_listen_addr "$work/tshard1.log")
+"$router_bin" --listen 127.0.0.1:0 --shards "$tshard0,$tshard1" \
+    --replicas 2 --pool 8 --trace "$work/router-trace.jsonl" \
+    2> "$work/trouter.log" &
+pids="$pids $!"
+trouter_addr=$(wait_listen_addr "$work/trouter.log")
+echo "serve smoke: traced router on $trouter_addr fronting $tshard0 + $tshard1"
+
+python3 - "$work" "$trouter_addr" "$tshard0" <<'EOF'
+import json, socket, sys
+work, addr, shard = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def dial(a):
+    host, port = a.rsplit(":", 1)
+    sock = socket.create_connection((host, int(port)))
+    return sock, sock.makefile("rw")
+
+def parses_as_prometheus(text, needle):
+    assert needle in text, f"missing {needle}:\n{text}"
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_labels, _, value = line.rpartition(" ")
+        assert name_labels and name_labels[0].isalpha(), line
+        float(value)  # every sample line ends in a number
+
+lines = open(f"{work}/corpus.jsonl").read().splitlines()
+buildings = [json.loads(l) for l in lines[1:]]
+sock, f = dial(addr)
+results = {}
+for b in buildings:
+    for s in b["samples"]:
+        req = {"op": "assign", "building": b["name"],
+               "scan": {"id": s["id"], "readings": s["readings"]}}
+        f.write(json.dumps(req) + "\n"); f.flush()
+        resp = json.loads(f.readline())
+        assert resp.get("ok"), resp
+        assert "trace" not in resp, f"trace must never be echoed: {resp}"
+        results[(b["name"], s["id"])] = resp["floor"]
+for b in buildings:
+    with open(f"{work}/traced-{b['name']}.txt", "w") as out:
+        for s in b["samples"]:
+            out.write(f"s{s['id']} F{results[(b['name'], s['id'])] + 1}\n")
+
+# metrics op on the router (its own counters)...
+f.write(json.dumps({"v": 2, "op": "metrics"}) + "\n"); f.flush()
+resp = json.loads(f.readline())
+assert resp.get("ok") and resp["op"] == "metrics", resp
+parses_as_prometheus(resp["metrics"], "fis_router_requests_total")
+# ...and on a shard directly (latency histograms + registry gauges).
+ssock, sf = dial(shard)
+sf.write(json.dumps({"v": 2, "op": "metrics"}) + "\n"); sf.flush()
+sresp = json.loads(sf.readline())
+assert sresp.get("ok") and sresp["op"] == "metrics", sresp
+parses_as_prometheus(sresp["metrics"], "fis_requests_total")
+assert "fis_latency_ns_bucket" in sresp["metrics"], sresp["metrics"][:400]
+ssock.close()
+
+f.write(json.dumps({"op": "shutdown"}) + "\n"); f.flush()
+assert json.loads(f.readline())["op"] == "shutdown"
+sock.close()
+EOF
+
+wait $pids
+pids=""
+for b in smoke-0 smoke-1 smoke-2; do
+  diff "$work/expect-$b.txt" "$work/traced-$b.txt"
+done
+
+python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+def traces(path):
+    ids = set()
+    for line in open(path):
+        ids.add(json.loads(line).get("trace"))
+    ids.discard(None)
+    return ids
+router = traces(f"{work}/router-trace.jsonl")
+shards = traces(f"{work}/shard0-trace.jsonl") | traces(f"{work}/shard1-trace.jsonl")
+assert router, "router journal recorded no traced events"
+shared = router & shards
+assert shared, f"no trace id crossed router -> shard ({len(router)} router, {len(shards)} shard ids)"
+print(f"serve smoke: {len(shared)} trace id(s) reconstruct across router -> shard journals")
+EOF
+
+"$bin" trace summarize "$work/router-trace.jsonl" | head -n 5
+echo "serve smoke OK: traced router answers are bit-identical to the tracing-off reference and both tiers expose parseable metrics"

@@ -365,6 +365,27 @@ fn bench_extend(c: &mut Criterion) {
     group.finish();
 }
 
+/// What observability costs on the answer path when it is *off*: one
+/// span with a field plus one point event, with stderr silenced and no
+/// journal recording. Both must collapse to a level check — the gate
+/// watches this stage so instrumentation added to hot paths can't start
+/// taxing requests that opted out.
+fn bench_obs(c: &mut Criterion) {
+    // Force the off state regardless of FIS_LOG in the CI environment.
+    fis_obs::set_level(None);
+    c.bench_function("obs/overhead", |bench| {
+        bench.iter(|| {
+            let mut span = fis_obs::span(fis_obs::Level::Debug, "bench", "noop");
+            span.num("i", 1.0);
+            fis_obs::event(fis_obs::Level::Debug, "bench", "point")
+                .num("x", 2.0)
+                .emit();
+            std::hint::black_box(span.context())
+        })
+    });
+    fis_obs::level::clear_level();
+}
+
 criterion_group!(
     benches,
     bench_graph_construction,
@@ -376,6 +397,7 @@ criterion_group!(
     bench_similarity,
     bench_engine,
     bench_extend,
-    bench_metrics
+    bench_metrics,
+    bench_obs
 );
 criterion_main!(benches);

@@ -40,8 +40,9 @@
 //! the cache hit rate.
 //!
 //! `--bench-json FILE` merges a `serve/loadgen` stage (median/best/mean
-//! ns per request) into a `fis-one/bench-report` file, creating it if
-//! missing — CI folds the concurrent-serving number into
+//! ns per request, plus failed-request count, answer-cache hit rate,
+//! and per-connection p50/p99) into a `fis-one/bench-report` file,
+//! creating it if missing — CI folds the concurrent-serving number into
 //! `BENCH_stages.json` so the perf gate watches it.
 //!
 //! ```bash
@@ -315,9 +316,27 @@ fn replay(addr: &str, entries: &[&Entry]) -> Result<ConnReport, String> {
     Ok(report)
 }
 
+/// Client-side outcome counters folded into the report and the bench
+/// stage: request errors plus the server's answer-cache hit rate.
+struct RunOutcome {
+    failed_requests: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    /// `(p50_ns, p99_ns, requests)` per replay connection, in
+    /// connection order.
+    per_connection: Vec<(f64, f64, usize)>,
+}
+
+impl RunOutcome {
+    fn cache_hit_rate(&self) -> Option<f64> {
+        let lookups = self.cache_hits + self.cache_misses;
+        (lookups > 0).then(|| self.cache_hits as f64 / lookups as f64)
+    }
+}
+
 /// Merges a `serve/loadgen` stage into a `fis-one/bench-report` file
 /// (creating the file when absent), leaving every other stage intact.
-fn merge_bench_stage(path: &str, latencies_ns: &[f64]) -> Result<(), String> {
+fn merge_bench_stage(path: &str, latencies_ns: &[f64], outcome: &RunOutcome) -> Result<(), String> {
     let mut sorted = latencies_ns.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     if sorted.is_empty() {
@@ -326,13 +345,30 @@ fn merge_bench_stage(path: &str, latencies_ns: &[f64]) -> Result<(), String> {
     let median = sorted[sorted.len() / 2];
     let best = sorted[0];
     let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-    let stage = Json::obj([
+    let connections: Vec<Json> = outcome
+        .per_connection
+        .iter()
+        .map(|&(p50, p99, requests)| {
+            Json::obj([
+                ("p50_ns", Json::Num(p50)),
+                ("p99_ns", Json::Num(p99)),
+                ("requests", Json::Num(requests as f64)),
+            ])
+        })
+        .collect();
+    let mut stage_fields = vec![
         ("median_ns", Json::Num(median)),
         ("best_ns", Json::Num(best)),
         ("mean_ns", Json::Num(mean)),
         ("samples", Json::Num(sorted.len() as f64)),
         ("iters", Json::Num(1.0)),
-    ]);
+        ("failed_requests", Json::Num(outcome.failed_requests as f64)),
+        ("connections", Json::Arr(connections)),
+    ];
+    if let Some(rate) = outcome.cache_hit_rate() {
+        stage_fields.push(("cache_hit_rate", Json::Num(rate)));
+    }
+    let stage = Json::obj(stage_fields);
     let mut report = match std::fs::read_to_string(path) {
         Ok(text) => Json::parse(text.trim()).map_err(|e| format!("parsing {path}: {e}"))?,
         Err(_) => Json::obj([
@@ -514,12 +550,20 @@ fn main() -> Result<(), String> {
 
     let mut latency = Quantiles::new();
     let mut all_latencies = Vec::new();
+    let mut per_connection = Vec::with_capacity(reports.len());
     let (mut scans_ok, mut failed_requests) = (0usize, 0usize);
     for report in &reports {
+        let mut conn_latency = Quantiles::new();
         for &ns in &report.latencies_ns {
             latency.push(ns);
+            conn_latency.push(ns);
             all_latencies.push(ns);
         }
+        per_connection.push((
+            conn_latency.p50().unwrap_or(0.0),
+            conn_latency.p99().unwrap_or(0.0),
+            report.latencies_ns.len(),
+        ));
         scans_ok += report.scans;
         failed_requests += report.failed;
     }
@@ -544,20 +588,35 @@ fn main() -> Result<(), String> {
         latency.mean().unwrap_or(0.0) / 1e6,
         latency.max().unwrap_or(0.0) / 1e6,
     );
+    for (c, &(p50, p99, requests)) in per_connection.iter().enumerate() {
+        println!(
+            "connection {c}: {requests} request(s), p50 {:.2} ms, p99 {:.2} ms",
+            p50 / 1e6,
+            p99 / 1e6,
+        );
+    }
     println!("server stats: {}", stats.get("stats").unwrap_or(&stats));
+    let (mut cache_hits, mut cache_misses) = (0usize, 0usize);
     if let Some(cache) = stats.get("stats").and_then(|s| s.get("assign_cache")) {
         let count = |key: &str| cache.get(key).and_then(Json::as_usize).unwrap_or(0);
-        let (hits, misses) = (count("hits"), count("misses"));
+        cache_hits = count("hits");
+        cache_misses = count("misses");
         println!(
             "assign cache: {} hits / {} lookups ({:.1}% hit rate, {} evictions)",
-            hits,
-            hits + misses,
-            100.0 * hits as f64 / ((hits + misses).max(1)) as f64,
+            cache_hits,
+            cache_hits + cache_misses,
+            100.0 * cache_hits as f64 / ((cache_hits + cache_misses).max(1)) as f64,
             count("evictions"),
         );
     }
     if let Some(path) = &opts.bench_json {
-        merge_bench_stage(path, &all_latencies)?;
+        let outcome = RunOutcome {
+            failed_requests,
+            cache_hits,
+            cache_misses,
+            per_connection,
+        };
+        merge_bench_stage(path, &all_latencies, &outcome)?;
     }
     if failed_requests > 0 {
         return Err(format!("{failed_requests} request(s) failed"));

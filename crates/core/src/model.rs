@@ -90,6 +90,7 @@ use std::path::Path;
 
 use fis_gnn::RfGnn;
 use fis_graph::BipartiteGraph;
+use fis_obs::{self as obs, Level};
 use fis_types::json::{FromJson, Json, ToJson};
 use fis_types::{FloorId, LabeledAnchor, MacAddr, SignalSample};
 
@@ -177,6 +178,11 @@ impl FisOne {
         floors: usize,
         anchor: LabeledAnchor,
     ) -> Result<FittedModel, FisError> {
+        let mut fit_span = obs::span(Level::Info, "pipeline", "fit");
+        fit_span
+            .str("building", building)
+            .num("samples", samples.len() as f64)
+            .num("floors", floors as f64);
         // Same up-front gating as `identify`: reject bad inputs before the
         // expensive training stages, with identical errors.
         self.validate_anchor(samples, floors, anchor)?;
@@ -197,6 +203,7 @@ impl FisOne {
         // streaming scan will take (virtual node + content seed). One scan
         // per work item with its own RNG, so the centroids are
         // bit-identical for any thread count.
+        let reference_span = obs::span(Level::Debug, "pipeline", "reference_embed");
         let inference: Vec<Option<Vec<f64>>> = fis_parallel::par_map(samples, 1, |_, scan| {
             let nbrs = known_neighbors(&graph, &mac_index, scan);
             if nbrs.is_empty() {
@@ -204,6 +211,7 @@ impl FisOne {
             }
             gnn.infer_scan(&graph, &nbrs, scan_seed(seed, scan)).ok()
         });
+        drop(reference_span);
         let dim = gnn.dim();
         let mut centroids = vec![vec![0.0; dim]; floors];
         let mut counts = vec![0usize; floors];
@@ -232,7 +240,10 @@ impl FisOne {
             }
         }
 
-        let nn = VpTree::build(&references, |i| !samples[i].is_empty());
+        let nn = {
+            let _span = obs::span(Level::Debug, "pipeline", "vptree_build");
+            VpTree::build(&references, |i| !samples[i].is_empty())
+        };
         Ok(FittedModel {
             building: building.to_owned(),
             floors,
@@ -559,6 +570,9 @@ impl FittedModel {
     /// [`FisError::Inference`] if labeling or re-embedding fails. On error
     /// the model is left exactly as it was.
     pub fn extend(&mut self, scans: &[SignalSample]) -> Result<ExtensionReport, FisError> {
+        let mut span = obs::span(Level::Info, "pipeline", "extend");
+        span.str("building", self.building.clone())
+            .num("scans", scans.len() as f64);
         if scans.is_empty() {
             return Err(FisError::Model("extension needs at least one scan".into()));
         }

@@ -4,6 +4,7 @@ use fis_cluster::{average_linkage, kmeans, KMeansConfig};
 use fis_gnn::{RfGnn, RfGnnConfig};
 use fis_graph::BipartiteGraph;
 use fis_linalg::Matrix;
+use fis_obs::{self as obs, Level};
 use fis_types::{FloorId, LabeledAnchor, SignalSample};
 
 use crate::error::FisError;
@@ -158,6 +159,9 @@ impl FisOne {
         floors: usize,
         anchor: LabeledAnchor,
     ) -> Result<FloorPrediction, FisError> {
+        let mut span = obs::span(Level::Info, "pipeline", "identify");
+        span.num("samples", samples.len() as f64)
+            .num("floors", floors as f64);
         self.validate_anchor(samples, floors, anchor)?;
         self.validate_endpoint_anchor(floors, anchor)?;
         let (assignment, _embeddings) = self.cluster_samples(samples, floors)?;
@@ -191,6 +195,7 @@ impl FisOne {
     /// Returns [`FisError::Graph`] or [`FisError::Training`].
     pub fn embed(&self, samples: &[SignalSample]) -> Result<Matrix, FisError> {
         let (graph, model) = self.train_model(samples)?;
+        let _span = obs::span(Level::Debug, "pipeline", "embed");
         Ok(model.embed_samples(&graph))
     }
 
@@ -205,9 +210,19 @@ impl FisOne {
         &self,
         samples: &[SignalSample],
     ) -> Result<(BipartiteGraph, RfGnn), FisError> {
-        let graph =
-            BipartiteGraph::from_samples(samples).map_err(|e| FisError::Graph(e.to_string()))?;
-        let model = RfGnn::train(&graph, &self.config.gnn).map_err(FisError::Training)?;
+        let graph = {
+            let mut span = obs::span(Level::Debug, "pipeline", "graph_build");
+            span.num("samples", samples.len() as f64);
+            let graph = BipartiteGraph::from_samples(samples)
+                .map_err(|e| FisError::Graph(e.to_string()))?;
+            span.num("macs", graph.macs().len() as f64);
+            graph
+        };
+        let model = {
+            let mut span = obs::span(Level::Debug, "pipeline", "gnn_train");
+            span.num("epochs", self.config.gnn.epochs as f64);
+            RfGnn::train(&graph, &self.config.gnn).map_err(FisError::Training)?
+        };
         Ok((graph, model))
     }
 
@@ -223,6 +238,9 @@ impl FisOne {
         embeddings: &Matrix,
         k: usize,
     ) -> Result<Vec<usize>, FisError> {
+        let mut span = obs::span(Level::Debug, "pipeline", "cluster");
+        span.num("rows", embeddings.rows() as f64)
+            .num("k", k as f64);
         let points: Vec<Vec<f64>> = (0..embeddings.rows())
             .map(|r| embeddings.row(r).to_vec())
             .collect();
@@ -269,6 +287,8 @@ impl FisOne {
         floors: usize,
         anchor: LabeledAnchor,
     ) -> Result<FloorPrediction, FisError> {
+        let mut span = obs::span(Level::Debug, "pipeline", "floor_order");
+        span.num("floors", floors as f64);
         self.validate_anchor(samples, floors, anchor)?;
         if assignment.len() != samples.len() {
             return Err(FisError::Indexing(format!(

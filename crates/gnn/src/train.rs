@@ -77,7 +77,7 @@ impl RfGnn {
         let mut opt = Adam::new(config.learning_rate);
         let mut epoch_losses = Vec::with_capacity(config.epochs);
 
-        for _epoch in 0..config.epochs {
+        for epoch in 0..config.epochs {
             pairs.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
@@ -86,7 +86,12 @@ impl RfGnn {
                 epoch_loss += loss;
                 batches += 1;
             }
-            epoch_losses.push(epoch_loss / batches.max(1) as f64);
+            let mean = epoch_loss / batches.max(1) as f64;
+            fis_obs::event(fis_obs::Level::Trace, "gnn", "epoch")
+                .num("epoch", epoch as f64)
+                .num("loss", mean)
+                .emit();
+            epoch_losses.push(mean);
         }
         let report = TrainReport {
             epoch_losses,

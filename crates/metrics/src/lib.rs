@@ -11,13 +11,16 @@
 //! Plus the [`contingency::ContingencyTable`] shared by ARI/NMI,
 //! [`summary`] mean/std helpers for the `mean(std)` cells of Table I,
 //! the [`quantile::Quantiles`] bounded p50/p99 recorder behind the
-//! serving daemon's latency metrics, and the [`cache::CacheCounters`]
-//! hit/miss/eviction accounting behind its assign answer cache.
+//! serving daemon's latency metrics, the [`histogram::Histogram`]
+//! log-bucketed exact distribution behind the `metrics` exposition op,
+//! and the [`cache::CacheCounters`] hit/miss/eviction accounting behind
+//! its assign answer cache.
 
 pub mod ari;
 pub mod cache;
 pub mod contingency;
 pub mod edit;
+pub mod histogram;
 pub mod nmi;
 pub mod quantile;
 pub mod summary;
@@ -26,6 +29,7 @@ pub use ari::adjusted_rand_index;
 pub use cache::CacheCounters;
 pub use contingency::ContingencyTable;
 pub use edit::{jaro, jaro_winkler};
+pub use histogram::Histogram;
 pub use nmi::{entropy, mutual_information, normalized_mutual_information};
 pub use quantile::Quantiles;
 pub use summary::MeanStd;

@@ -223,8 +223,43 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_quantile() {
+        let mut q = Quantiles::new();
+        q.push(42.5);
+        assert_eq!(q.count(), 1);
+        assert_eq!(q.retained(), 1);
+        for quantile in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(q.quantile(quantile), Some(42.5), "q={quantile}");
+        }
+        assert_eq!(q.mean(), Some(42.5));
+        assert_eq!(q.min(), Some(42.5));
+        assert_eq!(q.max(), Some(42.5));
+    }
+
+    #[test]
+    fn quantile_argument_is_clamped() {
+        let mut q = Quantiles::new();
+        q.push(1.0);
+        q.push(2.0);
+        assert_eq!(q.quantile(-3.0), Some(1.0));
+        assert_eq!(q.quantile(7.0), Some(2.0));
+    }
+
+    #[test]
     #[should_panic(expected = "non-finite")]
     fn nan_rejected() {
         Quantiles::new().push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn infinity_rejected() {
+        Quantiles::new().push(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn negative_infinity_rejected() {
+        Quantiles::new().push(f64::NEG_INFINITY);
     }
 }

@@ -1,0 +1,207 @@
+//! Process-global bounded event journal.
+//!
+//! The journal is a ring buffer of rendered events, off by default.
+//! Binaries switch it on (`--trace FILE`), run, then flush the retained
+//! events as JSONL. The ring is bounded: past capacity the *oldest*
+//! events are dropped and counted, so a long-running daemon can record
+//! forever in constant memory and the tail — the part you look at after
+//! an incident — is always present.
+//!
+//! Recording is out-of-band with respect to request answers: events are
+//! rendered and pushed under a short mutex, never consulted by any
+//! computation, so answers are bit-identical with the journal on or off.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use fis_types::json::Json;
+
+/// Default ring capacity (events retained), sized so a full serve smoke
+/// fits without drops while bounding memory to a few MB of JSON.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+/// Bounded ring buffer of rendered events with a monotonic sequence.
+#[derive(Debug)]
+pub struct Journal {
+    events: VecDeque<(u64, Json)>,
+    capacity: usize,
+    /// Next sequence number (also: total events ever recorded).
+    seq: u64,
+    /// Events evicted by the capacity bound.
+    dropped: u64,
+}
+
+impl Journal {
+    /// Creates an empty journal retaining at most `capacity` events
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends one rendered event, evicting the oldest past capacity.
+    pub fn push(&mut self, event: Json) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((self.seq, event));
+        self.seq += 1;
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by the capacity bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained events as JSONL, one event per line, each
+    /// stamped with its sequence number as `"seq"`. Oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (seq, event) in &self.events {
+            let mut line = match event {
+                Json::Obj(map) => map.clone(),
+                other => {
+                    let mut map = std::collections::BTreeMap::new();
+                    map.insert("event".to_owned(), other.clone());
+                    map
+                }
+            };
+            line.insert("seq".to_owned(), Json::Num(*seq as f64));
+            out.push_str(&Json::Obj(line).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drains and returns the retained events (oldest first), keeping
+    /// the sequence counter running.
+    pub fn drain(&mut self) -> Vec<Json> {
+        self.events.drain(..).map(|(_, e)| e).collect()
+    }
+}
+
+/// The single process-wide journal behind [`record`]/[`snapshot`].
+static GLOBAL: Mutex<Option<Journal>> = Mutex::new(None);
+/// Lock-free fast-path flag mirroring `GLOBAL.is_some()`.
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
+/// Handle returned by [`start`]; recording stays on until [`stop`] (the
+/// handle is a marker, not an RAII guard — flushing at process exit
+/// from `Drop` would race daemon worker threads).
+#[derive(Debug)]
+pub struct JournalHandle(());
+
+/// Turns on global recording with the given ring capacity. If already
+/// recording, keeps the existing buffer (and its events).
+pub fn start(capacity: usize) -> JournalHandle {
+    let mut global = GLOBAL.lock().expect("journal lock");
+    if global.is_none() {
+        *global = Some(Journal::new(capacity));
+    }
+    RECORDING.store(true, Ordering::Release);
+    JournalHandle(())
+}
+
+/// Whether [`record`] currently stores events.
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Acquire)
+}
+
+/// Records one rendered event into the global journal (no-op when
+/// recording is off).
+pub fn record(event: Json) {
+    if !recording() {
+        return;
+    }
+    if let Some(journal) = GLOBAL.lock().expect("journal lock").as_mut() {
+        journal.push(event);
+    }
+}
+
+/// Renders the retained events as JSONL without stopping recording.
+pub fn snapshot() -> String {
+    GLOBAL
+        .lock()
+        .expect("journal lock")
+        .as_ref()
+        .map(Journal::to_jsonl)
+        .unwrap_or_default()
+}
+
+/// Stops recording and returns the final journal, if any was active.
+pub fn stop() -> Option<Journal> {
+    RECORDING.store(false, Ordering::Release);
+    GLOBAL.lock().expect("journal lock").take()
+}
+
+/// Stops recording and writes the retained events to `path` as JSONL.
+/// Returns the number of events written.
+///
+/// # Errors
+///
+/// Propagates the underlying file I/O error.
+pub fn flush_to(path: &Path) -> std::io::Result<usize> {
+    let journal = stop();
+    let (text, count) = match &journal {
+        Some(j) => (j.to_jsonl(), j.len()),
+        None => (String::new(), 0),
+    };
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(text.as_bytes())?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut j = Journal::new(3);
+        for i in 0..5 {
+            j.push(Json::Num(f64::from(i)));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        // Oldest dropped: 0 and 1 are gone, 2..=4 retained in order.
+        let kept = j.drain();
+        assert_eq!(kept, vec![Json::Num(2.0), Json::Num(3.0), Json::Num(4.0)]);
+    }
+
+    #[test]
+    fn jsonl_stamps_monotonic_seq() {
+        let mut j = Journal::new(2);
+        j.push(Json::obj([("event", Json::Str("a".into()))]));
+        j.push(Json::obj([("event", Json::Str("b".into()))]));
+        j.push(Json::obj([("event", Json::Str("c".into()))]));
+        let text = j.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"event":"b","seq":1}"#);
+        assert_eq!(lines[1], r#"{"event":"c","seq":2}"#);
+    }
+
+    #[test]
+    fn empty_journal_renders_empty() {
+        assert_eq!(Journal::new(8).to_jsonl(), "");
+        assert!(Journal::new(8).is_empty());
+    }
+}

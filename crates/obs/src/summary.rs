@@ -1,0 +1,185 @@
+//! Journal aggregation: fold a JSONL trace journal into a per-stage
+//! table of counts and durations.
+//!
+//! This is the analysis half of `--trace FILE`: the CLI's
+//! `trace summarize` subcommand reads a flushed journal back and renders
+//! one row per `(component, event)` pair — how often the stage ran, how
+//! many occurrences carried a duration (span-close events do, point
+//! events don't), and the total/mean/min/max span time. Aggregation is
+//! a pure fold over the file in `BTreeMap` order, so the same journal
+//! always renders the same table.
+
+use std::collections::BTreeMap;
+
+use fis_types::json::Json;
+
+/// Aggregate of every journal event sharing one `(component, event)`
+/// name pair.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageSummary {
+    /// Occurrences of the pair, with or without a duration.
+    pub count: u64,
+    /// Occurrences carrying `dur_ns` (i.e. span closes).
+    pub spans: u64,
+    /// Occurrences carrying an `error` field.
+    pub errors: u64,
+    /// Sum of `dur_ns` over `spans`.
+    pub total_ns: u64,
+    /// Smallest `dur_ns` seen, if any span closed.
+    pub min_ns: Option<u64>,
+    /// Largest `dur_ns` seen, if any span closed.
+    pub max_ns: Option<u64>,
+}
+
+impl StageSummary {
+    fn fold(&mut self, dur_ns: Option<u64>, is_error: bool) {
+        self.count += 1;
+        if is_error {
+            self.errors += 1;
+        }
+        if let Some(ns) = dur_ns {
+            self.spans += 1;
+            self.total_ns += ns;
+            self.min_ns = Some(self.min_ns.map_or(ns, |m| m.min(ns)));
+            self.max_ns = Some(self.max_ns.map_or(ns, |m| m.max(ns)));
+        }
+    }
+}
+
+/// Folds a JSONL journal into per-`(component, event)` summaries, in
+/// key order. Lines that do not parse as objects are counted under the
+/// synthetic pair `("?", "unparseable")` instead of aborting the
+/// summary — a truncated flush should still summarize.
+pub fn summarize(jsonl: &str) -> BTreeMap<(String, String), StageSummary> {
+    let mut stages: BTreeMap<(String, String), StageSummary> = BTreeMap::new();
+    for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+        let (key, dur, is_error) = match Json::parse(line) {
+            Ok(json @ Json::Obj(_)) => {
+                let field = |k: &str| json.get(k).and_then(Json::as_str).map(str::to_owned);
+                let key = (
+                    field("component").unwrap_or_else(|| "?".to_owned()),
+                    field("event").unwrap_or_else(|| "?".to_owned()),
+                );
+                let dur = json
+                    .get("dur_ns")
+                    .and_then(Json::as_f64)
+                    .filter(|d| d.is_finite() && *d >= 0.0)
+                    .map(|d| d as u64);
+                (key, dur, json.get("error").is_some())
+            }
+            _ => (("?".to_owned(), "unparseable".to_owned()), None, false),
+        };
+        stages.entry(key).or_default().fold(dur, is_error);
+    }
+    stages
+}
+
+/// Renders the summary as an aligned text table, one stage per row.
+/// Stages with no timed occurrence show `-` in the duration columns.
+pub fn render_table(stages: &BTreeMap<(String, String), StageSummary>) -> String {
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    let mut rows: Vec<[String; 8]> = vec![[
+        "component".into(),
+        "event".into(),
+        "count".into(),
+        "errors".into(),
+        "total_ms".into(),
+        "mean_ms".into(),
+        "min_ms".into(),
+        "max_ms".into(),
+    ]];
+    for ((component, event), s) in stages {
+        let timed = s.spans > 0;
+        rows.push([
+            component.clone(),
+            event.clone(),
+            s.count.to_string(),
+            s.errors.to_string(),
+            if timed { ms(s.total_ns) } else { "-".into() },
+            if timed {
+                ms(s.total_ns / s.spans)
+            } else {
+                "-".into()
+            },
+            s.min_ns.map_or_else(|| "-".into(), ms),
+            s.max_ns.map_or_else(|| "-".into(), ms),
+        ]);
+    }
+    let mut widths = [0usize; 8];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in &rows {
+        let mut line = String::new();
+        for (i, (cell, w)) in row.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            // Left-align the name columns, right-align the numbers.
+            if i < 2 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("{cell:>w$}"));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_counts_durations_and_errors() {
+        let jsonl = concat!(
+            r#"{"component":"pipeline","event":"fit","dur_ns":2000000}"#,
+            "\n",
+            r#"{"component":"pipeline","event":"fit","dur_ns":4000000}"#,
+            "\n",
+            r#"{"component":"gnn","event":"epoch","epoch":0}"#,
+            "\n",
+            r#"{"component":"daemon","event":"request","error":"model"}"#,
+            "\n",
+        );
+        let stages = summarize(jsonl);
+        let fit = &stages[&("pipeline".to_owned(), "fit".to_owned())];
+        assert_eq!((fit.count, fit.spans, fit.total_ns), (2, 2, 6_000_000));
+        assert_eq!((fit.min_ns, fit.max_ns), (Some(2_000_000), Some(4_000_000)));
+        let epoch = &stages[&("gnn".to_owned(), "epoch".to_owned())];
+        assert_eq!((epoch.count, epoch.spans), (1, 0));
+        let req = &stages[&("daemon".to_owned(), "request".to_owned())];
+        assert_eq!(req.errors, 1);
+    }
+
+    #[test]
+    fn garbage_lines_are_counted_not_fatal() {
+        let stages = summarize("not json\n\n{\"component\":\"a\",\"event\":\"b\"}\n");
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[&("?".to_owned(), "unparseable".to_owned())].count, 1);
+    }
+
+    #[test]
+    fn table_is_deterministic_and_aligned() {
+        let jsonl = concat!(
+            r#"{"component":"pipeline","event":"fit","dur_ns":1500000}"#,
+            "\n",
+            r#"{"component":"gnn","event":"epoch"}"#,
+            "\n",
+        );
+        let a = render_table(&summarize(jsonl));
+        let b = render_table(&summarize(jsonl));
+        assert_eq!(a, b);
+        assert!(a.starts_with("component"), "header first:\n{a}");
+        assert!(a.contains("1.500"), "fit total in ms:\n{a}");
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 3, "header + two stages:\n{a}");
+        // gnn sorts before pipeline.
+        assert!(lines[1].starts_with("gnn"), "{a}");
+    }
+}

@@ -4,7 +4,7 @@
 //! ```text
 //! fis-router --listen 127.0.0.1:9100 \
 //!     --shards 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
-//!     [--replicas R] [--pool W]
+//!     [--replicas R] [--pool W] [--trace FILE]
 //! ```
 //!
 //! The router speaks the daemon's NDJSON protocol on `--listen` and
@@ -18,7 +18,7 @@ use fis_serve::{Router, RouterConfig};
 
 const USAGE: &str = "usage:
   fis-router --listen HOST:PORT --shards HOST:PORT[,HOST:PORT...] \
-[--replicas R] [--pool W]
+[--replicas R] [--pool W] [--trace FILE]
 
 Fronts N fis-serve TCP daemons with consistent hashing on building id.
 Each building lives on R shards (default 2, clamped to the shard
@@ -26,7 +26,12 @@ count); assign/assign_batch/load fail over between its replicas,
 evict hits all of them, stats aggregates every shard, and shutdown is
 broadcast before the router stops. All shards must serve the same
 model directory so failover is answer-preserving. --pool W bounds the
-front-side worker threads (default: one per core, clamped to 2..=8).";
+front-side worker threads (default: one per core, clamped to 2..=8).
+--trace FILE records dispatch spans and failover events to an
+in-memory ring journal and flushes them to FILE (JSONL) on shutdown;
+forwarded frames then carry a `trace` context so shard journals join
+the same trace. Stderr verbosity is controlled by FIS_LOG
+(error|warn|info|debug|trace, default warn).";
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +46,7 @@ fn run() -> Result<(), String> {
     let mut shards: Vec<String> = Vec::new();
     let mut replicas = 2usize;
     let mut pool = 0usize;
+    let mut trace: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |key: &str| {
@@ -65,6 +71,7 @@ fn run() -> Result<(), String> {
             "--pool" => {
                 pool = value("pool")?.parse().map_err(|e| format!("--pool: {e}"))?;
             }
+            "--trace" => trace = Some(value("trace")?),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -88,9 +95,17 @@ fn run() -> Result<(), String> {
         shards.join(", "),
         replicas.clamp(1, shards.len())
     );
+    if trace.is_some() {
+        fis_obs::journal::start(fis_obs::journal::DEFAULT_JOURNAL_CAPACITY);
+    }
     router
         .serve_tcp(&listener)
         .map_err(|e| format!("serving {local}: {e}"))?;
+    if let Some(path) = &trace {
+        let written = fis_obs::journal::flush_to(std::path::Path::new(path))
+            .map_err(|e| format!("writing trace journal `{path}`: {e}"))?;
+        eprintln!("# fis-router: wrote {written} trace event(s) to {path}");
+    }
     eprintln!("# fis-router: stopped");
     Ok(())
 }

@@ -11,11 +11,18 @@
 //! the per-model map without bound. The `stats` op serializes the whole
 //! thing as sorted-key JSON, so two daemons with the same request
 //! history report byte-identical stats (up to the timings themselves).
+//!
+//! Each scope also feeds a log-bucketed [`fis_metrics::Histogram`] of
+//! service latency; the v2 `metrics` op exports every counter, the
+//! quantile summaries, and the histograms in Prometheus text format via
+//! [`ServingMetrics::to_prometheus`] (also written by `--metrics FILE`
+//! on daemon exit).
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::time::Instant;
 
-use fis_metrics::Quantiles;
+use fis_metrics::{Histogram, Quantiles};
 use fis_types::json::Json;
 
 use crate::registry::{ModelRegistry, RegistryStats};
@@ -35,6 +42,10 @@ pub struct OpMetrics {
     pub batch_max: u64,
     /// Service latency per request, nanoseconds.
     pub latency_ns: Quantiles,
+    /// The same latency stream as an exact base-2 histogram, for the
+    /// Prometheus exposition. Not part of the `stats` JSON (whose v1
+    /// shape is frozen).
+    pub latency_hist: Histogram,
 }
 
 impl OpMetrics {
@@ -46,6 +57,7 @@ impl OpMetrics {
             self.errors += 1;
         }
         self.latency_ns.push(latency_ns);
+        self.latency_hist.record(latency_ns);
     }
 
     /// Mean labeled scans per request (0.0 before any).
@@ -193,6 +205,143 @@ impl ServingMetrics {
             ),
         ])
     }
+
+    /// Renders every counter, quantile summary, and latency histogram in
+    /// Prometheus text exposition format: the `metrics` op payload and
+    /// the `--metrics FILE` dump. Scopes become labels (`scope="global"`
+    /// vs `scope="model",building="hq"`); all byte layout is
+    /// deterministic given the same request history and timings.
+    pub fn to_prometheus(
+        &self,
+        registry: &RegistryStats,
+        registry_extra: RegistryGauges,
+    ) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE fis_uptime_seconds gauge");
+        let _ = writeln!(
+            out,
+            "fis_uptime_seconds {}",
+            self.started.elapsed().as_secs_f64()
+        );
+        let scopes: Vec<(String, &OpMetrics)> =
+            std::iter::once(("scope=\"global\"".to_owned(), &self.global))
+                .chain(self.models.iter().map(|(name, m)| {
+                    (
+                        format!("scope=\"model\",building=\"{}\"", escape_label(name)),
+                        m,
+                    )
+                }))
+                .collect();
+        for (metric, help, get) in [
+            (
+                "fis_requests_total",
+                "Requests handled (including failed ones)",
+                (|m: &OpMetrics| m.requests) as fn(&OpMetrics) -> u64,
+            ),
+            (
+                "fis_errors_total",
+                "Requests answered with an error or carrying per-scan failures",
+                |m| m.errors,
+            ),
+            ("fis_scans_total", "Scans successfully labeled", |m| m.scans),
+            ("fis_batch_max", "Largest accepted batch", |m| m.batch_max),
+        ] {
+            let _ = writeln!(out, "# HELP {metric} {help}");
+            let kind = if metric.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            let _ = writeln!(out, "# TYPE {metric} {kind}");
+            for (labels, m) in &scopes {
+                let _ = writeln!(out, "{metric}{{{labels}}} {}", get(m));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP fis_latency_quantiles_ns Service latency summary (decimated recorder)"
+        );
+        let _ = writeln!(out, "# TYPE fis_latency_quantiles_ns summary");
+        for (labels, m) in &scopes {
+            let q = &m.latency_ns;
+            for (quantile, value) in [("0.5", q.p50()), ("0.99", q.p99())] {
+                let _ = writeln!(
+                    out,
+                    "fis_latency_quantiles_ns{{{labels},quantile=\"{quantile}\"}} {}",
+                    value.unwrap_or(0.0)
+                );
+            }
+            let sum = q.mean().unwrap_or(0.0) * q.count() as f64;
+            let _ = writeln!(out, "fis_latency_quantiles_ns_sum{{{labels}}} {sum}");
+            let _ = writeln!(
+                out,
+                "fis_latency_quantiles_ns_count{{{labels}}} {}",
+                q.count()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP fis_latency_ns Service latency distribution (base-2 buckets)"
+        );
+        let _ = writeln!(out, "# TYPE fis_latency_ns histogram");
+        for (labels, m) in &scopes {
+            m.latency_hist
+                .render_prometheus(&mut out, "fis_latency_ns", labels);
+        }
+        for (metric, value) in [
+            ("fis_registry_hits_total", registry.hits),
+            ("fis_registry_misses_total", registry.misses),
+            ("fis_registry_evictions_total", registry.evictions),
+            ("fis_registry_reloads_total", registry.reloads),
+            ("fis_registry_load_failures_total", registry.load_failures),
+            ("fis_registry_loaded_models", registry_extra.loaded_models),
+            ("fis_registry_bytes", registry_extra.bytes),
+            ("fis_assign_cache_hits_total", registry.assign_cache.hits),
+            (
+                "fis_assign_cache_misses_total",
+                registry.assign_cache.misses,
+            ),
+            (
+                "fis_assign_cache_insertions_total",
+                registry.assign_cache.insertions,
+            ),
+            (
+                "fis_assign_cache_evictions_total",
+                registry.assign_cache.evictions,
+            ),
+            ("fis_assign_cache_entries", registry_extra.cache_entries),
+            ("fis_assign_cache_capacity", registry_extra.cache_capacity),
+        ] {
+            let kind = if metric.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            let _ = writeln!(out, "# TYPE {metric} {kind}");
+            let _ = writeln!(out, "{metric} {value}");
+        }
+        out
+    }
+}
+
+/// Point-in-time registry gauges that accompany [`RegistryStats`]
+/// counters in the Prometheus exposition (the stats struct itself only
+/// carries lifetime counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegistryGauges {
+    /// Models currently resident in the cache.
+    pub loaded_models: u64,
+    /// Bytes of artifacts currently resident.
+    pub bytes: u64,
+    /// Answers currently cached across resident models.
+    pub cache_entries: u64,
+    /// Configured per-model answer-cache capacity.
+    pub cache_capacity: u64,
+}
+
+/// Escapes a string for use inside a Prometheus label value.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 #[cfg(test)]
@@ -250,5 +399,41 @@ mod tests {
             Some(0)
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut m = ServingMetrics::new();
+        m.record(Some("hq"), 3, 3, false, 5000.0);
+        m.record(None, 0, 0, true, 100.0);
+        let text = m.to_prometheus(
+            &Default::default(),
+            RegistryGauges {
+                loaded_models: 1,
+                bytes: 1024,
+                cache_entries: 2,
+                cache_capacity: 64,
+            },
+        );
+        for needle in [
+            "# TYPE fis_requests_total counter",
+            "fis_requests_total{scope=\"global\"} 2",
+            "fis_requests_total{scope=\"model\",building=\"hq\"} 1",
+            "fis_errors_total{scope=\"global\"} 1",
+            "fis_scans_total{scope=\"model\",building=\"hq\"} 3",
+            "# TYPE fis_latency_ns histogram",
+            "fis_latency_ns_count{scope=\"global\"} 2",
+            "fis_latency_quantiles_ns{scope=\"global\",quantile=\"0.99\"} 5000",
+            "fis_registry_loaded_models 1",
+            "fis_assign_cache_capacity 64",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        // Every non-comment line is `name{labels} value` with a numeric
+        // value — the parseability contract the smoke test rechecks.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        }
     }
 }

@@ -41,6 +41,8 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Duration;
 
+use fis_obs::{self as obs, Level};
+
 /// How long a pooled connection blocks in `read` before re-checking the
 /// shutdown flag. Latency of the *graceful-shutdown path* only; requests
 /// are answered as soon as their line arrives.
@@ -229,7 +231,10 @@ pub fn serve_pooled(
                         }
                     }
                     Ok(false) => {}
-                    Err(e) => eprintln!("# fis-serve: connection to {peer} failed: {e}"),
+                    Err(e) => obs::event(Level::Error, "pool", "connection_failed")
+                        .str("peer", peer.to_string())
+                        .str("error", e.to_string())
+                        .emit(),
                 }
             });
         }
@@ -246,7 +251,9 @@ pub fn serve_pooled(
                     }
                 }
                 Err(e) if is_transient_accept_error(&e) => {
-                    eprintln!("# fis-serve: transient accept error (continuing): {e}");
+                    obs::event(Level::Warn, "pool", "transient_accept_error")
+                        .str("error", e.to_string())
+                        .emit();
                     // Fd exhaustion clears only as connections close;
                     // don't spin at full speed while it does.
                     if matches!(e.raw_os_error(), Some(23) | Some(24)) {

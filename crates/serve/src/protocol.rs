@@ -11,12 +11,21 @@
 //! An optional `"v"` field selects the protocol version. A frame with no
 //! `"v"` key is a **v1** frame and is answered byte-for-byte exactly as
 //! before versioning existed — same fields, same error texts. `"v": 2`
-//! unlocks the v2 operations (`extend`, `swap`) and stamps `"v": 2` onto
-//! every response, success or error. Any other `"v"` is a typed
-//! `protocol` error. Version gating happens at *op registration*: each
-//! entry in the [op table](self) declares the first version that accepts
-//! it, so a v1 client sending `extend` gets the v1 unknown-op error,
-//! listing only the ops v1 knows about.
+//! unlocks the v2 operations (`extend`, `swap`, `metrics`) and stamps
+//! `"v": 2` onto every response, success or error. Any other `"v"` is a
+//! typed `protocol` error. Version gating happens at *op registration*:
+//! each entry in the [op table](self) declares the first version that
+//! accepts it, so a v1 client sending `extend` gets the v1 unknown-op
+//! error, listing only the ops v1 knows about.
+//!
+//! # Trace field
+//!
+//! Any frame may carry an optional `"trace"` object —
+//! `{"trace_id":"<16 hex>","span_id":"<16 hex>"}` — identifying the
+//! distributed trace the request belongs to (injected by `fis-router`,
+//! see [`fis_obs`]). The field decorates observability only:
+//! it never changes the answer, is never echoed on responses, and a
+//! malformed trace object is ignored rather than failing the request.
 //!
 //! Requests:
 //!
@@ -29,6 +38,7 @@
 //! {"op": "shutdown"}
 //! {"v": 2, "op": "extend", "building": "hq", "scans": [{...}, {...}]}
 //! {"v": 2, "op": "swap",   "building": "hq"}
+//! {"v": 2, "op": "metrics"}
 //! ```
 //!
 //! Responses always carry `"ok"` (and echo `"op"`/`"id"` when they were
@@ -37,6 +47,7 @@
 //! failure. Malformed frames produce a `protocol` error response — never
 //! a dropped connection, never a crash.
 
+use fis_obs::TraceContext;
 use fis_types::json::{FromJson, Json};
 use fis_types::SignalSample;
 
@@ -89,6 +100,8 @@ pub enum Request {
     },
     /// Report global + per-model serving metrics.
     Stats,
+    /// Export metrics in Prometheus text format (v2).
+    Metrics,
     /// Stop the daemon after responding.
     Shutdown,
 }
@@ -104,6 +117,7 @@ impl Request {
             Request::Extend { .. } => "extend",
             Request::Swap { .. } => "swap",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
     }
@@ -117,6 +131,9 @@ pub struct Frame {
     pub id: Option<Json>,
     /// The protocol version this frame negotiated (1 when no `"v"` key).
     pub version: u8,
+    /// The distributed-trace context from the optional `"trace"` field.
+    /// Observability-only: never echoed, never affects the answer.
+    pub trace: Option<TraceContext>,
     /// The decoded operation.
     pub request: Request,
 }
@@ -192,6 +209,11 @@ const OPS: &[OpSpec] = &[
         name: "swap",
         min_version: 2,
         parse: parse_swap,
+    },
+    OpSpec {
+        name: "metrics",
+        min_version: 2,
+        parse: |_| Ok(Request::Metrics),
     },
 ];
 
@@ -343,9 +365,13 @@ pub fn parse_frame(line: &str) -> Result<Frame, Box<FrameError>> {
         ));
     };
     let request = (spec.parse)(&json).map_err(|e| fail(Some(op.clone()), e))?;
+    // Observability decoration only: a malformed trace object must never
+    // fail a request, so `from_json` degrading to `None` is the contract.
+    let trace = json.get("trace").and_then(TraceContext::from_json);
     Ok(Frame {
         id,
         version,
+        trace,
         request,
     })
 }
@@ -431,6 +457,11 @@ pub enum Response {
         /// The rendered metrics object.
         stats: Json,
     },
+    /// The Prometheus text-format exposition (v2).
+    Metrics {
+        /// The exposition body (`# TYPE` lines etc.), as one string.
+        metrics: String,
+    },
     /// Acknowledges shutdown.
     Shutdown,
 }
@@ -446,6 +477,7 @@ impl Response {
             Response::Extend { .. } => "extend",
             Response::Swap { .. } => "swap",
             Response::Stats { .. } => "stats",
+            Response::Metrics { .. } => "metrics",
             Response::Shutdown => "shutdown",
         }
     }
@@ -524,6 +556,7 @@ impl Response {
                 ("evicted", Json::Bool(*evicted)),
             ],
             Response::Stats { stats } => vec![("stats", stats.clone())],
+            Response::Metrics { metrics } => vec![("metrics", Json::Str(metrics.clone()))],
             Response::Shutdown => vec![],
         };
         ok_response(version, self.op(), id, fields)
@@ -615,6 +648,7 @@ mod tests {
                 "extend",
             ),
             (r#"{"v":2,"op":"swap","building":"b"}"#, "swap"),
+            (r#"{"v":2,"op":"metrics"}"#, "metrics"),
         ] {
             assert_eq!(parse_frame(line).unwrap().request.op(), op);
         }
@@ -659,7 +693,7 @@ mod tests {
 
     #[test]
     fn v2_ops_are_invisible_to_v1_frames() {
-        for op in ["extend", "swap"] {
+        for op in ["extend", "swap", "metrics"] {
             let err = parse_frame(&format!(r#"{{"op":"{op}","building":"b"}}"#)).unwrap_err();
             assert_eq!(err.error.kind(), "protocol");
             assert!(
@@ -680,8 +714,35 @@ mod tests {
         assert_eq!(
             err.error.message(),
             "unknown op `frobnicate` (expected assign, assign_batch, load, evict, \
-             stats, shutdown, extend, or swap)"
+             stats, shutdown, extend, swap, or metrics)"
         );
+    }
+
+    #[test]
+    fn trace_field_parses_and_malformed_trace_is_ignored() {
+        let framed = parse_frame(
+            r#"{"op":"stats","trace":{"trace_id":"0123456789abcdef","span_id":"fedcba9876543210"}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            framed.trace,
+            Some(TraceContext {
+                trace_id: 0x0123_4567_89ab_cdef,
+                span_id: 0xfedc_ba98_7654_3210,
+            })
+        );
+        // v1 frames carry it too (decoration, not an op), and garbage
+        // degrades to None without failing the frame.
+        assert_eq!(framed.version, 1);
+        for line in [
+            r#"{"op":"stats","trace":{"trace_id":"zz","span_id":"00"}}"#,
+            r#"{"op":"stats","trace":"not an object"}"#,
+            r#"{"op":"stats"}"#,
+        ] {
+            let framed = parse_frame(line).unwrap();
+            assert_eq!(framed.trace, None, "{line}");
+            assert_eq!(framed.request, Request::Stats);
+        }
     }
 
     #[test]

@@ -76,6 +76,7 @@ use std::time::SystemTime;
 
 use fis_core::{FisError, FittedModel};
 use fis_metrics::CacheCounters;
+use fis_obs::{self as obs, Level};
 use fis_types::{FloorId, SignalSample};
 
 use crate::error::ServeError;
@@ -756,7 +757,31 @@ impl SharedRegistry {
     ///
     /// The [`ModelRegistry::get`] errors.
     pub fn get(&self, building: &str) -> Result<(Arc<FittedModel>, Fetch), ServeError> {
-        self.with(|reg| reg.get(building))
+        let result = self.with(|reg| reg.get(building));
+        // Recorded on the request thread, after the lock: cache hits at
+        // trace, disk traffic at info, failures at warn — each event
+        // inherits the enclosing request/assign span.
+        match &result {
+            Ok((_, Fetch::Hit)) => obs::event(Level::Trace, "registry", "load")
+                .str("building", building)
+                .str("fetch", "hit")
+                .emit(),
+            Ok((_, fetch)) => obs::event(Level::Info, "registry", "load")
+                .str("building", building)
+                .str(
+                    "fetch",
+                    match fetch {
+                        Fetch::Reload => "reload",
+                        _ => "miss",
+                    },
+                )
+                .emit(),
+            Err(e) => obs::event(Level::Warn, "registry", "load_error")
+                .str("building", building)
+                .str("kind", e.kind())
+                .emit(),
+        }
+        result
     }
 
     /// Labels one scan, replaying the answer cache when enabled; the
@@ -782,6 +807,13 @@ impl SharedRegistry {
             reg.assign_counters_mut().miss();
             Ok(Ok(model))
         })?;
+        let hit = model.is_err();
+        obs::event(Level::Trace, "registry", "cache_lookup")
+            .str("building", building)
+            .num("scans", 1.0)
+            .num("hits", if hit { 1.0 } else { 0.0 })
+            .num("computed", if hit { 0.0 } else { 1.0 })
+            .emit();
         let model = match model {
             Err(cached) => return Ok(cached),
             Ok(model) => model,
@@ -836,6 +868,12 @@ impl SharedRegistry {
             }
             Ok(model)
         })?;
+        obs::event(Level::Trace, "registry", "cache_lookup")
+            .str("building", building)
+            .num("scans", scans.len() as f64)
+            .num("hits", (scans.len() - missing.len()) as f64)
+            .num("computed", missing.len() as f64)
+            .emit();
         let subset: Vec<SignalSample> = missing.iter().map(|&i| scans[i].clone()).collect();
         let computed = model.assign_stream(&subset, threads);
         self.with(|reg| {
@@ -862,7 +900,12 @@ impl SharedRegistry {
 
     /// Drops a cached model (see [`ModelRegistry::evict`]).
     pub fn evict(&self, building: &str) -> bool {
-        self.with(|reg| reg.evict(building))
+        let evicted = self.with(|reg| reg.evict(building));
+        obs::event(Level::Info, "registry", "evict")
+            .str("building", building)
+            .field("evicted", fis_types::json::Json::Bool(evicted))
+            .emit();
+        evicted
     }
 
     /// Lifetime cache counters.

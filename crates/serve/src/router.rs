@@ -36,12 +36,14 @@
 //! Frames that fail to parse are answered locally with the same typed
 //! `protocol` error a daemon would send — no shard round-trip.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use fis_obs::{self as obs, Level, TraceContext};
 use fis_types::json::Json;
 
 use crate::error::ServeError;
@@ -68,6 +70,23 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash ^= hash >> 33;
     hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
     hash ^ (hash >> 33)
+}
+
+/// Rewrites a request frame to carry `ctx` as its `"trace"` field so
+/// shard-side spans join the router's trace. Safe for determinism:
+/// `Json` renders keys in sorted order and round-trips `f64` values
+/// bit-exactly, shards treat `trace` as pure decoration, and responses
+/// are relayed verbatim — so client-visible bytes are unchanged. A line
+/// that does not re-parse as an object (already rejected by
+/// `parse_frame` upstream) is forwarded untouched.
+fn inject_trace(line: &str, ctx: TraceContext) -> String {
+    match Json::parse(line) {
+        Ok(Json::Obj(mut map)) => {
+            map.insert("trace".to_owned(), ctx.to_json());
+            Json::Obj(map).to_string()
+        }
+        _ => line.to_owned(),
+    }
 }
 
 /// Router configuration.
@@ -203,15 +222,30 @@ impl Shard {
             self.finish(conn);
             Ok(response)
         });
-        match &result {
-            Ok(_) => {}
-            Err(_) => self.down.store(true, Ordering::Relaxed),
+        if let Err(e) = &result {
+            // Only the down *transition* is warn-worthy; repeat failures
+            // against an already-down shard stay at debug.
+            if !self.down.swap(true, Ordering::Relaxed) {
+                obs::event(Level::Warn, "router", "shard_down")
+                    .str("addr", &self.addr)
+                    .str("error", e.to_string())
+                    .emit();
+            } else {
+                obs::event(Level::Debug, "router", "shard_call_failed")
+                    .str("addr", &self.addr)
+                    .str("error", e.to_string())
+                    .emit();
+            }
         }
         result
     }
 
     fn finish(&self, conn: ShardConn) {
-        self.down.store(false, Ordering::Relaxed);
+        if self.down.swap(false, Ordering::Relaxed) {
+            obs::event(Level::Info, "router", "shard_up")
+                .str("addr", &self.addr)
+                .emit();
+        }
         let mut idle = self.idle.lock().unwrap_or_else(|p| p.into_inner());
         // A tiny cap: the front pool bounds concurrency anyway; beyond
         // that, parked sockets are just fd pressure.
@@ -375,6 +409,60 @@ impl Router {
         )
     }
 
+    /// The router's own counters in Prometheus text exposition format.
+    /// Shard-side metrics are *not* aggregated here — scrape each shard's
+    /// `metrics` op directly; labels would collide otherwise.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let counters = [
+            (
+                "fis_router_requests_total",
+                "Front-side requests handled (including local errors).",
+                self.metrics.requests.load(Ordering::Relaxed),
+            ),
+            (
+                "fis_router_failovers_total",
+                "Requests answered by a replica other than the primary.",
+                self.metrics.failovers.load(Ordering::Relaxed),
+            ),
+            (
+                "fis_router_unavailable_total",
+                "Requests for which every replica was unreachable.",
+                self.metrics.unavailable.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in counters {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        let gauges = [
+            ("fis_router_shards", "Configured shards.", self.shards.len()),
+            (
+                "fis_router_replicas",
+                "Effective replica count per building.",
+                self.config.effective_replicas(),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        }
+        out.push_str(
+            "# HELP fis_router_shard_down 1 if the shard failed its last call.\n\
+             # TYPE fis_router_shard_down gauge\n",
+        );
+        for shard in &self.shards {
+            out.push_str(&format!(
+                "fis_router_shard_down{{addr=\"{}\"}} {}\n",
+                shard.addr,
+                u8::from(shard.is_down())
+            ));
+        }
+        out
+    }
+
     /// Handles one front-side request line; the router-side equivalent
     /// of [`crate::Daemon::handle_line`].
     pub fn handle_line(&self, line: &str) -> (String, bool) {
@@ -393,25 +481,57 @@ impl Router {
             id,
             version,
             request,
+            trace,
         } = frame;
         let op = request.op();
+        let mut span = match trace {
+            Some(remote) => obs::span_in(remote, Level::Debug, "router", "dispatch"),
+            None => obs::span_root(Level::Debug, "router", "dispatch", line.as_bytes()),
+        };
+        span.str("op", op);
+        // When a sink is live, forward a rewritten frame carrying this
+        // span's context so shard-side spans join the same trace.
+        // Responses are relayed verbatim either way, and shards ignore
+        // `trace` when answering, so client-visible bytes never change.
+        let outbound: Cow<'_, str> = match span.context() {
+            Some(ctx) => Cow::Owned(inject_trace(line.trim(), ctx)),
+            None => Cow::Borrowed(line.trim()),
+        };
         let forwarded = match &request {
             Request::Assign { building, .. }
             | Request::AssignBatch { building, .. }
-            | Request::Load { building } => self.forward(building, line.trim()),
+            | Request::Load { building } => {
+                span.str("building", building);
+                self.forward(building, &outbound)
+            }
             // Mutations must reach every replica cache. For `extend`
             // this also *converges* the replicas: extension is a pure
             // function of (artifact, scans), so each shard republishes
             // byte-identical extended artifacts independently.
             Request::Evict { building }
             | Request::Extend { building, .. }
-            | Request::Swap { building } => self.forward_all(building, line.trim()),
+            | Request::Swap { building } => {
+                span.str("building", building);
+                self.forward_all(building, &outbound)
+            }
             Request::Stats => {
                 return (self.stats_response(version, id.as_ref()).to_string(), false)
             }
+            Request::Metrics => {
+                return (
+                    ok_response(
+                        version,
+                        "metrics",
+                        id.as_ref(),
+                        [("metrics", Json::Str(self.prometheus_text()))],
+                    )
+                    .to_string(),
+                    false,
+                )
+            }
             Request::Shutdown => {
                 for shard in &self.shards {
-                    shard.call(line.trim()).ok();
+                    shard.call(&outbound).ok();
                 }
                 return (
                     ok_response(version, "shutdown", id.as_ref(), []).to_string(),
@@ -423,11 +543,19 @@ impl Router {
             Ok((response, failed_over)) => {
                 if failed_over {
                     self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                    obs::event(Level::Warn, "router", "failover")
+                        .str("op", op)
+                        .emit();
                 }
                 (response, false)
             }
             Err(e) => {
                 self.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+                span.str("error", "unavailable");
+                obs::event(Level::Error, "router", "unavailable")
+                    .str("op", op)
+                    .str("error", e.to_string())
+                    .emit();
                 (
                     error_response(version, Some(op), id.as_ref(), &e).to_string(),
                     false,

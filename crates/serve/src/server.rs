@@ -29,10 +29,11 @@ use std::net::TcpListener;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use fis_obs::{self as obs, Level};
 use fis_types::json::Json;
 
 use crate::error::ServeError;
-use crate::metrics::ServingMetrics;
+use crate::metrics::{RegistryGauges, ServingMetrics};
 use crate::pool::{self, LineServer};
 use crate::protocol::{error_response, parse_frame, BatchRow, Frame, Request, Response};
 use crate::registry::{Fetch, RegistryConfig, SharedRegistry};
@@ -174,6 +175,26 @@ impl Daemon {
         self.registry.with(|reg| metrics.to_json(reg))
     }
 
+    /// The Prometheus text exposition: every counter, latency summary,
+    /// and histogram. The `metrics` op payload, also written by the CLI
+    /// `--metrics FILE` dump on exit. Registry and metrics locks are
+    /// taken one after the other, never nested.
+    pub fn prometheus_text(&self) -> String {
+        let (stats, gauges) = self.registry.with(|reg| {
+            (
+                reg.stats(),
+                RegistryGauges {
+                    loaded_models: reg.len() as u64,
+                    bytes: reg.total_bytes(),
+                    cache_entries: reg.assign_cache_entries() as u64,
+                    cache_capacity: reg.config().assign_cache as u64,
+                },
+            )
+        });
+        let metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        metrics.to_prometheus(&stats, gauges)
+    }
+
     /// Handles one request line and returns `(response, shutdown)`.
     /// Infallible by design: malformed input becomes a typed error
     /// response. Safe to call from many threads at once; answers are
@@ -197,6 +218,7 @@ impl Daemon {
         let Frame {
             id,
             version,
+            trace,
             request,
         } = frame;
         let op = request.op();
@@ -207,9 +229,25 @@ impl Daemon {
             | Request::Evict { building }
             | Request::Extend { building, .. }
             | Request::Swap { building } => Some(building.clone()),
-            Request::Stats | Request::Shutdown => None,
+            Request::Stats | Request::Metrics | Request::Shutdown => None,
         };
+        // Request span: continue the injected trace when the frame
+        // carried one (so a routed request reconstructs end-to-end from
+        // the journals), else root a fresh trace on the line content.
+        // Observability only — inert unless a sink is on.
+        let mut span = match trace {
+            Some(remote) => obs::span_in(remote, Level::Debug, "daemon", "request"),
+            None => obs::span_root(Level::Debug, "daemon", "request", line.as_bytes()),
+        };
+        span.str("op", op);
+        if let Some(building) = &model_key {
+            span.str("building", building);
+        }
         let outcome = self.dispatch(request);
+        if let Err(e) = &outcome.result {
+            span.str("error", e.kind());
+        }
+        drop(span);
         let latency = started.elapsed().as_secs_f64() * 1e9;
         {
             // Per-model scopes only for buildings that resolved to a
@@ -336,6 +374,9 @@ impl Daemon {
                 let stats = self.registry.with(|reg| metrics.to_json(reg));
                 RequestOutcome::ok(Response::Stats { stats })
             }
+            Request::Metrics => RequestOutcome::ok(Response::Metrics {
+                metrics: self.prometheus_text(),
+            }),
             Request::Shutdown => RequestOutcome {
                 shutdown: true,
                 ..RequestOutcome::ok(Response::Shutdown)
@@ -354,8 +395,21 @@ impl Daemon {
         building: &str,
         scans: &[fis_types::SignalSample],
     ) -> Result<Vec<Result<fis_types::FloorId, fis_core::FisError>>, ServeError> {
-        self.registry
-            .assign_batch(building, scans, self.config.threads)
+        // The span opens before the registry call so the registry's
+        // load / cache-lookup events nest under it (same thread).
+        let mut span = obs::span(Level::Debug, "daemon", "assign");
+        span.str("building", building)
+            .num("scans", scans.len() as f64);
+        let result = self
+            .registry
+            .assign_batch(building, scans, self.config.threads);
+        if let Ok(results) = &result {
+            span.num(
+                "failures",
+                results.iter().filter(|r| r.is_err()).count() as f64,
+            );
+        }
+        result
     }
 
     /// The v2 `extend` op: clone the live model, grow it with the new
@@ -369,6 +423,9 @@ impl Daemon {
         building: &str,
         scans: &[fis_types::SignalSample],
     ) -> Result<Response, ServeError> {
+        let mut span = obs::span(Level::Info, "daemon", "extend");
+        span.str("building", building)
+            .num("scans", scans.len() as f64);
         let _mutation = self.mutation.lock().unwrap_or_else(|p| p.into_inner());
         let (model, _) = self.registry.get(building)?;
         let mut extended = (*model).clone();
@@ -376,6 +433,7 @@ impl Daemon {
         let path = self.registry.with(|reg| reg.artifact_path(building));
         extended.save(&path).map_err(ServeError::from)?;
         self.registry.evict(building);
+        span.num("appended", report.appended as f64);
         Ok(Response::Extend {
             building: building.to_owned(),
             appended: report.appended,
@@ -391,6 +449,8 @@ impl Daemon {
     /// reloading, instead of waiting for the registry's change
     /// detection to notice.
     fn swap(&self, building: &str) -> Result<Response, ServeError> {
+        let mut span = obs::span(Level::Info, "daemon", "swap");
+        span.str("building", building);
         let _mutation = self.mutation.lock().unwrap_or_else(|p| p.into_inner());
         let evicted = self.registry.evict(building);
         let (model, _) = self.registry.get(building)?;

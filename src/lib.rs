@@ -45,6 +45,7 @@ pub use fis_gnn as gnn;
 pub use fis_graph as graph;
 pub use fis_linalg as linalg;
 pub use fis_metrics as metrics;
+pub use fis_obs as obs;
 pub use fis_serve as serve;
 pub use fis_synth as synth;
 pub use fis_tsp as tsp;

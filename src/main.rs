@@ -4,11 +4,12 @@
 //! fis-one generate --floors 5 --samples 200 --seed 7 --buildings 8 --out corpus.jsonl
 //! fis-one identify --corpus corpus.jsonl [--building NAME]
 //! fis-one evaluate --corpus corpus.jsonl
-//! fis-one fit      --corpus corpus.jsonl --out model.json
+//! fis-one fit      --corpus corpus.jsonl --out model.json [--trace trace.jsonl]
 //! fis-one assign   --model model.json --scans corpus.jsonl
 //! fis-one extend   --model model.json --scans drift.jsonl --out model-v2.json
-//! fis-one serve    --models DIR [--tcp ADDR]
+//! fis-one serve    --models DIR [--tcp ADDR] [--trace trace.jsonl] [--metrics m.prom]
 //! fis-one stats    --corpus corpus.jsonl
+//! fis-one trace    summarize trace.jsonl
 //! ```
 //!
 //! `generate` synthesizes a corpus of one or more buildings
@@ -39,6 +40,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    // `trace` takes a positional subcommand, not --flag pairs.
+    if command == "trace" {
+        return match cmd_trace(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_flags(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -76,13 +87,15 @@ const USAGE: &str = "usage:
   fis-one identify --corpus FILE [--building NAME] [--seed S] [--threads T]
   fis-one evaluate --corpus FILE [--seed S] [--threads T]
   fis-one fit      --corpus FILE --out FILE [--building NAME] [--seed S] \
-[--threads T]
+[--threads T] [--trace FILE]
   fis-one assign   --model FILE --scans FILE [--building NAME] [--threads T] \
 [--out FILE]
   fis-one extend   --model FILE --scans FILE [--building NAME] --out FILE
   fis-one serve    --models DIR [--tcp ADDR] [--pool W] [--max-models N] \
-[--max-bytes B] [--max-batch K] [--threads T] [--assign-cache C]
+[--max-bytes B] [--max-batch K] [--threads T] [--assign-cache C] \
+[--trace FILE] [--metrics FILE]
   fis-one stats    --corpus FILE
+  fis-one trace    summarize FILE
 
 generate writes a corpus of --buildings B buildings (default 1). With
 B = 1 the single building is named NAME; with B > 1 they are named
@@ -121,7 +134,16 @@ reload an artifact as one step); plain v1 frames are answered
 byte-for-byte as before versioning existed.
 Send {\"op\":\"shutdown\"} for a clean stop; final stats go to stderr.
 A sharded front tier for multi-daemon fleets ships as the separate
-fis-router binary (see crates/serve).";
+fis-router binary (see crates/serve).
+
+Observability: --trace FILE (on fit and serve) records pipeline and
+request spans to a bounded in-memory journal and flushes it to FILE
+as JSONL on exit; `trace summarize FILE` folds such a journal into a
+per-stage count/duration table. serve --metrics FILE dumps the
+daemon's metrics in Prometheus text format on exit (the same text the
+v2 `metrics` op returns live). FIS_LOG=error|warn|info|debug|trace
+sets stderr verbosity (default warn). Recording is out-of-band:
+answers are bit-identical with observability on or off.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -316,7 +338,15 @@ fn cmd_fit(opts: &HashMap<String, String>) -> Result<(), String> {
         ));
     }
     let engine = engine(opts)?;
+    if opts.contains_key("trace") {
+        fis_obs::journal::start(fis_obs::journal::DEFAULT_JOURNAL_CAPACITY);
+    }
     let fit = engine.fit_corpus(&selected);
+    if let Some(path) = opts.get("trace") {
+        let written = fis_obs::journal::flush_to(std::path::Path::new(path))
+            .map_err(|e| format!("writing trace journal `{path}`: {e}"))?;
+        eprintln!("# wrote {written} trace event(s) to {path}");
+    }
     if let Some((run, err)) = fit.failures().next() {
         return Err(format!("fitting {} failed: {err}", run.building));
     }
@@ -460,6 +490,9 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             .max_batch(flag("max-batch")? as usize)
             .pool(flag("pool")? as usize),
     );
+    if opts.contains_key("trace") {
+        fis_obs::journal::start(fis_obs::journal::DEFAULT_JOURNAL_CAPACITY);
+    }
     match opts.get("tcp") {
         None => {
             eprintln!("# fis-serve: pipe mode over {dir} (send {{\"op\":\"shutdown\"}} to stop)");
@@ -479,8 +512,34 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|e| format!("serving {local}: {e}"))?;
         }
     }
+    if let Some(path) = opts.get("trace") {
+        let written = fis_obs::journal::flush_to(std::path::Path::new(path))
+            .map_err(|e| format!("writing trace journal `{path}`: {e}"))?;
+        eprintln!("# fis-serve: wrote {written} trace event(s) to {path}");
+    }
+    if let Some(path) = opts.get("metrics") {
+        std::fs::write(path, daemon.prometheus_text())
+            .map_err(|e| format!("writing metrics `{path}`: {e}"))?;
+        eprintln!("# fis-serve: wrote metrics to {path}");
+    }
     eprintln!("# fis-serve: stopped; final stats {}", daemon.stats_json());
     Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    match args {
+        [sub, file] if sub == "summarize" => {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("reading trace journal `{file}`: {e}"))?;
+            let stages = fis_obs::summarize(&text);
+            if stages.is_empty() {
+                return Err(format!("trace journal `{file}` holds no events"));
+            }
+            print!("{}", fis_obs::render_table(&stages));
+            Ok(())
+        }
+        _ => Err("usage: fis-one trace summarize FILE".to_owned()),
+    }
 }
 
 fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {

@@ -1,0 +1,257 @@
+//! End-to-end observability acceptance: one routed request must be
+//! reconstructable across router → shard → registry → assign from the
+//! JSONL journal alone, and turning observability on (stderr logging via
+//! `FIS_LOG`/`set_level`, or the `--trace` journal) must never change a
+//! single answer byte — neither serving responses nor fit artifacts.
+//!
+//! The journal and the log-level override are process-global, so every
+//! assertion lives in ONE `#[test]` with sequential phases; this file is
+//! its own test binary, so nothing else races the global state.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use fis_one::obs::{self, journal, Level};
+use fis_one::types::json::{Json, ToJson};
+use fis_one::{
+    Building, BuildingConfig, Daemon, DaemonConfig, FisOne, FisOneConfig, RegistryConfig, Router,
+    RouterConfig,
+};
+
+const SEED: u64 = 11;
+
+/// Sends every scan of `building` through one connection to `addr` and
+/// returns the *raw* response lines — byte-identity is the contract, so
+/// no parsing happens on the primary path.
+fn assign_raw(addr: &str, building: &Building) -> Vec<String> {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    (0..building.samples().len())
+        .map(|i| {
+            let request = Json::obj([
+                ("op", Json::Str("assign".into())),
+                ("building", Json::Str(building.name().to_owned())),
+                ("scan", building.samples()[i].to_json()),
+                ("id", Json::Num(i as f64)),
+            ])
+            .to_string();
+            writeln!(writer, "{request}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(
+                line.contains("\"ok\":true"),
+                "scan {i} failed: {}",
+                line.trim()
+            );
+            line
+        })
+        .collect()
+}
+
+fn shutdown(addr: &str) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    writeln!(stream, r#"{{"op":"shutdown"}}"#).unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+}
+
+fn field<'a>(event: &'a Json, key: &str) -> Option<&'a str> {
+    event.get(key).and_then(Json::as_str)
+}
+
+/// Parses a journal and keeps only well-formed event objects.
+fn events_of(jsonl: &str) -> Vec<Json> {
+    jsonl
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Json::parse(l).expect("journal line parses"))
+        .collect()
+}
+
+fn find<'a>(events: &'a [Json], component: &str, name: &str) -> Vec<&'a Json> {
+    events
+        .iter()
+        .filter(|e| field(e, "component") == Some(component) && field(e, "event") == Some(name))
+        .collect()
+}
+
+fn fit_model(building: &Building) -> fis_one::FittedModel {
+    FisOne::new(FisOneConfig::quick(SEED))
+        .fit(
+            building.name(),
+            building.samples(),
+            building.floors(),
+            building.bottom_anchor().expect("bottom floor surveyed"),
+        )
+        .expect("synthetic building fits")
+}
+
+#[test]
+fn journals_reconstruct_routed_requests_and_answers_stay_bit_identical() {
+    let building = BuildingConfig::new("obs", 3)
+        .samples_per_floor(12)
+        .seed(SEED)
+        .generate();
+    let dir = std::env::temp_dir().join(format!("fis_obs_trace_{}", std::process::id()));
+    let models = dir.join("models");
+    std::fs::create_dir_all(&models).unwrap();
+
+    // ---- Phase 1: fit artifacts are byte-identical with the journal
+    // off vs on, and the journal carries the pipeline stage spans. ----
+    obs::set_level(None); // force the stderr sink off regardless of env
+    let quiet = fit_model(&building);
+    journal::start(journal::DEFAULT_JOURNAL_CAPACITY);
+    let journaled = fit_model(&building);
+    let fit_journal = journal::stop().expect("journal was recording").to_jsonl();
+
+    let off_path = dir.join("fit-off.json");
+    let on_path = dir.join("fit-on.json");
+    quiet.save(&off_path).unwrap();
+    journaled.save(&on_path).unwrap();
+    assert_eq!(
+        std::fs::read(&off_path).unwrap(),
+        std::fs::read(&on_path).unwrap(),
+        "journal recording changed the fit artifact bytes"
+    );
+
+    let fit_events = events_of(&fit_journal);
+    let fit_span = find(&fit_events, "pipeline", "fit");
+    assert_eq!(fit_span.len(), 1, "exactly one fit span in the journal");
+    let fit_trace = field(fit_span[0], "trace").expect("fit span carries a trace id");
+    let fit_id = field(fit_span[0], "span").expect("fit span has an id");
+    for stage in [
+        "graph_build",
+        "gnn_train",
+        "cluster",
+        "floor_order",
+        "vptree_build",
+    ] {
+        let spans = find(&fit_events, "pipeline", stage);
+        assert!(!spans.is_empty(), "fit journal is missing stage `{stage}`");
+        for span in &spans {
+            assert_eq!(
+                field(span, "trace"),
+                Some(fit_trace),
+                "stage `{stage}` is outside the fit trace"
+            );
+            assert!(span.get("dur_ns").is_some(), "stage `{stage}` is untimed");
+        }
+    }
+    // Top-level stages nest directly under the fit span.
+    for stage in ["graph_build", "cluster"] {
+        assert_eq!(
+            field(find(&fit_events, "pipeline", stage)[0], "parent"),
+            Some(fit_id),
+            "stage `{stage}` does not parent under the fit span"
+        );
+    }
+
+    // ---- Phase 2: serve the model through router → shard and replay
+    // the same scans with observability off, stderr-on, journal-on. ----
+    quiet
+        .save(models.join(format!("{}.json", building.name())))
+        .unwrap();
+
+    let shard_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let shard_addr = shard_listener.local_addr().unwrap().to_string();
+    let daemon = Daemon::new(DaemonConfig::new(
+        RegistryConfig::new(&models).assign_cache(64),
+    ));
+    let shard = std::thread::spawn(move || daemon.serve_tcp(&shard_listener).unwrap());
+
+    let router = Router::new(RouterConfig::new(vec![shard_addr]).replicas(1));
+    let front_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let front_addr = front_listener.local_addr().unwrap().to_string();
+    let front = std::thread::spawn(move || router.serve_tcp(&front_listener).unwrap());
+
+    // Leg 1: everything off — the reference answers.
+    let reference = assign_raw(&front_addr, &building);
+    // Leg 2: stderr logging at debug (trace context is injected into
+    // forwarded frames) — answers must not move.
+    obs::set_level(Some(Level::Debug));
+    let logged = assign_raw(&front_addr, &building);
+    // Leg 3: stderr off again, journal recording — answers must not move.
+    obs::set_level(None);
+    journal::start(journal::DEFAULT_JOURNAL_CAPACITY);
+    let journaled_legs = assign_raw(&front_addr, &building);
+    let serve_journal = journal::stop().expect("journal was recording").to_jsonl();
+
+    assert_eq!(
+        reference, logged,
+        "FIS_LOG-style stderr logging changed serving answers"
+    );
+    assert_eq!(
+        reference, journaled_legs,
+        "journal recording changed serving answers"
+    );
+    // The trace context rides the *request* envelope only; responses
+    // must never echo it.
+    for line in reference.iter().chain(&logged).chain(&journaled_legs) {
+        assert!(
+            !line.contains("\"trace\""),
+            "response leaked the trace field: {}",
+            line.trim()
+        );
+    }
+
+    // ---- Phase 3: reconstruct one routed request end-to-end from the
+    // journal: router dispatch → shard request → assign → registry. ----
+    let events = events_of(&serve_journal);
+    let dispatches: Vec<&Json> = find(&events, "router", "dispatch")
+        .into_iter()
+        .filter(|e| field(e, "op") == Some("assign"))
+        .collect();
+    assert_eq!(
+        dispatches.len(),
+        building.samples().len(),
+        "one dispatch span per routed assign"
+    );
+    for dispatch in &dispatches {
+        let trace = field(dispatch, "trace").expect("dispatch has a trace id");
+        let dispatch_span = field(dispatch, "span").expect("dispatch has a span id");
+        let request = events
+            .iter()
+            .find(|e| {
+                field(e, "component") == Some("daemon")
+                    && field(e, "event") == Some("request")
+                    && field(e, "trace") == Some(trace)
+                    && field(e, "parent") == Some(dispatch_span)
+            })
+            .unwrap_or_else(|| panic!("no shard request span adopted dispatch trace {trace}"));
+        let request_span = field(request, "span").unwrap();
+        let assign = events
+            .iter()
+            .find(|e| {
+                field(e, "component") == Some("daemon")
+                    && field(e, "event") == Some("assign")
+                    && field(e, "trace") == Some(trace)
+                    && field(e, "parent") == Some(request_span)
+            })
+            .unwrap_or_else(|| panic!("no assign span under request for trace {trace}"));
+        assert!(assign.get("dur_ns").is_some(), "assign span is untimed");
+        // The registry is consulted inside the assign span (artifact
+        // load on the first request, answer-cache lookups after), and
+        // its events inherit the same trace.
+        let registry_hop = events
+            .iter()
+            .any(|e| field(e, "component") == Some("registry") && field(e, "trace") == Some(trace));
+        assert!(registry_hop, "no registry event joined trace {trace}");
+    }
+
+    // The summarizer digests the same journal into per-stage rows.
+    let stages = obs::summarize(&serve_journal);
+    for key in [("router", "dispatch"), ("daemon", "assign")] {
+        assert!(
+            stages.contains_key(&(key.0.to_owned(), key.1.to_owned())),
+            "summary is missing stage {key:?}"
+        );
+    }
+
+    shutdown(&front_addr);
+    front.join().unwrap();
+    shard.join().unwrap();
+    obs::level::clear_level();
+    std::fs::remove_dir_all(&dir).ok();
+}
