@@ -12,6 +12,67 @@ use fis_linalg::Matrix;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(usize);
 
+/// Weighted row groups for [`Tape::aggregate`], stored in a flat CSR-style
+/// layout (`row i` spans `entries[offsets[i]..offsets[i + 1]]`) so building
+/// one per minibatch costs two allocations instead of one per output row.
+///
+/// Entry order within a row is the accumulation order of the weighted sum,
+/// so it is part of the deterministic-output contract.
+#[derive(Debug, Clone, Default)]
+pub struct RowGroups {
+    offsets: Vec<u32>,
+    entries: Vec<(u32, f64)>,
+}
+
+impl RowGroups {
+    /// An empty group set with room for `rows` rows and `entries` total
+    /// weighted references.
+    pub fn with_capacity(rows: usize, entries: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        Self {
+            offsets,
+            entries: Vec::with_capacity(entries),
+        }
+    }
+
+    /// Appends one `(row index, weight)` entry to the row currently being
+    /// built; call [`RowGroups::finish_row`] to close it.
+    pub fn push_entry(&mut self, idx: usize, w: f64) {
+        self.entries
+            .push((u32::try_from(idx).expect("row index fits u32"), w));
+    }
+
+    /// Closes the current output row.
+    pub fn finish_row(&mut self) {
+        self.offsets
+            .push(u32::try_from(self.entries.len()).expect("entry count fits u32"));
+    }
+
+    /// Builds from nested per-row entry lists (test/convenience path).
+    pub fn from_nested(nested: &[Vec<(usize, f64)>]) -> Self {
+        let total = nested.iter().map(Vec::len).sum();
+        let mut g = Self::with_capacity(nested.len(), total);
+        for row in nested {
+            for &(idx, w) in row {
+                g.push_entry(idx, w);
+            }
+            g.finish_row();
+        }
+        g
+    }
+
+    /// Number of output rows.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The entries of output row `i`, in accumulation order.
+    fn row(&self, i: usize) -> &[(u32, f64)] {
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
 /// Operation recorded by a tape node, referencing parent nodes by index.
 #[derive(Debug, Clone)]
 enum Op {
@@ -32,8 +93,11 @@ enum Op {
     GatherRows(Var, Arc<Vec<usize>>),
     /// Per-output-row weighted sum of input rows:
     /// `out[i] = Σ_j w_ij * input[idx_ij]`.
-    Aggregate(Var, Arc<Vec<Vec<(usize, f64)>>>),
+    Aggregate(Var, Arc<RowGroups>),
     RowwiseDot(Var, Var),
+    /// Fused `rowwise_dot(gather_rows(a, i), gather_rows(a, j))` that
+    /// never materializes the gathered copies.
+    GatherDot(Var, Arc<Vec<usize>>, Arc<Vec<usize>>),
     NegLogSigmoid(Var),
     SumAll(Var),
     MeanAll(Var),
@@ -45,7 +109,11 @@ enum Op {
 #[derive(Debug)]
 struct Node {
     value: Matrix,
-    grad: Matrix,
+    /// `None` until this node receives its first gradient contribution
+    /// during [`Tape::backward`]. Keeping the untouched state implicit
+    /// lets the reverse sweep skip dead branches in O(1) instead of
+    /// zero-scanning (and re-zeroing) every node's gradient buffer.
+    grad: Option<Matrix>,
     op: Op,
     /// Cached auxiliary forward result needed by some backward rules
     /// (e.g. the soft-assignment matrix Q for [`Op::DecLoss`]).
@@ -93,10 +161,9 @@ impl Tape {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
-        let (r, c) = value.shape();
         self.nodes.push(Node {
             value,
-            grad: Matrix::zeros(r, c),
+            grad: None,
             op,
             aux: None,
         });
@@ -116,9 +183,17 @@ impl Tape {
 
     /// Gradient of the last [`Tape::backward`] loss w.r.t. `v`.
     ///
-    /// All-zero until `backward` has been called.
+    /// All-zero for nodes the loss does not depend on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Tape::backward`]: gradients are not
+    /// materialized until the reverse sweep runs.
     pub fn grad(&self, v: Var) -> &Matrix {
-        &self.nodes[v.0].grad
+        self.nodes[v.0]
+            .grad
+            .as_ref()
+            .expect("grad() called before backward()")
     }
 
     /// Inserts an input/parameter matrix as a leaf node.
@@ -237,16 +312,24 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if any referenced row index is out of bounds.
-    pub fn aggregate(&mut self, a: Var, groups: Arc<Vec<Vec<(usize, f64)>>>) -> Var {
+    pub fn aggregate(&mut self, a: Var, groups: Arc<RowGroups>) -> Var {
         let av = &self.nodes[a.0].value;
         let d = av.cols();
-        let mut out = Matrix::zeros(groups.len(), d);
-        for (i, group) in groups.iter().enumerate() {
-            for &(idx, w) in group {
-                assert!(idx < av.rows(), "aggregate index {idx} out of bounds");
-                fis_linalg::vec_ops::axpy(out.row_mut(i), w, av.row(idx));
+        let rows = av.rows();
+        let flat = av.as_slice();
+        let mut out = vec![0.0; groups.rows() * d];
+        for i in 0..groups.rows() {
+            let dst = &mut out[i * d..(i + 1) * d];
+            for &(idx, w) in groups.row(i) {
+                let idx = idx as usize;
+                assert!(idx < rows, "aggregate index {idx} out of bounds");
+                let src = &flat[idx * d..idx * d + d];
+                for (o, &x) in dst.iter_mut().zip(src) {
+                    *o += w * x;
+                }
             }
         }
+        let out = Matrix::from_vec(groups.rows(), d, out);
         self.push(out, Op::Aggregate(a, groups))
     }
 
@@ -261,6 +344,47 @@ impl Tape {
             fis_linalg::vec_ops::dot(av.row(r), bv.row(r))
         });
         self.push(v, Op::RowwiseDot(a, b))
+    }
+
+    /// Fused `rowwise_dot(gather_rows(a, i_idx), gather_rows(a, j_idx))`,
+    /// producing `|i_idx| x 1` scores without materializing the two
+    /// gathered matrices.
+    ///
+    /// Forward rows are the same `dot` over the same source rows the
+    /// unfused chain computes, and backward performs the j-side scatter
+    /// and the i-side scatter as two separate accumulations in the order
+    /// the unfused tape nodes would have run them, so results (values
+    /// and gradients) are bit-identical to the three-op spelling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index lists differ in length or any index is out of
+    /// bounds.
+    pub fn gathered_rowwise_dot(
+        &mut self,
+        a: Var,
+        i_idx: Arc<Vec<usize>>,
+        j_idx: Arc<Vec<usize>>,
+    ) -> Var {
+        assert_eq!(
+            i_idx.len(),
+            j_idx.len(),
+            "gathered_rowwise_dot length mismatch"
+        );
+        let cols = self.nodes[a.0].value.cols();
+        let av = self.nodes[a.0].value.as_slice();
+        let data: Vec<f64> = i_idx
+            .iter()
+            .zip(j_idx.iter())
+            .map(|(&ir, &jr)| {
+                fis_linalg::vec_ops::dot(
+                    &av[ir * cols..ir * cols + cols],
+                    &av[jr * cols..jr * cols + cols],
+                )
+            })
+            .collect();
+        let v = Matrix::from_vec(i_idx.len(), 1, data);
+        self.push(v, Op::GatherDot(a, i_idx, j_idx))
     }
 
     /// Element-wise `-log σ(x)`, the building block of the negative-sampling
@@ -335,10 +459,47 @@ impl Tape {
         self.push_with_aux(value, Op::DecLoss(z, mu, p), q)
     }
 
+    /// Accumulates an owned gradient contribution into node `v`.
+    ///
+    /// The first contribution is finished with a `+ 0.0` pass so the
+    /// stored bits match what the historical `zeros += contrib`
+    /// accumulation produced (IEEE addition normalizes `-0.0` to `+0.0`
+    /// against a `+0.0` accumulator and is commutative for finite and
+    /// infinite values).
+    fn accum(&mut self, v: Var, contrib: Matrix) {
+        match self.nodes[v.0].grad.take() {
+            Some(mut g) => {
+                g += &contrib;
+                self.nodes[v.0].grad = Some(g);
+            }
+            None => {
+                let mut c = contrib;
+                c.map_inplace(|x| x + 0.0);
+                self.nodes[v.0].grad = Some(c);
+            }
+        }
+    }
+
+    /// `grad[v] += alpha * src`, without materializing zeros when `v` has
+    /// no gradient yet (same bit-compat argument as [`Tape::accum`]).
+    fn accum_scaled(&mut self, v: Var, alpha: f64, src: &Matrix) {
+        match self.nodes[v.0].grad.take() {
+            Some(mut g) => {
+                g.axpy(alpha, src);
+                self.nodes[v.0].grad = Some(g);
+            }
+            None => {
+                self.nodes[v.0].grad = Some(src.map(|x| alpha * x + 0.0));
+            }
+        }
+    }
+
     /// Runs reverse-mode accumulation from scalar node `loss`.
     ///
     /// Gradients of all nodes are reset first, so a tape can be re-run
-    /// against a different loss node if desired.
+    /// against a different loss node if desired. Nodes the loss does not
+    /// depend on are skipped in O(1) during the sweep and receive a zero
+    /// gradient at the end.
     ///
     /// # Panics
     ///
@@ -350,50 +511,49 @@ impl Tape {
             "backward requires a scalar (1x1) loss"
         );
         for node in &mut self.nodes {
-            let (r, c) = node.value.shape();
-            node.grad = Matrix::zeros(r, c);
+            node.grad = None;
         }
-        self.nodes[loss.0].grad = Matrix::from_rows(&[&[1.0]]);
+        self.nodes[loss.0].grad = Some(Matrix::from_rows(&[&[1.0]]));
 
         for i in (0..=loss.0).rev() {
-            let op = self.nodes[i].op.clone();
-            let grad = self.nodes[i].grad.clone();
-            if grad.as_slice().iter().all(|&g| g == 0.0) {
+            let Some(grad) = self.nodes[i].grad.take() else {
+                // The loss never reached this node: nothing to propagate.
                 continue;
-            }
+            };
+            let op = self.nodes[i].op.clone();
             match op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
                     let da = grad.matmul_t(&self.nodes[b.0].value);
                     let db = self.nodes[a.0].value.t_matmul(&grad);
-                    self.nodes[a.0].grad += &da;
-                    self.nodes[b.0].grad += &db;
+                    self.accum(a, da);
+                    self.accum(b, db);
                 }
                 Op::Add(a, b) => {
-                    self.nodes[a.0].grad += &grad;
-                    self.nodes[b.0].grad += &grad;
+                    self.accum_scaled(a, 1.0, &grad);
+                    self.accum_scaled(b, 1.0, &grad);
                 }
                 Op::Sub(a, b) => {
-                    self.nodes[a.0].grad += &grad;
-                    self.nodes[b.0].grad.axpy(-1.0, &grad);
+                    self.accum_scaled(a, 1.0, &grad);
+                    self.accum_scaled(b, -1.0, &grad);
                 }
                 Op::Mul(a, b) => {
                     let da = grad.hadamard(&self.nodes[b.0].value);
                     let db = grad.hadamard(&self.nodes[a.0].value);
-                    self.nodes[a.0].grad += &da;
-                    self.nodes[b.0].grad += &db;
+                    self.accum(a, da);
+                    self.accum(b, db);
                 }
                 Op::Scale(a, s) => {
-                    self.nodes[a.0].grad.axpy(s, &grad);
+                    self.accum_scaled(a, s, &grad);
                 }
                 Op::AddRowBroadcast(a, bias) => {
-                    self.nodes[a.0].grad += &grad;
                     let cols = grad.cols();
                     let mut db = Matrix::zeros(1, cols);
                     for r in 0..grad.rows() {
                         fis_linalg::vec_ops::axpy(db.row_mut(0), 1.0, grad.row(r));
                     }
-                    self.nodes[bias.0].grad += &db;
+                    self.accum_scaled(a, 1.0, &grad);
+                    self.accum(bias, db);
                 }
                 Op::HCat(a, b) => {
                     let ca = self.nodes[a.0].value.cols();
@@ -405,36 +565,33 @@ impl Tape {
                         da.row_mut(r).copy_from_slice(&grad.row(r)[..ca]);
                         db.row_mut(r).copy_from_slice(&grad.row(r)[ca..]);
                     }
-                    self.nodes[a.0].grad += &da;
-                    self.nodes[b.0].grad += &db;
+                    self.accum(a, da);
+                    self.accum(b, db);
                 }
                 Op::Relu(a) => {
-                    let mask = self.nodes[a.0].value.map(func::relu_grad);
-                    let da = grad.hadamard(&mask);
-                    self.nodes[a.0].grad += &da;
+                    // Fused g * relu'(x): one pass, same per-element
+                    // product (including the ±0.0 of g * 0.0) as the old
+                    // mask-then-hadamard pair.
+                    let da = zip_map(&grad, &self.nodes[a.0].value, |g, x| g * func::relu_grad(x));
+                    self.accum(a, da);
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.nodes[i].value;
-                    let dy = y.map(|s| s * (1.0 - s));
-                    let da = grad.hadamard(&dy);
-                    self.nodes[a.0].grad += &da;
+                    let da = zip_map(&grad, &self.nodes[i].value, |g, s| g * (s * (1.0 - s)));
+                    self.accum(a, da);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[i].value;
-                    let dy = y.map(|t| 1.0 - t * t);
-                    let da = grad.hadamard(&dy);
-                    self.nodes[a.0].grad += &da;
+                    let da = zip_map(&grad, &self.nodes[i].value, |g, t| g * (1.0 - t * t));
+                    self.accum(a, da);
                 }
                 Op::Ln(a) => {
-                    let x = &self.nodes[a.0].value;
-                    let dx = x.map(|v| 1.0 / v.max(1e-300));
-                    let da = grad.hadamard(&dx);
-                    self.nodes[a.0].grad += &da;
+                    let da = zip_map(&grad, &self.nodes[a.0].value, |g, x| {
+                        g * (1.0 / x.max(1e-300))
+                    });
+                    self.accum(a, da);
                 }
                 Op::Square(a) => {
-                    let x = &self.nodes[a.0].value;
-                    let da = grad.hadamard(&x.scale(2.0));
-                    self.nodes[a.0].grad += &da;
+                    let da = zip_map(&grad, &self.nodes[a.0].value, |g, x| g * (x * 2.0));
+                    self.accum(a, da);
                 }
                 Op::L2NormRows(a) => {
                     let x = &self.nodes[a.0].value;
@@ -454,88 +611,167 @@ impl Tape {
                             da.row_mut(r).copy_from_slice(grad.row(r));
                         }
                     }
-                    self.nodes[a.0].grad += &da;
+                    self.accum(a, da);
                 }
                 Op::GatherRows(a, indices) => {
                     let cols = grad.cols();
-                    let mut da = Matrix::zeros(self.nodes[a.0].value.rows(), cols);
+                    let rows = self.nodes[a.0].value.rows();
+                    let g = grad.as_slice();
+                    let mut da = vec![0.0; rows * cols];
                     for (r, &idx) in indices.iter().enumerate() {
-                        fis_linalg::vec_ops::axpy(da.row_mut(idx), 1.0, grad.row(r));
+                        let src = &g[r * cols..r * cols + cols];
+                        let dst = &mut da[idx * cols..idx * cols + cols];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
                     }
-                    self.nodes[a.0].grad += &da;
+                    self.accum(a, Matrix::from_vec(rows, cols, da));
                 }
                 Op::Aggregate(a, groups) => {
                     let cols = grad.cols();
-                    let mut da = Matrix::zeros(self.nodes[a.0].value.rows(), cols);
-                    for (r, group) in groups.iter().enumerate() {
-                        for &(idx, w) in group {
-                            fis_linalg::vec_ops::axpy(da.row_mut(idx), w, grad.row(r));
+                    let rows = self.nodes[a.0].value.rows();
+                    let g = grad.as_slice();
+                    let mut da = vec![0.0; rows * cols];
+                    for r in 0..groups.rows() {
+                        let src = &g[r * cols..r * cols + cols];
+                        for &(idx, w) in groups.row(r) {
+                            let idx = idx as usize;
+                            let dst = &mut da[idx * cols..idx * cols + cols];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += w * s;
+                            }
                         }
                     }
-                    self.nodes[a.0].grad += &da;
+                    self.accum(a, Matrix::from_vec(rows, cols, da));
                 }
                 Op::RowwiseDot(a, b) => {
-                    let av = self.nodes[a.0].value.clone();
-                    let bv = self.nodes[b.0].value.clone();
-                    let mut da = Matrix::zeros(av.rows(), av.cols());
-                    let mut db = Matrix::zeros(av.rows(), av.cols());
-                    for r in 0..av.rows() {
-                        let g = grad[(r, 0)];
-                        fis_linalg::vec_ops::axpy(da.row_mut(r), g, bv.row(r));
-                        fis_linalg::vec_ops::axpy(db.row_mut(r), g, av.row(r));
-                    }
-                    self.nodes[a.0].grad += &da;
-                    self.nodes[b.0].grad += &db;
+                    let (da, db) = {
+                        let av = &self.nodes[a.0].value;
+                        let bv = &self.nodes[b.0].value;
+                        let mut da = Matrix::zeros(av.rows(), av.cols());
+                        let mut db = Matrix::zeros(av.rows(), av.cols());
+                        for r in 0..av.rows() {
+                            let g = grad[(r, 0)];
+                            fis_linalg::vec_ops::axpy(da.row_mut(r), g, bv.row(r));
+                            fis_linalg::vec_ops::axpy(db.row_mut(r), g, av.row(r));
+                        }
+                        (da, db)
+                    };
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::GatherDot(a, i_idx, j_idx) => {
+                    // Mirror the unfused gather→rowwise_dot chain: the
+                    // j-side gather was the later tape node, so its
+                    // scatter accumulates first, and the two sides stay
+                    // separate accumulations to preserve the historical
+                    // grouping of additions.
+                    let (rows, cols) = self.nodes[a.0].value.shape();
+                    // Scatter over flat slices: same `+= g * x` per-element
+                    // order as the row-wise axpy formulation, minus the
+                    // per-row bounds checks this loop was dominated by.
+                    let g = grad.as_slice();
+                    let dj = {
+                        let av = self.nodes[a.0].value.as_slice();
+                        let mut dj = vec![0.0; rows * cols];
+                        for (r, (&ir, &jr)) in i_idx.iter().zip(j_idx.iter()).enumerate() {
+                            let gv = g[r];
+                            let src = &av[ir * cols..ir * cols + cols];
+                            let dst = &mut dj[jr * cols..jr * cols + cols];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += gv * s;
+                            }
+                        }
+                        Matrix::from_vec(rows, cols, dj)
+                    };
+                    self.accum(a, dj);
+                    let di = {
+                        let av = self.nodes[a.0].value.as_slice();
+                        let mut di = vec![0.0; rows * cols];
+                        for (r, (&ir, &jr)) in i_idx.iter().zip(j_idx.iter()).enumerate() {
+                            let gv = g[r];
+                            let src = &av[jr * cols..jr * cols + cols];
+                            let dst = &mut di[ir * cols..ir * cols + cols];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += gv * s;
+                            }
+                        }
+                        Matrix::from_vec(rows, cols, di)
+                    };
+                    self.accum(a, di);
                 }
                 Op::NegLogSigmoid(a) => {
                     // d/dx softplus(-x) = -σ(-x) = σ(x) - 1
-                    let dx = self.nodes[a.0].value.map(|x| func::sigmoid(x) - 1.0);
-                    let da = grad.hadamard(&dx);
-                    self.nodes[a.0].grad += &da;
+                    let da = zip_map(&grad, &self.nodes[a.0].value, |g, x| {
+                        g * (func::sigmoid(x) - 1.0)
+                    });
+                    self.accum(a, da);
                 }
                 Op::SumAll(a) => {
                     let g = grad[(0, 0)];
                     let (r, c) = self.nodes[a.0].value.shape();
-                    self.nodes[a.0].grad += &Matrix::filled(r, c, g);
+                    self.accum(a, Matrix::filled(r, c, g));
                 }
                 Op::MeanAll(a) => {
                     let (r, c) = self.nodes[a.0].value.shape();
                     let g = grad[(0, 0)] / (r * c) as f64;
-                    self.nodes[a.0].grad += &Matrix::filled(r, c, g);
+                    self.accum(a, Matrix::filled(r, c, g));
                 }
                 Op::DecLoss(z, mu, p) => {
                     let g = grad[(0, 0)];
-                    let q = self.nodes[i]
-                        .aux
-                        .as_ref()
-                        .expect("DecLoss aux missing")
-                        .clone();
-                    let zv = self.nodes[z.0].value.clone();
-                    let muv = self.nodes[mu.0].value.clone();
-                    let (n, d) = zv.shape();
-                    let k = muv.rows();
-                    let mut dz = Matrix::zeros(n, d);
-                    let mut dmu = Matrix::zeros(k, d);
-                    // dL/dz_i = 2 Σ_j (1+||z_i-mu_j||²)^{-1} (p_ij - q_ij)(z_i - mu_j)
-                    // (KL(P||Q) gradient; dmu is the negative scatter.)
-                    for ii in 0..n {
-                        for j in 0..k {
-                            let diff: Vec<f64> =
-                                (0..d).map(|c| zv[(ii, c)] - muv[(j, c)]).collect();
-                            let dist_sq: f64 = diff.iter().map(|x| x * x).sum();
-                            let coef = 2.0 * (p[(ii, j)] - q[(ii, j)]) / (1.0 + dist_sq) * g;
-                            for c in 0..d {
-                                dz[(ii, c)] += coef * diff[c];
-                                dmu[(j, c)] -= coef * diff[c];
+                    let (dz, dmu) = {
+                        let q = self.nodes[i].aux.as_ref().expect("DecLoss aux missing");
+                        let zv = &self.nodes[z.0].value;
+                        let muv = &self.nodes[mu.0].value;
+                        let (n, d) = zv.shape();
+                        let k = muv.rows();
+                        let mut dz = Matrix::zeros(n, d);
+                        let mut dmu = Matrix::zeros(k, d);
+                        // dL/dz_i = 2 Σ_j (1+||z_i-mu_j||²)^{-1} (p_ij - q_ij)(z_i - mu_j)
+                        // (KL(P||Q) gradient; dmu is the negative scatter.)
+                        for ii in 0..n {
+                            for j in 0..k {
+                                let diff: Vec<f64> =
+                                    (0..d).map(|c| zv[(ii, c)] - muv[(j, c)]).collect();
+                                let dist_sq: f64 = diff.iter().map(|x| x * x).sum();
+                                let coef = 2.0 * (p[(ii, j)] - q[(ii, j)]) / (1.0 + dist_sq) * g;
+                                for c in 0..d {
+                                    dz[(ii, c)] += coef * diff[c];
+                                    dmu[(j, c)] -= coef * diff[c];
+                                }
                             }
                         }
-                    }
-                    self.nodes[z.0].grad += &dz;
-                    self.nodes[mu.0].grad += &dmu;
+                        (dz, dmu)
+                    };
+                    self.accum(z, dz);
+                    self.accum(mu, dmu);
                 }
+            }
+            self.nodes[i].grad = Some(grad);
+        }
+
+        // Unreached nodes still expose an all-zero gradient, matching the
+        // pre-Option API.
+        for node in &mut self.nodes {
+            if node.grad.is_none() {
+                let (r, c) = node.value.shape();
+                node.grad = Some(Matrix::zeros(r, c));
             }
         }
     }
+}
+
+/// Element-wise `f(a_ij, b_ij)` over two same-shape matrices, fusing what
+/// would otherwise be a map allocation followed by a hadamard pass.
+fn zip_map(a: &Matrix, b: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "zip_map shape mismatch");
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice().iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
 }
 
 /// Student-t (df = 1) soft assignment of rows of `z` to centroid rows `mu`:
@@ -642,7 +878,7 @@ mod tests {
     fn aggregate_forward_and_backward() {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
-        let groups = Arc::new(vec![vec![(0, 0.25), (1, 0.75)]]);
+        let groups = Arc::new(RowGroups::from_nested(&[vec![(0, 0.25), (1, 0.75)]]));
         let agg = t.aggregate(x, groups);
         assert_eq!(t.value(agg), &Matrix::from_rows(&[&[0.25, 0.75]]));
         let loss = t.sum_all(agg);

@@ -103,10 +103,10 @@ proptest! {
 
     #[test]
     fn aggregate_grad(a in mat(4, 3), b in mat(2, 3)) {
-        let groups = Arc::new(vec![
+        let groups = Arc::new(fis_autograd::tape::RowGroups::from_nested(&[
             vec![(0usize, 0.3), (1, 0.7)],
             vec![(2usize, 0.5), (3, 0.25), (0, 0.25)],
-        ]);
+        ]));
         let ok = check2(&a, &b, move |t, x, y| {
             let agg = t.aggregate(x, Arc::clone(&groups));
             t.mul(agg, y)

@@ -23,6 +23,47 @@ fn bench_building() -> fis_types::Building {
         .generate()
 }
 
+/// The blocked matmul kernel at a GNN-layer-ish size and at a size large
+/// enough for the cache blocking to matter. The kernel is the inner loop
+/// of every training forward/backward pass, so the gate watching these
+/// stages catches regressions in the blocked-loop restructuring without
+/// the noise of the full `gnn/train` stage on top.
+fn bench_linalg(c: &mut Criterion) {
+    for &n in &[64usize, 256] {
+        let a = fis_linalg::init::uniform_matrix(n, n, -1.0, 1.0, 11);
+        let b = fis_linalg::init::uniform_matrix(n, n, -1.0, 1.0, 13);
+        c.bench_function(&format!("linalg/matmul({n}x{n})"), |bench| {
+            bench.iter(|| std::hint::black_box(&a).matmul(&b))
+        });
+    }
+}
+
+/// Cold-loading the quantized (schema v3) serving artifact: JSON parse,
+/// f32 narrowing, graph + VP-tree rebuild. This is what a registry miss
+/// costs when a fleet opts into f32 artifacts.
+fn bench_model_load_f32(c: &mut Criterion) {
+    let b = bench_building();
+    let model = fis_core::FisOne::new(fis_core::FisOneConfig::quick(99))
+        .fit(
+            b.name(),
+            b.samples(),
+            b.floors(),
+            b.bottom_anchor().unwrap(),
+        )
+        .expect("bench building fits");
+    let dir = std::env::temp_dir().join(format!("fis-bench-f32-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bench-f32.json");
+    model.save_f32(&path).expect("f32 artifact saves");
+    let mut group = c.benchmark_group("model");
+    group.sample_size(20);
+    group.bench_function("load_f32", |bench| {
+        bench.iter(|| fis_core::FittedModel::load(std::hint::black_box(&path)).unwrap())
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn bench_graph_construction(c: &mut Criterion) {
     let b = bench_building();
     c.bench_function("graph/from_samples(240)", |bench| {
@@ -388,6 +429,8 @@ fn bench_obs(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_linalg,
+    bench_model_load_f32,
     bench_graph_construction,
     bench_random_walks,
     bench_gnn_training,

@@ -158,6 +158,14 @@ pub fn cluster_similarity(
 
 /// Full pairwise similarity matrix over cluster profiles.
 ///
+/// Internally the profiles are flattened onto a global sorted MAC
+/// vocabulary as dense frequency rows, so each pair is two streaming
+/// passes over flat `f64` slices instead of ~m BTreeMap lookups. The
+/// extra vocabulary positions a pair never detects contribute exact
+/// `+0.0` terms to non-negative accumulators, so every entry is
+/// bit-identical to calling [`cluster_similarity`] on the pair (see
+/// `dense_matrix_bit_identical_to_scalar_pairs`).
+///
 /// The upper triangle is computed row-parallel across the
 /// [`fis_parallel`] thread budget (each worker owns whole rows) and
 /// mirrored afterwards, so the matrix is exactly symmetric and identical
@@ -167,9 +175,47 @@ pub fn similarity_matrix(
     profiles: &[ClusterMacProfile],
 ) -> Vec<Vec<f64>> {
     let k = profiles.len();
-    let uppers: Vec<Vec<f64>> = fis_parallel::par_map(profiles, 2, |i, pi| {
+    let mut vocab: Vec<MacAddr> = profiles
+        .iter()
+        .flat_map(|p| p.iter().map(|(m, _)| m))
+        .collect();
+    vocab.sort_unstable();
+    vocab.dedup();
+    let v = vocab.len();
+
+    // Dense k x V frequency matrix, filled by merge-walking each
+    // profile's sorted MAC iterator against the sorted vocabulary.
+    let mut freq = vec![0.0f64; k * v];
+    for (i, p) in profiles.iter().enumerate() {
+        let row = &mut freq[i * v..(i + 1) * v];
+        let mut pos = 0;
+        for (mac, f) in p.iter() {
+            while vocab[pos] != mac {
+                pos += 1;
+            }
+            row[pos] = f as f64;
+        }
+    }
+    // Ascending-vocabulary row sums. Restricted to any pair's MAC union
+    // these are the numerators of f̄_i / f̄_j: positions outside the
+    // union hold 0.0 and adding +0.0 to a non-negative partial sum is
+    // exact.
+    let row_sums: Vec<f64> = (0..k)
+        .map(|i| freq[i * v..(i + 1) * v].iter().fold(0.0, |acc, &x| acc + x))
+        .collect();
+
+    let uppers: Vec<Vec<f64>> = fis_parallel::par_map(profiles, 2, |i, _pi| {
+        let fi = &freq[i * v..(i + 1) * v];
         (i + 1..k)
-            .map(|j| cluster_similarity(method, pi, &profiles[j]))
+            .map(|j| {
+                let fj = &freq[j * v..(j + 1) * v];
+                match method {
+                    SimilarityMethod::AdaptedJaccard => {
+                        adapted_jaccard_dense(fi, fj, row_sums[i], row_sums[j])
+                    }
+                    SimilarityMethod::PlainJaccard => plain_jaccard_dense(fi, fj),
+                }
+            })
             .collect()
     });
     let mut m = vec![vec![0.0; k]; k];
@@ -182,6 +228,66 @@ pub fn similarity_matrix(
         }
     }
     m
+}
+
+/// [`adapted_jaccard`] over dense frequency rows sharing one global
+/// vocabulary. `sum_i` / `sum_j` are the full ascending-order row sums.
+///
+/// Bit-compatibility with the scalar path: positions outside the pair's
+/// MAC union have `f_ik == f_jk == 0.0`, contributing `+0.0` to `share`
+/// and (through both zero-branches) `+0.0` to `diff`; both accumulators
+/// are non-negative, so those terms change no bits, and in-union terms
+/// arrive in the same ascending MAC order as `union_macs`.
+fn adapted_jaccard_dense(fi: &[f64], fj: &[f64], sum_i: f64, sum_j: f64) -> f64 {
+    let mut m = 0usize;
+    for (&a, &b) in fi.iter().zip(fj.iter()) {
+        if a > 0.0 || b > 0.0 {
+            m += 1;
+        }
+    }
+    if m == 0 {
+        return 0.0;
+    }
+    let fa_bar = sum_i / m as f64;
+    let fb_bar = sum_j / m as f64;
+    let mut share = 0.0;
+    let mut diff = 0.0;
+    for (&fik, &fjk) in fi.iter().zip(fj.iter()) {
+        share += fik * fjk;
+        if fik == 0.0 {
+            diff += fjk * fa_bar;
+        }
+        if fjk == 0.0 {
+            diff += fik * fb_bar;
+        }
+    }
+    if share + diff == 0.0 {
+        0.0
+    } else {
+        share / (share + diff)
+    }
+}
+
+/// [`plain_jaccard`] over dense frequency rows (integer set counts, so
+/// trivially identical to the scalar path).
+fn plain_jaccard_dense(fi: &[f64], fj: &[f64]) -> f64 {
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (&a, &b) in fi.iter().zip(fj.iter()) {
+        let ia = a > 0.0;
+        let ib = b > 0.0;
+        if ia && ib {
+            inter += 1;
+        }
+        if ia || ib {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
 }
 
 fn union_macs(a: &ClusterMacProfile, b: &ClusterMacProfile) -> Vec<MacAddr> {
@@ -301,6 +407,40 @@ mod tests {
         }
         // Adjacent overlap beats no overlap.
         assert!(m[0][1] > m[0][2]);
+    }
+
+    #[test]
+    fn dense_matrix_bit_identical_to_scalar_pairs() {
+        // Overlapping, disjoint, nested, and empty profiles: the dense
+        // vocabulary path must reproduce the per-pair scalar functions
+        // bit-for-bit, not merely approximately.
+        let profiles = vec![
+            profile(&[sample(0, &[1, 2, 5]), sample(1, &[2, 3])]),
+            profile(&[sample(0, &[2, 4]), sample(1, &[4, 5]), sample(2, &[4])]),
+            profile(&[sample(0, &[7, 8])]),
+            ClusterMacProfile::default(),
+            profile(&[sample(0, &[1, 2, 3, 4, 5, 7, 8])]),
+        ];
+        for method in [
+            SimilarityMethod::AdaptedJaccard,
+            SimilarityMethod::PlainJaccard,
+        ] {
+            let m = similarity_matrix(method, &profiles);
+            for (i, pi) in profiles.iter().enumerate() {
+                for (j, pj) in profiles.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let scalar = cluster_similarity(method, pi, pj);
+                    assert_eq!(
+                        m[i][j].to_bits(),
+                        scalar.to_bits(),
+                        "{method:?} entry ({i},{j}): dense {} vs scalar {scalar}",
+                        m[i][j]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

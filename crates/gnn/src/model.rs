@@ -1,8 +1,8 @@
 //! The RF-GNN encoder: K-hop sampled, RSS-attention-weighted aggregation.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use fis_autograd::tape::RowGroups;
 use fis_autograd::{Tape, Var};
 use fis_graph::BipartiteGraph;
 use fis_linalg::{init, Matrix};
@@ -155,22 +155,28 @@ impl RfGnn {
         // The child node list starts with the nodes themselves (for the
         // CONCAT self-representation) and extends with sampled neighbors,
         // deduplicated so the recursion stays bounded by the graph size.
+        // Dedup uses a dense stamp vector over the node space rather than
+        // a HashMap: node ids are small dense indices and this runs once
+        // per hop per batch.
         let mut child_list: Vec<usize> = nodes.to_vec();
-        let mut child_index: HashMap<usize, usize> =
-            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-        let mut groups: Vec<Vec<(usize, f64)>> = Vec::with_capacity(nodes.len());
+        let mut child_slot: Vec<u32> = vec![u32::MAX; graph.n_nodes()];
+        for (i, &n) in nodes.iter().enumerate() {
+            child_slot[n] = i as u32;
+        }
+        let mut groups = RowGroups::with_capacity(nodes.len(), nodes.len() * sample_size.max(1));
+        let mut sampled: Vec<(usize, f64)> = Vec::with_capacity(sample_size.max(1));
         for &node in nodes {
-            let sampled = self.sample_neighbors(graph, rng, node, sample_size);
+            sampled.clear();
+            self.sample_from_into(graph.neighbors(node), rng, node, sample_size, &mut sampled);
             let total: f64 = sampled.iter().map(|&(_, w)| w).sum();
-            let mut group = Vec::with_capacity(sampled.len());
-            for (nbr, w) in sampled {
-                let idx = *child_index.entry(nbr).or_insert_with(|| {
+            for &(nbr, w) in &sampled {
+                if child_slot[nbr] == u32::MAX {
+                    child_slot[nbr] = child_list.len() as u32;
                     child_list.push(nbr);
-                    child_list.len() - 1
-                });
-                group.push((idx, w / total));
+                }
+                groups.push_entry(child_slot[nbr] as usize, w / total);
             }
-            groups.push(group);
+            groups.finish_row();
         }
 
         let child_reps = self.layer(tape, graph, rng, vars, &child_list, depth - 1);
@@ -191,26 +197,14 @@ impl RfGnn {
     }
 
     /// Draws `k` neighbors with replacement together with normalization
-    /// weights. With attention on, both the draw probability and the
+    /// weights, from an explicit adjacency list so the inference path can
+    /// sample from a virtual scan node that is not part of the training
+    /// graph. With attention on, both the draw probability and the
     /// aggregation weight are proportional to `f(RSS)`; the ablation draws
     /// uniformly and aggregates with equal weights (mean aggregator).
     ///
     /// Isolated nodes contribute a single zero-weight self-loop so the
     /// aggregate is a zero vector rather than a panic.
-    fn sample_neighbors<R: Rng + ?Sized>(
-        &self,
-        graph: &BipartiteGraph,
-        rng: &mut R,
-        node: usize,
-        k: usize,
-    ) -> Vec<(usize, f64)> {
-        self.sample_from(graph.neighbors(node), rng, node, k)
-    }
-
-    /// [`RfGnn::sample_neighbors`] over an explicit adjacency list, so the
-    /// inference path can sample from a virtual scan node that is not part
-    /// of the training graph. Draw order and arithmetic are identical to
-    /// the training-time sampler.
     pub(crate) fn sample_from<R: Rng + ?Sized>(
         &self,
         nbrs: &[(usize, f64)],
@@ -218,30 +212,46 @@ impl RfGnn {
         node: usize,
         k: usize,
     ) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(k.max(1));
+        self.sample_from_into(nbrs, rng, node, k, &mut out);
+        out
+    }
+
+    /// [`RfGnn::sample_from`] appending into a caller-owned buffer so the
+    /// per-batch layer loop can reuse one allocation for every node. Draw
+    /// order and arithmetic are identical to the allocating variant.
+    pub(crate) fn sample_from_into<R: Rng + ?Sized>(
+        &self,
+        nbrs: &[(usize, f64)],
+        rng: &mut R,
+        node: usize,
+        k: usize,
+        out: &mut Vec<(usize, f64)>,
+    ) {
         if nbrs.is_empty() {
-            return vec![(node, 1.0)];
+            out.push((node, 1.0));
+            return;
         }
+        out.reserve(k);
         if self.config.attention {
             let total: f64 = nbrs.iter().map(|&(_, w)| w).sum();
-            (0..k)
-                .map(|_| {
-                    let mut x = rng.gen_range(0.0..total);
-                    for &(n, w) in nbrs {
-                        if x < w {
-                            return (n, w);
-                        }
-                        x -= w;
+            for _ in 0..k {
+                let mut x = rng.gen_range(0.0..total);
+                let mut pick = *nbrs.last().expect("non-empty");
+                for &(n, w) in nbrs {
+                    if x < w {
+                        pick = (n, w);
+                        break;
                     }
-                    *nbrs.last().expect("non-empty")
-                })
-                .collect()
+                    x -= w;
+                }
+                out.push(pick);
+            }
         } else {
-            (0..k)
-                .map(|_| {
-                    let (n, _) = nbrs[rng.gen_range(0..nbrs.len())];
-                    (n, 1.0)
-                })
-                .collect()
+            for _ in 0..k {
+                let (n, _) = nbrs[rng.gen_range(0..nbrs.len())];
+                out.push((n, 1.0));
+            }
         }
     }
 

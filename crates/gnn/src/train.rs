@@ -112,28 +112,33 @@ impl RfGnn {
     ) -> Result<f64, String> {
         let tau = self.config.tau;
         // Draw negatives, then assemble the unique node list for one
-        // forward pass shared by anchors, positives, and negatives.
+        // forward pass shared by anchors, positives, and negatives. A
+        // dense stamp vector over the node space replaces a HashMap:
+        // node ids are already small dense indices, and this interning
+        // loop was a measurable slice of the per-batch cost.
         let mut uniq: Vec<usize> = Vec::new();
-        let mut index_of = std::collections::HashMap::new();
-        let intern = |node: usize,
-                      uniq: &mut Vec<usize>,
-                      index_of: &mut std::collections::HashMap<usize, usize>| {
-            *index_of.entry(node).or_insert_with(|| {
+        let mut slot_of: Vec<u32> = vec![u32::MAX; graph.n_nodes()];
+        let mut intern = |node: usize, uniq: &mut Vec<usize>| {
+            if slot_of[node] == u32::MAX {
+                slot_of[node] = uniq.len() as u32;
                 uniq.push(node);
-                uniq.len() - 1
-            })
+            }
+            slot_of[node] as usize
         };
         let mut idx_i = Vec::with_capacity(batch.len());
         let mut idx_j = Vec::with_capacity(batch.len());
         let mut idx_i_rep = Vec::with_capacity(batch.len() * tau);
         let mut idx_z = Vec::with_capacity(batch.len() * tau);
+        let mut negs: Vec<usize> = Vec::with_capacity(tau);
         for &(i, j) in batch {
-            let ii = intern(i, &mut uniq, &mut index_of);
-            let jj = intern(j, &mut uniq, &mut index_of);
+            let ii = intern(i, &mut uniq);
+            let jj = intern(j, &mut uniq);
             idx_i.push(ii);
             idx_j.push(jj);
-            for z in neg_sampler.sample_excluding(rng, tau, &[i, j]) {
-                let zz = intern(z, &mut uniq, &mut index_of);
+            negs.clear();
+            neg_sampler.sample_excluding_into(rng, tau, &[i, j], &mut negs);
+            for &z in &negs {
+                let zz = intern(z, &mut uniq);
                 idx_i_rep.push(ii);
                 idx_z.push(zz);
             }
@@ -143,15 +148,11 @@ impl RfGnn {
         let vars = self.leaves(&mut tape);
         let reps = self.forward(&mut tape, graph, rng, &vars, &uniq);
 
-        let ri = tape.gather_rows(reps, Arc::new(idx_i));
-        let rj = tape.gather_rows(reps, Arc::new(idx_j));
-        let pos_scores = tape.rowwise_dot(ri, rj);
+        let pos_scores = tape.gathered_rowwise_dot(reps, Arc::new(idx_i), Arc::new(idx_j));
         let pos_losses = tape.neg_log_sigmoid(pos_scores);
         let pos_sum = tape.sum_all(pos_losses);
 
-        let ri_rep = tape.gather_rows(reps, Arc::new(idx_i_rep));
-        let rz = tape.gather_rows(reps, Arc::new(idx_z));
-        let neg_scores = tape.rowwise_dot(ri_rep, rz);
+        let neg_scores = tape.gathered_rowwise_dot(reps, Arc::new(idx_i_rep), Arc::new(idx_z));
         let neg_flipped = tape.scale(neg_scores, -1.0);
         let neg_losses = tape.neg_log_sigmoid(neg_flipped);
         let neg_sum = tape.sum_all(neg_losses);

@@ -62,17 +62,33 @@ impl NegativeSampler {
         tau: usize,
         forbidden: &[usize],
     ) -> Vec<usize> {
-        (0..tau)
-            .map(|_| {
-                for _ in 0..16 {
-                    let z = self.table.sample(rng);
-                    if !forbidden.contains(&z) {
-                        return z;
-                    }
+        let mut out = Vec::with_capacity(tau);
+        self.sample_excluding_into(rng, tau, forbidden, &mut out);
+        out
+    }
+
+    /// [`NegativeSampler::sample_excluding`] appending into a caller-owned
+    /// buffer, so hot loops can reuse one allocation across calls. The
+    /// draw sequence is identical to the allocating variant.
+    pub fn sample_excluding_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        tau: usize,
+        forbidden: &[usize],
+        out: &mut Vec<usize>,
+    ) {
+        out.reserve(tau);
+        for _ in 0..tau {
+            let mut pick = None;
+            for _ in 0..16 {
+                let z = self.table.sample(rng);
+                if !forbidden.contains(&z) {
+                    pick = Some(z);
+                    break;
                 }
-                self.table.sample(rng)
-            })
-            .collect()
+            }
+            out.push(pick.unwrap_or_else(|| self.table.sample(rng)));
+        }
     }
 }
 

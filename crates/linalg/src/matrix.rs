@@ -211,16 +211,47 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses the classic i-k-j loop order so the innermost loop walks both
-    /// operands contiguously. Output rows are computed in parallel across
-    /// the [`fis_parallel`] thread budget when the product is large
-    /// enough; every element is produced with the serial accumulation
-    /// order, so results are bit-identical for any thread count.
+    /// Output rows are computed in parallel across the [`fis_parallel`]
+    /// thread budget when the product is large enough. The blocked kernel
+    /// walks `k` in quads with a register-strip inner loop over `j`, but
+    /// every output element still receives its additions in ascending `k`
+    /// with the same zero-skip as the naive i-k-j loop, so results are
+    /// bit-identical to [`Matrix::matmul_naive`] for any thread count.
+    /// Set `FIS_MATMUL_NAIVE=1` to force the naive reference kernels.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        if force_naive_kernels() {
+            return self.matmul_naive(rhs);
+        }
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let min_rows = par_min_rows(self.cols * rhs.cols);
+        let out_cols = rhs.cols;
+        par_rows_mut(&mut out.data, out_cols, min_rows, |i, out_row| {
+            mm_row_kernel(
+                &self.data[i * self.cols..(i + 1) * self.cols],
+                &rhs.data,
+                out_cols,
+                out_row,
+            );
+        });
+        out
+    }
+
+    /// Naive i-k-j reference for [`Matrix::matmul`] (the pre-blocking
+    /// kernel, kept as the bit-for-bit determinism reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -246,14 +277,59 @@ impl Matrix {
 
     /// Matrix product `self^T * rhs` without materializing the transpose.
     ///
-    /// Parallel over output rows; for every output element the additions
-    /// run in ascending `k` just like the serial i-k-j order, so the
-    /// result is bit-identical for any thread count.
+    /// The blocked kernel processes a strip of output rows per pass so
+    /// the strided column reads of `self` become one contiguous segment
+    /// load per `k`; per output element the additions still run in
+    /// ascending `k` with the naive zero-skip, so the result is
+    /// bit-identical to [`Matrix::t_matmul_naive`] for any thread count.
     ///
     /// # Panics
     ///
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        if force_naive_kernels() {
+            return self.t_matmul_naive(rhs);
+        }
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        let min_rows = par_min_rows(self.rows * rhs.cols);
+        let out_cols = rhs.cols;
+        // Strip of output rows small enough that the strip plus one rhs
+        // row stays L1-resident while we stream over k.
+        const ROW_STRIP: usize = 8;
+        fis_parallel::par_row_chunks_mut(&mut out.data, out_cols, min_rows, |first_row, chunk| {
+            for (s, strip) in chunk.chunks_mut(ROW_STRIP * out_cols).enumerate() {
+                let r0 = first_row + s * ROW_STRIP;
+                let nr = strip.len() / out_cols;
+                for k in 0..self.rows {
+                    let a_seg = &self.data[k * self.cols + r0..k * self.cols + r0 + nr];
+                    let b_row = &rhs.data[k * out_cols..(k + 1) * out_cols];
+                    for (i, &a) in a_seg.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let out_row = &mut strip[i * out_cols..(i + 1) * out_cols];
+                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Naive strided reference for [`Matrix::t_matmul`] (the pre-blocking
+    /// kernel, kept as the bit-for-bit determinism reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn t_matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul shape mismatch: ({}x{})^T * {}x{}",
@@ -279,13 +355,71 @@ impl Matrix {
 
     /// Matrix product `self * rhs^T` without materializing the transpose.
     ///
-    /// Parallel over output rows with serial per-element dot products, so
-    /// the result is bit-identical for any thread count.
+    /// The blocked kernel computes four output columns at a time with
+    /// independent accumulators sharing each `self` row load; every
+    /// accumulator is still one serial ascending-`k` chain, so the result
+    /// is bit-identical to [`Matrix::matmul_t_naive`] for any thread
+    /// count.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        if force_naive_kernels() {
+            return self.matmul_t_naive(rhs);
+        }
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        let min_rows = par_min_rows(self.cols * rhs.rows);
+        let out_cols = rhs.rows;
+        par_rows_mut(&mut out.data, out_cols, min_rows, |i, out_row| {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let n = a_row.len();
+            let j_quads = out_cols & !3;
+            let mut j = 0;
+            while j < j_quads {
+                let b0 = &rhs.data[j * n..(j + 1) * n];
+                let b1 = &rhs.data[(j + 1) * n..(j + 2) * n];
+                let b2 = &rhs.data[(j + 2) * n..(j + 3) * n];
+                let b3 = &rhs.data[(j + 3) * n..(j + 4) * n];
+                let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0, 0.0, 0.0, 0.0);
+                for k in 0..n {
+                    let a = a_row[k];
+                    acc0 += a * b0[k];
+                    acc1 += a * b1[k];
+                    acc2 += a * b2[k];
+                    acc3 += a * b3[k];
+                }
+                out_row[j] = acc0;
+                out_row[j + 1] = acc1;
+                out_row[j + 2] = acc2;
+                out_row[j + 3] = acc3;
+                j += 4;
+            }
+            for (jj, o) in out_row.iter_mut().enumerate().skip(j_quads) {
+                let b_row = &rhs.data[jj * n..(jj + 1) * n];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        });
+        out
+    }
+
+    /// Naive per-element reference for [`Matrix::matmul_t`] (the
+    /// pre-blocking kernel, kept as the bit-for-bit determinism
+    /// reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_t_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})^T",
@@ -309,8 +443,25 @@ impl Matrix {
     }
 
     /// Returns the transpose as a new matrix.
+    ///
+    /// Copies 8x8 tiles so both the source and destination walk whole
+    /// cache lines instead of one striding per element. A pure copy:
+    /// trivially bit-identical to the per-element version.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        const TILE: usize = 8;
+        for r0 in (0..self.rows).step_by(TILE) {
+            let r1 = (r0 + TILE).min(self.rows);
+            for c0 in (0..self.cols).step_by(TILE) {
+                let c1 = (c0 + TILE).min(self.cols);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Element-wise (Hadamard) product.
@@ -464,6 +615,69 @@ impl Matrix {
     /// True if every element is finite (no NaN / infinity).
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// Whether `FIS_MATMUL_NAIVE=1` forces the naive reference kernels.
+///
+/// Read once and cached: the flag is a process-lifetime A/B switch for
+/// verifying the blocked kernels, not a per-call toggle.
+fn force_naive_kernels() -> bool {
+    use std::sync::OnceLock;
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| std::env::var("FIS_MATMUL_NAIVE").as_deref() == Ok("1"))
+}
+
+/// One output row of `matmul`: `out_row += a_row * b` with `k` walked in
+/// quads.
+///
+/// When all four `a` coefficients of a quad are nonzero, the unrolled
+/// strip adds their four contributions per output element in one pass —
+/// the same four additions, in the same ascending-`k` order, the naive
+/// loop would perform, so the result is bit-identical. Any quad holding
+/// a zero falls back to the per-`k` loop because *skipping* a zero
+/// coefficient is observable: `0.0 * inf` is NaN and `-0.0 * x` can
+/// flip the sign of a `-0.0` accumulator, so skipped terms must stay
+/// skipped exactly as the naive kernel skips them.
+fn mm_row_kernel(a_row: &[f64], b: &[f64], out_cols: usize, out_row: &mut [f64]) {
+    let k_quads = a_row.len() & !3;
+    let mut k = 0;
+    while k < k_quads {
+        let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+            let b0 = &b[k * out_cols..(k + 1) * out_cols];
+            let b1 = &b[(k + 1) * out_cols..(k + 2) * out_cols];
+            let b2 = &b[(k + 2) * out_cols..(k + 3) * out_cols];
+            let b3 = &b[(k + 3) * out_cols..(k + 4) * out_cols];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let mut acc = *o;
+                acc += a0 * b0[j];
+                acc += a1 * b1[j];
+                acc += a2 * b2[j];
+                acc += a3 * b3[j];
+                *o = acc;
+            }
+        } else {
+            for (kk, &a) in a_row.iter().enumerate().take(k + 4).skip(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * out_cols..(kk + 1) * out_cols];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * bv;
+                }
+            }
+        }
+        k += 4;
+    }
+    for (kk, &a) in a_row.iter().enumerate().skip(k_quads) {
+        if a == 0.0 {
+            continue;
+        }
+        let b_row = &b[kk * out_cols..(kk + 1) * out_cols];
+        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += a * bv;
+        }
     }
 }
 
@@ -731,6 +945,79 @@ mod tests {
         assert_eq!(serial.0.as_slice(), parallel.0.as_slice());
         assert_eq!(serial.1.as_slice(), parallel.1.as_slice());
         assert_eq!(serial.2.as_slice(), parallel.2.as_slice());
+    }
+
+    /// Dense-ish values with zeros, `-0.0`, and a non-multiple-of-4 inner
+    /// dimension: every quad fast-path and fallback branch gets exercised.
+    fn adversarial(rows: usize, cols: usize, salt: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = r * 31 + c * 17 + salt;
+            match h % 11 {
+                0 => 0.0,
+                1 => -0.0,
+                _ => (h % 97) as f64 / 7.0 - 6.0,
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_kernels_bit_identical_to_naive() {
+        // Shapes chosen so k and j are NOT multiples of 4 (tail paths) and
+        // cross the parallel threshold at least once.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (13, 9, 11), (70, 65, 66)] {
+            let a = adversarial(m, k, 0);
+            let b = adversarial(k, n, 3);
+            let bt = adversarial(n, k, 5);
+            let at = adversarial(k, m, 7);
+            assert_eq!(
+                a.matmul(&b).as_slice(),
+                a.matmul_naive(&b).as_slice(),
+                "matmul {m}x{k}*{k}x{n}"
+            );
+            assert_eq!(
+                at.t_matmul(&b).as_slice(),
+                at.t_matmul_naive(&b).as_slice(),
+                "t_matmul ({k}x{m})^T*{k}x{n}"
+            );
+            assert_eq!(
+                a.matmul_t(&bt).as_slice(),
+                a.matmul_t_naive(&bt).as_slice(),
+                "matmul_t {m}x{k}*({n}x{k})^T"
+            );
+            let t_naive = Matrix::from_fn(a.cols(), a.rows(), |r, c| a[(c, r)]);
+            assert_eq!(a.transpose().as_slice(), t_naive.as_slice());
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_preserve_nonfinite_semantics() {
+        // A zero coefficient must SKIP its b-row: 0.0 * inf would be NaN.
+        let mut a = adversarial(6, 9, 1);
+        a[(0, 4)] = 0.0;
+        a[(1, 0)] = f64::INFINITY;
+        a[(2, 3)] = f64::NAN;
+        let mut b = adversarial(9, 6, 2);
+        b[(4, 0)] = f64::INFINITY;
+        b[(4, 1)] = f64::NAN;
+        let fast = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        // NaN != NaN, so compare bit patterns.
+        let bits = |m: &Matrix| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fast), bits(&naive));
+        assert_eq!(bits(&a.t_matmul(&a)), bits(&a.t_matmul_naive(&a)));
+        assert_eq!(bits(&b.t_matmul(&b)), bits(&b.t_matmul_naive(&b)));
+        let bt = b.transpose();
+        assert_eq!(bits(&a.matmul_t(&bt)), bits(&a.matmul_t_naive(&bt)));
+    }
+
+    #[test]
+    fn negative_zero_accumulators_match_naive() {
+        // out starts at +0.0; products of -0.0 rows exercise signed-zero
+        // accumulation in both kernels.
+        let a = Matrix::from_fn(5, 8, |r, c| if (r + c) % 2 == 0 { -0.0 } else { -1.0 });
+        let b = Matrix::from_fn(8, 5, |r, c| if (r * c) % 3 == 0 { 0.0 } else { 2.0 });
+        let bits = |m: &Matrix| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.matmul(&b)), bits(&a.matmul_naive(&b)));
     }
 
     #[test]

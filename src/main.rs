@@ -4,7 +4,7 @@
 //! fis-one generate --floors 5 --samples 200 --seed 7 --buildings 8 --out corpus.jsonl
 //! fis-one identify --corpus corpus.jsonl [--building NAME]
 //! fis-one evaluate --corpus corpus.jsonl
-//! fis-one fit      --corpus corpus.jsonl --out model.json [--trace trace.jsonl]
+//! fis-one fit      --corpus corpus.jsonl --out model.json [--trace trace.jsonl] [--f32]
 //! fis-one assign   --model model.json --scans corpus.jsonl
 //! fis-one extend   --model model.json --scans drift.jsonl --out model-v2.json
 //! fis-one serve    --models DIR [--tcp ADDR] [--trace trace.jsonl] [--metrics m.prom]
@@ -87,7 +87,7 @@ const USAGE: &str = "usage:
   fis-one identify --corpus FILE [--building NAME] [--seed S] [--threads T]
   fis-one evaluate --corpus FILE [--seed S] [--threads T]
   fis-one fit      --corpus FILE --out FILE [--building NAME] [--seed S] \
-[--threads T] [--trace FILE]
+[--threads T] [--trace FILE] [--f32]
   fis-one assign   --model FILE --scans FILE [--building NAME] [--threads T] \
 [--out FILE]
   fis-one extend   --model FILE --scans FILE [--building NAME] --out FILE
@@ -107,7 +107,11 @@ identify and evaluate run all buildings of the corpus concurrently;
 Predictions are bit-identical for any thread count at a fixed seed.
 
 fit persists one building's pipeline output as a serving artifact
-(one JSON document); assign labels scans against it without refitting
+(one JSON document). --f32 writes the quantized schema-v3 artifact
+instead: every parameter rounds to f32 at save time, shrinking the
+file to roughly half while keeping identical floor labels on the
+training corpus; f32 artifacts are frozen (extend refuses them).
+assign labels scans against it without refitting
 (--building restricts a multi-building scan file to one building),
 printing the same format as identify so the two can be diffed; --out
 writes those assignment lines to FILE instead of stdout.
@@ -145,6 +149,9 @@ v2 `metrics` op returns live). FIS_LOG=error|warn|info|debug|trace
 sets stderr verbosity (default warn). Recording is out-of-band:
 answers are bit-identical with observability on or off.";
 
+/// Flags that take no value; present means enabled.
+const BOOLEAN_FLAGS: &[&str] = &["f32"];
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
     let mut it = args.iter();
@@ -152,6 +159,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, got `{flag}`"));
         };
+        if BOOLEAN_FLAGS.contains(&key) {
+            map.insert(key.to_owned(), "1".to_owned());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -351,14 +362,20 @@ fn cmd_fit(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("fitting {} failed: {err}", run.building));
     }
     let (run, model) = fit.successes().next().expect("one building, no failure");
-    model.save(out).map_err(|e| e.to_string())?;
+    let quantized = opts.contains_key("f32");
+    if quantized {
+        model.save_f32(out).map_err(|e| e.to_string())?;
+    } else {
+        model.save(out).map_err(|e| e.to_string())?;
+    }
     eprintln!(
-        "# fitted {} ({} floors, {} scans, {} MACs) in {:.2?}; wrote {out}",
+        "# fitted {} ({} floors, {} scans, {} MACs) in {:.2?}; wrote {out}{}",
         run.building,
         run.floors,
         run.samples,
         model.macs().len(),
-        run.elapsed
+        run.elapsed,
+        if quantized { " (f32 artifact)" } else { "" }
     );
     Ok(())
 }

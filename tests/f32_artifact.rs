@@ -1,0 +1,95 @@
+//! The opt-in f32 serving artifact (schema version 3) against the golden
+//! corpus: `save_f32` → `load` → `assign` must reproduce the f64 model's
+//! floor labels **exactly** on every golden scan, the artifact must be
+//! at most 60% of the f64 bytes, and a loaded v3 artifact must re-save
+//! byte-identically. The f64 path stays the determinism reference — the
+//! golden fixtures in `tests/golden_fixtures.rs` never see a v3 byte.
+
+use std::path::PathBuf;
+
+use fis_one::types::io;
+use fis_one::{FisOne, FisOneConfig, FittedModel, FloorId, Precision};
+
+const GOLDEN_SEED: u64 = 7;
+
+/// The checked-in golden corpus (the same one `golden_fixtures.rs` pins).
+fn golden_corpus() -> fis_one::Dataset {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_corpus.jsonl");
+    io::load_jsonl(&path).expect("golden corpus fixture loads")
+}
+
+fn fit_golden() -> (fis_one::Building, FittedModel) {
+    let ds = golden_corpus();
+    let building = ds.buildings()[0].clone();
+    let model = FisOne::new(FisOneConfig::default().seed(GOLDEN_SEED))
+        .fit(
+            building.name(),
+            building.samples(),
+            building.floors(),
+            building.bottom_anchor().unwrap(),
+        )
+        .expect("golden corpus fits");
+    (building, model)
+}
+
+#[test]
+fn f32_artifact_reproduces_f64_labels_exactly_on_golden_corpus() {
+    let (building, model) = fit_golden();
+    let dir = std::env::temp_dir().join(format!("fis-f32-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let f64_path = dir.join("golden.json");
+    let f32_path = dir.join("golden-f32.json");
+    model.save(&f64_path).unwrap();
+    model.save_f32(&f32_path).unwrap();
+
+    let f64_loaded = FittedModel::load(&f64_path).unwrap();
+    let f32_loaded = FittedModel::load(&f32_path).unwrap();
+    assert_eq!(f64_loaded.precision(), Precision::F64);
+    assert_eq!(f32_loaded.precision(), Precision::F32);
+
+    for scan in building.samples() {
+        let reference: FloorId = f64_loaded.assign(scan).unwrap();
+        let quantized: FloorId = f32_loaded.assign(scan).unwrap();
+        assert_eq!(
+            quantized,
+            reference,
+            "f32 artifact disagrees with f64 on golden scan {}",
+            scan.id()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn f32_artifact_is_at_most_60_percent_of_f64_bytes() {
+    let (_, model) = fit_golden();
+    let f64_bytes = model.to_json_string().len();
+    let f32_bytes = model.quantize_f32().unwrap().to_json_string().len();
+    assert!(
+        f32_bytes * 10 <= f64_bytes * 6,
+        "f32 artifact is {f32_bytes} bytes vs {f64_bytes} f64 bytes \
+         ({:.1}%), budget is 60%",
+        100.0 * f32_bytes as f64 / f64_bytes as f64
+    );
+}
+
+#[test]
+fn f32_artifact_round_trips_byte_identically() {
+    let (_, model) = fit_golden();
+    let first = model.quantize_f32().unwrap().to_json_string();
+    assert!(first.contains("\"version\":3"));
+    let loaded = FittedModel::from_json_str(&first).unwrap();
+    assert_eq!(loaded.to_json_string(), first);
+}
+
+#[test]
+fn f64_artifact_bytes_are_untouched_by_the_f32_feature() {
+    // Quantizing a copy must not perturb the original model's bytes —
+    // the golden fixtures depend on the f64 path writing version 1
+    // exactly as before the v3 format existed.
+    let (_, model) = fit_golden();
+    let before = model.to_json_string();
+    let _ = model.quantize_f32().unwrap();
+    assert_eq!(model.to_json_string(), before);
+    assert!(before.contains("\"version\":1"));
+}
